@@ -1,0 +1,80 @@
+"""Figure 2 — overall execution time when scaling the number of processes.
+
+Regenerates both panels (no-sync and sync): one series per strategy over
+the process-count axis, plus the paper's headline "WW-List outperforms X
+by N%" ratios at the largest process count.
+
+Paper shape being checked: WW-List fastest everywhere; MW worst and by far
+at scale; gains slow considerably at about 32 processes.
+"""
+
+import pytest
+
+from repro.analysis import FIG2_RATIOS_PCT, line_chart, overall_table, ratio_table
+from repro.analysis.sweeps import process_scaling_sweep
+
+from conftest import BASE, PROCESS_COUNTS, write_output
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_overall_execution_time(benchmark, process_sweep):
+    """Times one representative point; prints/saves the whole figure."""
+    mid = PROCESS_COUNTS[len(PROCESS_COUNTS) // 2]
+
+    def representative_run():
+        return process_scaling_sweep(
+            BASE,
+            process_counts=(mid,),
+            strategies=("ww-list",),
+            sync_options=(False,),
+        )
+
+    benchmark.pedantic(representative_run, rounds=1, iterations=1)
+
+    top = float(max(PROCESS_COUNTS))
+    sections = []
+    for query_sync in (False, True):
+        sections.append(overall_table(process_sweep, query_sync))
+        sections.append(line_chart(process_sweep, query_sync))
+    sections.append(
+        ratio_table(process_sweep, top, paper_ratios=FIG2_RATIOS_PCT)
+    )
+    text = "\n\n".join(sections)
+    print("\n" + text)
+    write_output("fig2_overall_vs_processes.txt", text)
+
+    # Shape assertions (the paper's strongest Figure 2 claims).
+    for query_sync in (False, True):
+        best = process_sweep.lookup("ww-list", query_sync, top)
+        for strategy in ("mw", "ww-posix", "ww-coll"):
+            other = process_sweep.lookup(strategy, query_sync, top)
+            assert other.elapsed >= best.elapsed, (
+                f"{strategy} beat ww-list at {top} procs (sync={query_sync})"
+            )
+    # MW is the worst strategy at scale, by a wide margin (paper: 364%).
+    mw = process_sweep.lookup("mw", False, top)
+    best = process_sweep.lookup("ww-list", False, top)
+    assert mw.elapsed > 2.0 * best.elapsed
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_knee_near_32_processes(benchmark, process_sweep):
+    """"Noticeable performance gains ... slowed considerably at about 32
+    processes"."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    series = process_sweep.series("ww-list", False)
+    xs = [x for x, _ in series]
+    times = {x: r.elapsed for x, r in series}
+    small = [x for x in xs if x <= 8]
+    large = [x for x in xs if x >= 32]
+    if len(small) >= 2 and len(large) >= 2:
+        early_gain = times[small[0]] / times[small[-1]]
+        early_factor = small[-1] / small[0]
+        late_gain = times[large[0]] / times[large[-1]]
+        late_factor = large[-1] / large[0]
+        # Early scaling is near-linear; late scaling efficiency has
+        # dropped well below it (the knee).
+        early_eff = early_gain / early_factor
+        late_eff = late_gain / late_factor
+        assert early_eff > 0.5
+        assert late_eff < 0.8 * early_eff

@@ -1,0 +1,53 @@
+"""Figure 4 — per-phase timing vs process count for WW-List and WW-Coll.
+
+Paper shapes checked: WW-List is moderately affected by forced sync (less
+than WW-POSIX, because its I/O phase is shorter); WW-Coll is essentially
+unchanged because its collective write already synchronizes the workers;
+and WW-Coll's waiting shows up as data-distribution time.
+"""
+
+import pytest
+
+from repro.analysis import phase_table, stacked_bars
+from repro.core.phases import Phase
+
+from conftest import PROCESS_COUNTS, write_output
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_phase_breakdown(benchmark, process_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    sections = []
+    for strategy in ("ww-list", "ww-coll"):
+        for query_sync in (False, True):
+            sections.append(phase_table(process_sweep, strategy, query_sync))
+            sections.append(stacked_bars(process_sweep, strategy, query_sync))
+    text = "\n\n".join(sections)
+    print("\n" + text)
+    write_output("fig4_phases_list_coll.txt", text)
+
+    top = float(max(PROCESS_COUNTS))
+
+    # WW-Coll: at most a few percent difference sync vs no-sync (paper: 6%).
+    coll_nosync = process_sweep.lookup("ww-coll", False, top).elapsed
+    coll_sync = process_sweep.lookup("ww-coll", True, top).elapsed
+    assert abs(coll_sync - coll_nosync) / coll_nosync < 0.10
+
+    # WW-List: sync phase grows under forced sync, but less than WW-POSIX's
+    # (paper: 0.41->5.87 s for List vs 1.01->12 s for POSIX at 96p).
+    list_sync = process_sweep.lookup("ww-list", True, top).worker_mean
+    posix_sync = process_sweep.lookup("ww-posix", True, top).worker_mean
+    assert list_sync[Phase.SYNC] <= posix_sync[Phase.SYNC] * 1.25
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_coll_wait_shows_as_data_distribution(benchmark, process_sweep):
+    """"While workers are waiting to do collective I/O after processing
+    their portion of the query, they are wasting time, which shows up in
+    the data distribution time"."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    top = float(max(PROCESS_COUNTS))
+    coll = process_sweep.lookup("ww-coll", False, top).worker_mean
+    lst = process_sweep.lookup("ww-list", False, top).worker_mean
+    assert coll[Phase.DATA_DISTRIBUTION] > lst[Phase.DATA_DISTRIBUTION] * 2

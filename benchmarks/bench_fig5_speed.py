@@ -1,0 +1,66 @@
+"""Figure 5 — overall execution time when scaling the compute speed.
+
+The paper's second test suite: 64 processes, compute speed 0.1-25.6
+(standing in for faster CPUs, FPGA/ASIC search engines, or better
+heuristics).  Regenerates both panels and the headline ratios at 25.6.
+
+Paper shapes checked: MW gains almost nothing from faster compute (its
+bottleneck is the master, not the search); the individual worker-writing
+strategies benefit strongly; WW-List stays the fastest.
+"""
+
+import pytest
+
+from repro.analysis import FIG5_RATIOS_PCT, line_chart, overall_table, ratio_table
+
+from conftest import SPEEDS, write_output
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_overall_vs_compute_speed(benchmark, speed_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    top = float(max(SPEEDS))
+    sections = []
+    for query_sync in (False, True):
+        sections.append(overall_table(speed_sweep, query_sync))
+        sections.append(line_chart(speed_sweep, query_sync))
+    sections.append(ratio_table(speed_sweep, top, paper_ratios=FIG5_RATIOS_PCT))
+    text = "\n\n".join(sections)
+    print("\n" + text)
+    write_output("fig5_overall_vs_speed.txt", text)
+
+    lo = float(min(SPEEDS))
+
+    # MW: less than a few percent change across a 256x compute speedup
+    # (paper: <2% from 0.1x...25.6x at and beyond base speed).
+    mw_base = speed_sweep.lookup("mw", False, 1.6).elapsed
+    mw_fast = speed_sweep.lookup("mw", False, top).elapsed
+    assert abs(mw_base - mw_fast) / mw_base < 0.15
+
+    # Individual worker-writing strategies benefit substantially.
+    for strategy in ("ww-list", "ww-posix"):
+        slow = speed_sweep.lookup(strategy, False, lo).elapsed
+        fast = speed_sweep.lookup(strategy, False, top).elapsed
+        assert fast < slow * 0.6, f"{strategy} did not benefit from speed"
+
+    # WW-List is fastest at the top speed in both panels.
+    for query_sync in (False, True):
+        best = speed_sweep.lookup("ww-list", query_sync, top)
+        for strategy in ("mw", "ww-posix"):
+            assert (
+                speed_sweep.lookup(strategy, query_sync, top).elapsed
+                >= best.elapsed
+            )
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_slow_compute_penalizes_collective(benchmark, speed_sweep):
+    """At slow compute speeds the variance across tasks is huge and
+    WW-Coll "always pays a high synchronization cost unlike individual WW
+    strategies"."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lo = float(min(SPEEDS))
+    coll = speed_sweep.lookup("ww-coll", False, lo).elapsed
+    lst = speed_sweep.lookup("ww-list", False, lo).elapsed
+    assert coll > lst * 1.5

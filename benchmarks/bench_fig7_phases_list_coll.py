@@ -1,0 +1,57 @@
+"""Figure 7 — per-phase timing vs compute speed for WW-List and WW-Coll.
+
+Paper shapes checked: WW-List's sync overhead stays small across speeds
+("due to its optimized noncontiguous list I/O method, it incurs smaller
+overhead" than POSIX); WW-Coll is insensitive to the forced sync at every
+speed; and at slow speeds WW-Coll's data-distribution (waiting) time
+dwarfs the individual strategies'.
+"""
+
+import pytest
+
+from repro.analysis import phase_table, stacked_bars
+from repro.core.phases import Phase
+
+from conftest import SPEEDS, write_output
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_phase_breakdown(benchmark, speed_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    sections = []
+    for strategy in ("ww-list", "ww-coll"):
+        for query_sync in (False, True):
+            sections.append(phase_table(speed_sweep, strategy, query_sync))
+            sections.append(stacked_bars(speed_sweep, strategy, query_sync))
+    text = "\n\n".join(sections)
+    print("\n" + text)
+    write_output("fig7_phases_list_coll.txt", text)
+
+    # WW-Coll: sync vs no-sync within a few percent at every speed
+    # (paper: at most 4%).
+    for speed in SPEEDS:
+        nosync = speed_sweep.lookup("ww-coll", False, float(speed)).elapsed
+        sync = speed_sweep.lookup("ww-coll", True, float(speed)).elapsed
+        assert abs(sync - nosync) / nosync < 0.10, f"speed={speed}"
+
+    # WW-List stays ahead of WW-POSIX under forced sync at the fast end
+    # (paper: List's optimized noncontiguous writes keep its sync and
+    # data-distribution overheads below POSIX's).
+    hi = float(max(SPEEDS))
+    assert (
+        speed_sweep.lookup("ww-list", True, hi).elapsed
+        <= speed_sweep.lookup("ww-posix", True, hi).elapsed * 1.05
+    )
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_collective_wait_at_slow_speeds(benchmark, speed_sweep):
+    """High compute variance at speed 0.1 makes WW-Coll's workers wait
+    (gated task assignment + collective entry), visible as
+    data-distribution time."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lo = float(min(SPEEDS))
+    coll = speed_sweep.lookup("ww-coll", False, lo).worker_mean
+    lst = speed_sweep.lookup("ww-list", False, lo).worker_mean
+    assert coll[Phase.DATA_DISTRIBUTION] > lst[Phase.DATA_DISTRIBUTION] * 2

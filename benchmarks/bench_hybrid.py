@@ -1,0 +1,65 @@
+"""Extension benchmark — hybrid query/database segmentation.
+
+Implements and measures the paper's named future-work item: "hybrid query
+segmentation/database segmentation strategies".  Sweeps the partition
+count for the collective strategy (where partition scope matters most,
+since the whole partition must synchronize for every collective write)
+and for the proposed individual list-I/O strategy.
+"""
+
+import pytest
+
+from repro.core import HybridS3aSim, SimulationConfig, run_simulation
+
+from conftest import write_output
+
+NPROCS = 24
+WORKLOAD = dict(nqueries=12, nfragments=48)
+
+
+@pytest.mark.benchmark(group="hybrid")
+@pytest.mark.parametrize("strategy", ["ww-coll", "ww-list"])
+def test_hybrid_partition_sweep(benchmark, strategy):
+    cfg = SimulationConfig(nprocs=NPROCS, strategy=strategy, **WORKLOAD)
+
+    def sweep():
+        rows = {1: run_simulation(cfg).elapsed}
+        for k in (2, 4):
+            result = HybridS3aSim(cfg, k).run()
+            assert result.complete
+            rows[k] = result.elapsed
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = f"{strategy}: partitions -> elapsed: " + ", ".join(
+        f"{k}: {v:.2f}s" for k, v in rows.items()
+    )
+    print("\n" + text)
+    write_output(f"hybrid_{strategy}.txt", text)
+
+    # Sanity: everything completed and produced positive times; the
+    # trade-off direction (scope reduction vs load imbalance) is workload-
+    # dependent, so no ordering is asserted.
+    assert all(v > 0 for v in rows.values())
+
+
+@pytest.mark.benchmark(group="hybrid")
+def test_hybrid_helps_collective_more_than_individual(benchmark):
+    """Partitioning shrinks WW-Coll's synchronization scope; WW-List has
+    no such scope, so its relative change should be smaller."""
+    def measure():
+        out = {}
+        for strategy in ("ww-coll", "ww-list"):
+            cfg = SimulationConfig(nprocs=NPROCS, strategy=strategy, **WORKLOAD)
+            pure = run_simulation(cfg).elapsed
+            split = HybridS3aSim(cfg, 2).run().elapsed
+            out[strategy] = split / pure
+        return out
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = "hybrid(2)/pure ratios: " + ", ".join(
+        f"{k}: {v:.2f}" for k, v in ratios.items()
+    )
+    print("\n" + text)
+    write_output("hybrid_ratio.txt", text)
+    assert ratios["ww-coll"] <= ratios["ww-list"] * 1.2

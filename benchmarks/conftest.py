@@ -1,0 +1,63 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every table and figure of the paper's evaluation (Section 4) has a bench
+module here.  Figures 2-4 share one process-count sweep; Figures 5-7 share
+one compute-speed sweep; both are computed once per session and cached.
+
+Scale control
+-------------
+``S3ASIM_BENCH_SCALE=full``    — the paper's exact setup (20 queries, 128
+                                 fragments, 2..96 processes, speeds
+                                 0.1..25.6).  Minutes of wall time.
+``S3ASIM_BENCH_SCALE=reduced`` — default: half-scale workload and thinned
+                                 axes.  The shapes (orderings, knees,
+                                 ratios) are preserved; see EXPERIMENTS.md.
+
+Each bench writes its regenerated series to ``benchmarks/output/*.txt`` so
+the data survives pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import compute_speed_sweep, process_scaling_sweep
+from repro.core import SimulationConfig
+
+FULL = os.environ.get("S3ASIM_BENCH_SCALE", "reduced") == "full"
+
+# Full-scale and reduced-scale snapshots live side by side so a reduced
+# re-run never clobbers paper-scale figure data.
+OUTPUT_DIR = Path(__file__).parent / "output" / ("full" if FULL else "reduced")
+
+if FULL:
+    PROCESS_COUNTS = (2, 4, 8, 16, 32, 48, 64, 96)
+    SPEEDS = (0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6)
+    SPEED_NPROCS = 64
+    BASE = SimulationConfig()  # paper defaults: 20 queries, 128 fragments
+else:
+    PROCESS_COUNTS = (2, 4, 8, 16, 32, 64)
+    SPEEDS = (0.1, 0.4, 1.6, 6.4, 25.6)
+    SPEED_NPROCS = 32
+    BASE = SimulationConfig(nqueries=10, nfragments=48)
+
+
+def write_output(name: str, text: str) -> None:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def process_sweep():
+    """The Figure 2/3/4 experiment: all strategies over process counts."""
+    return process_scaling_sweep(BASE, process_counts=PROCESS_COUNTS)
+
+
+@pytest.fixture(scope="session")
+def speed_sweep():
+    """The Figure 5/6/7 experiment: all strategies over compute speeds."""
+    return compute_speed_sweep(BASE, speeds=SPEEDS, nprocs=SPEED_NPROCS)

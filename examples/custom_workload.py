@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Customizing S3aSim: your own database, queries, cluster, and policies.
+
+Everything the paper lists as a tunable ("total number of fragments ...,
+box histogram of input query sizes, box histogram of database sequence
+sizes, min/max count of results, minimum result size, compute speeds,
+MPI-IO hints, parallel I/O, write all data at the end") is a field of
+``SimulationConfig``.  This example builds a protein-database scenario
+from scratch and contrasts write-after-every-query against the
+mpiBLAST-1.2 / pioBLAST write-at-end policy.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.core import SimulationConfig, run_simulation
+from repro.workload import BoxHistogram, ComputeModel, ResultModel
+
+# A protein database: sequences are far shorter than nucleotide ones
+# (hundreds of residues), with a modest tail of multi-domain giants.
+PROTEIN_DB = BoxHistogram.from_boxes(
+    [
+        (50, 200, 0.35),      # small proteins / domains
+        (200, 600, 0.45),     # typical single-domain proteins
+        (600, 2_000, 0.17),   # multi-domain
+        (2_000, 40_000, 0.03),  # titin-like giants
+    ]
+)
+
+# Queries: freshly translated ORFs, tightly distributed.
+PROTEIN_QUERIES = BoxHistogram.from_boxes([(100, 1_200, 1.0)])
+
+
+def build_config(write_every: int) -> SimulationConfig:
+    return SimulationConfig(
+        nprocs=16,
+        strategy="ww-list",
+        nqueries=24,
+        nfragments=64,
+        query_histogram=PROTEIN_QUERIES,
+        db_histogram=PROTEIN_DB,
+        db_total_bytes=512 * 1024 * 1024,
+        # HMMer-style scoring produces fewer, larger hits per query.
+        result_model=ResultModel(
+            min_count=200, max_count=400, min_result_size=2048,
+            max_match_B=40_000,
+        ),
+        # A slower per-byte search (profile HMMs cost more than BLAST).
+        compute=ComputeModel(startup_s=0.02, rate_s_per_byte=4e-6),
+        write_every=write_every,
+        seed=77,
+    )
+
+
+def main() -> None:
+    print("protein-search scenario (parallel-HMMer-like):")
+    print(f"  db histogram mean: {PROTEIN_DB.mean():.0f} B, "
+          f"query mean: {PROTEIN_QUERIES.mean():.0f} B")
+
+    for write_every, label in (
+        (1, "write after every query (mpiBLAST 1.4 style)"),
+        (8, "write every 8 queries"),
+        (24, "write everything at the end (mpiBLAST 1.2 / pioBLAST style)"),
+    ):
+        config = build_config(write_every)
+        result = run_simulation(config)
+        assert result.file_stats.complete
+        print(
+            f"  {label:<55s} {result.elapsed:7.2f}s "
+            f"({result.file_stats.total_bytes / 1e6:6.1f} MB written, "
+            f"{int(result.server_stats['syncs'])} server flushes)"
+        )
+
+    print(
+        "\nWriting less often amortizes offset traffic and sync flushes,\n"
+        "but remember the trade-off the paper names: frequent writes are\n"
+        "what let a failed run resume at the right input query."
+    )
+
+
+if __name__ == "__main__":
+    main()

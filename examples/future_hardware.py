@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Will I/O strategy matter on future hardware?  (The paper's motivation.)
+
+The paper argues that FPGA/ASIC search engines (BioScan, GeneMatcher,
+DeCypher) and smarter heuristics (SSAHA, PatternHunter, BLAT) will shrink
+compute time until I/O dominates.  This example sweeps the simulated
+compute speed from 1x to 32x for two strategies and shows where each one's
+wall-clock time flattens — the point past which faster search hardware
+buys nothing because the I/O strategy is the bottleneck.
+
+It then re-runs the fast-compute case on a "modern" cluster preset
+(fast network + NVMe-like storage) to show the bottleneck moving again.
+
+Run:  python examples/future_hardware.py
+"""
+
+from repro.cluster import get_preset
+from repro.core import LABELS, SimulationConfig, run_simulation
+from repro.workload import ComputeModel
+
+SPEEDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+NPROCS = 24
+WORKLOAD = dict(nqueries=10, nfragments=48)
+
+
+def sweep(strategy: str, network=None, pvfs=None):
+    times = []
+    for speed in SPEEDS:
+        kwargs = dict(
+            nprocs=NPROCS,
+            strategy=strategy,
+            compute=ComputeModel(speed=speed),
+            **WORKLOAD,
+        )
+        if network is not None:
+            kwargs["network"] = network
+        if pvfs is not None:
+            kwargs["pvfs"] = pvfs
+        times.append(run_simulation(SimulationConfig(**kwargs)).elapsed)
+    return times
+
+
+def print_series(label: str, times) -> None:
+    cells = "  ".join(f"{t:7.2f}" for t in times)
+    flat = times[-1] / times[0]
+    print(f"{label:<26s} {cells}   (32x compute -> {1/flat:4.1f}x faster)")
+
+
+def main() -> None:
+    header = "  ".join(f"{s:>6.0f}x" for s in SPEEDS)
+    print(f"{'compute speed ->':<26s} {header}")
+    print("\n-- 2006 cluster (Myrinet + 16-server PVFS2) --")
+    for strategy in ("mw", "ww-list"):
+        print_series(LABELS[strategy], sweep(strategy))
+
+    modern = get_preset("modern")
+    print("\n-- modern cluster preset (fast fabric + NVMe-like storage) --")
+    for strategy in ("mw", "ww-list"):
+        print_series(
+            LABELS[strategy],
+            sweep(strategy, network=modern.network, pvfs=modern.pvfs),
+        )
+
+    print(
+        "\nTakeaway: on the 2006 system, master-writing gains almost\n"
+        "nothing from faster search — exactly the paper's argument that\n"
+        "future sequence-search tools need worker-writing I/O strategies.\n"
+        "On modern storage the flattening point moves, but the ordering\n"
+        "of strategies persists."
+    )
+
+
+if __name__ == "__main__":
+    main()

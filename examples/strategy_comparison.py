@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Choosing an I/O strategy for a parallel sequence-search tool.
+
+Scenario: you maintain an mpiBLAST-like tool and must pick how result
+data reaches the output file.  This example runs all four strategies of
+the paper — master-writing (mpiBLAST-style), collective worker-writing
+(pioBLAST-style), and the two individual worker-writing variants the
+paper proposes — at two cluster sizes, with and without a forced
+synchronization after each query, and prints a decision table.
+
+Run:  python examples/strategy_comparison.py
+"""
+
+from repro.core import LABELS, Phase, SimulationConfig, run_simulation
+
+STRATEGIES = ("mw", "ww-coll", "ww-posix", "ww-list")
+
+
+def compare(nprocs: int, query_sync: bool):
+    rows = []
+    for strategy in STRATEGIES:
+        config = SimulationConfig(
+            nprocs=nprocs,
+            strategy=strategy,
+            query_sync=query_sync,
+            # A lighter-than-paper workload so the example runs in seconds.
+            nqueries=10,
+            nfragments=48,
+        )
+        result = run_simulation(config)
+        assert result.file_stats.complete
+        rows.append((strategy, result))
+    return rows
+
+
+def print_table(nprocs: int, query_sync: bool) -> None:
+    sync_label = "sync after each query" if query_sync else "no forced sync"
+    print(f"\n=== {nprocs} processes, {sync_label} ===")
+    print(
+        f"{'strategy':<26s} {'total':>8s} {'compute':>8s} {'io':>8s} "
+        f"{'waiting':>8s} {'sync':>8s}"
+    )
+    rows = compare(nprocs, query_sync)
+    best = min(result.elapsed for _, result in rows)
+    for strategy, result in rows:
+        worker = result.worker_mean
+        marker = "  <-- fastest" if result.elapsed == best else ""
+        print(
+            f"{LABELS[strategy]:<26s} {result.elapsed:>7.2f}s "
+            f"{worker[Phase.COMPUTE]:>7.2f}s {worker[Phase.IO]:>7.2f}s "
+            f"{worker[Phase.DATA_DISTRIBUTION]:>7.2f}s "
+            f"{worker[Phase.SYNC]:>7.2f}s{marker}"
+        )
+
+
+def main() -> None:
+    for nprocs in (8, 32):
+        for query_sync in (False, True):
+            print_table(nprocs, query_sync)
+
+    print(
+        "\nReading the table (the paper's Section 4 in miniature):\n"
+        " * master-writing stops scaling once the master's single client\n"
+        "   pipeline saturates — workers burn time in 'waiting';\n"
+        " * collective worker-writing buys efficient large writes but\n"
+        "   pays an inherent synchronization before every collective op;\n"
+        " * individual worker-writing with list I/O keeps the overlap of\n"
+        "   compute and I/O *and* batches noncontiguous regions — it wins."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — a full reproduction of "Exploring I/O Strategies for Parallel
+Sequence-Search Tools with S3aSim" (HPDC 2006).
+
+The package simulates the complete stack the paper ran on: a
+discrete-event kernel (:mod:`repro.sim`), MPI messaging
+(:mod:`repro.mpi`), a PVFS2-like parallel file system (:mod:`repro.pvfs`),
+a ROMIO-like MPI-IO layer (:mod:`repro.mpiio`), the sequence-search
+workload model (:mod:`repro.workload`), and S3aSim itself
+(:mod:`repro.core`) with its four result-writing strategies (MW, WW-POSIX,
+WW-List, WW-Coll).
+
+Quickstart::
+
+    from repro.core import SimulationConfig, run_simulation
+
+    result = run_simulation(SimulationConfig(nprocs=32, strategy="ww-list"))
+    print(result.summary_line())
+"""
+
+from .core import RunResult, S3aSim, SimulationConfig, run_simulation
+
+__version__ = "1.0.0"
+
+__all__ = ["RunResult", "S3aSim", "SimulationConfig", "run_simulation", "__version__"]

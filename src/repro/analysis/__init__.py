@@ -1,0 +1,70 @@
+"""Experiment drivers and result formatting (the paper's evaluation)."""
+
+from .charts import PHASE_GLYPHS, SERIES_GLYPHS, line_chart, stacked_bars
+from .export import (
+    export_csv,
+    export_json,
+    sweep_to_csv_str,
+    sweep_to_json_str,
+    sweep_to_records,
+)
+from .replication import (
+    ReplicatedMeasurement,
+    compare_replicated,
+    replicate,
+)
+from .paper import (
+    FIG2_RATIOS_PCT,
+    FIG5_RATIOS_PCT,
+    PAPER_ABSOLUTES,
+    PAPER_CLAIMS,
+    RatioCheck,
+)
+from .sweeps import (
+    ALL_STRATEGIES,
+    PAPER_COMPUTE_SPEEDS,
+    PAPER_PROCESS_COUNTS,
+    SweepPoint,
+    SweepResult,
+    compute_speed_sweep,
+    process_scaling_sweep,
+)
+from .tables import (
+    crossover_x,
+    overall_table,
+    phase_table,
+    ratio_table,
+    speedup_series,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "PHASE_GLYPHS",
+    "SERIES_GLYPHS",
+    "FIG2_RATIOS_PCT",
+    "FIG5_RATIOS_PCT",
+    "PAPER_ABSOLUTES",
+    "PAPER_CLAIMS",
+    "PAPER_COMPUTE_SPEEDS",
+    "PAPER_PROCESS_COUNTS",
+    "RatioCheck",
+    "ReplicatedMeasurement",
+    "SweepPoint",
+    "SweepResult",
+    "compare_replicated",
+    "compute_speed_sweep",
+    "crossover_x",
+    "export_csv",
+    "export_json",
+    "line_chart",
+    "overall_table",
+    "phase_table",
+    "process_scaling_sweep",
+    "replicate",
+    "ratio_table",
+    "speedup_series",
+    "stacked_bars",
+    "sweep_to_csv_str",
+    "sweep_to_json_str",
+    "sweep_to_records",
+]

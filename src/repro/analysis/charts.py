@@ -1,0 +1,148 @@
+"""ASCII renderings of the paper's figures.
+
+Two chart kinds cover all seven figures: multi-series line charts
+(Figures 2 and 5 — overall time vs processes / compute speed, log-x like
+the paper's) and stacked phase bars (Figures 3, 4, 6, 7).  Pure text, so
+figure output survives terminals, logs, and diffs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.phases import Phase
+from ..core.strategies import LABELS
+from .sweeps import SweepResult
+
+#: Plot glyph per strategy (stable across charts).
+SERIES_GLYPHS: Dict[str, str] = {
+    "mw": "M",
+    "ww-posix": "P",
+    "ww-list": "L",
+    "ww-coll": "C",
+}
+
+#: One character per phase for stacked bars, matching the trace glyphs.
+PHASE_GLYPHS: Dict[Phase, str] = {
+    Phase.SETUP: "s",
+    Phase.DATA_DISTRIBUTION: "d",
+    Phase.COMPUTE: "#",
+    Phase.MERGE: "m",
+    Phase.GATHER: "g",
+    Phase.IO: "W",
+    Phase.SYNC: "=",
+    Phase.OTHER: ".",
+}
+
+
+def line_chart(
+    sweep: SweepResult,
+    query_sync: bool,
+    width: int = 70,
+    height: int = 20,
+    log_x: bool = True,
+) -> str:
+    """Overall-execution-time line chart (one glyph per strategy)."""
+    if width < 10 or height < 5:
+        raise ValueError("chart too small")
+    xs = sweep.xs()
+    if not xs:
+        return "(empty sweep)"
+    strategies = sweep.strategies()
+
+    def x_pos(x: float) -> int:
+        if log_x and xs[0] > 0 and xs[-1] > xs[0]:
+            frac = (math.log(x) - math.log(xs[0])) / (
+                math.log(xs[-1]) - math.log(xs[0])
+            )
+        elif xs[-1] > xs[0]:
+            frac = (x - xs[0]) / (xs[-1] - xs[0])
+        else:
+            frac = 0.0
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    values: Dict[str, List[Tuple[float, float]]] = {}
+    y_max = 0.0
+    for strategy in strategies:
+        series = [
+            (x, result.elapsed) for x, result in sweep.series(strategy, query_sync)
+        ]
+        values[strategy] = series
+        if series:
+            y_max = max(y_max, max(v for _, v in series))
+    if y_max <= 0:
+        return "(no data)"
+
+    grid = [[" "] * width for _ in range(height)]
+    for strategy in strategies:
+        glyph = SERIES_GLYPHS.get(strategy, strategy[0].upper())
+        for x, value in values[strategy]:
+            col = x_pos(x)
+            row = height - 1 - min(
+                height - 1, int(round(value / y_max * (height - 1)))
+            )
+            # Do not overwrite a different series at the same cell; stack
+            # markers by nudging up one row where possible.
+            if grid[row][col] not in (" ", glyph) and row > 0:
+                row -= 1
+            grid[row][col] = glyph
+
+    sync_label = "sync" if query_sync else "no-sync"
+    lines = [f"Overall Execution Time - {sync_label}"]
+    for i, row in enumerate(grid):
+        y_value = y_max * (height - 1 - i) / (height - 1)
+        label = f"{y_value:8.1f} |" if i % 4 == 0 or i == height - 1 else f"{'':8s} |"
+        lines.append(label + "".join(row))
+    axis = f"{'':8s} +" + "-" * width
+    lines.append(axis)
+    tick_line = [" "] * width
+    for x in xs:
+        col = x_pos(x)
+        text = f"{x:g}"
+        for j, ch in enumerate(text):
+            if col + j < width:
+                tick_line[col + j] = ch
+    lines.append(f"{'':10s}" + "".join(tick_line) + f"  ({sweep.axis_name})")
+    legend = "  ".join(
+        f"{SERIES_GLYPHS.get(s, s[0].upper())}={LABELS.get(s, s)}"
+        for s in strategies
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    sweep: SweepResult,
+    strategy: str,
+    query_sync: bool,
+    width: int = 46,
+) -> str:
+    """Phase-breakdown bars per x (the paper's stacked-bar figures)."""
+    xs = sweep.xs()
+    results = []
+    y_max = 0.0
+    for x in xs:
+        try:
+            result = sweep.lookup(strategy, query_sync, x)
+        except KeyError:
+            continue
+        results.append((x, result.worker_mean))
+        y_max = max(y_max, result.worker_mean.total)
+    if not results or y_max <= 0:
+        return "(no data)"
+
+    sync_label = "sync" if query_sync else "no-sync"
+    lines = [
+        f"{LABELS.get(strategy, strategy)} - {sync_label}, worker process "
+        f"(bar width = {y_max:.1f}s)"
+    ]
+    for x, mean in results:
+        bar = []
+        for phase in Phase:
+            cells = int(round(mean[phase] / y_max * width))
+            bar.append(PHASE_GLYPHS[phase] * cells)
+        lines.append(f"{x:>8g} |{''.join(bar):<{width}s}| {mean.total:7.2f}s")
+    legend = "  ".join(f"{PHASE_GLYPHS[p]}={p.value}" for p in Phase)
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

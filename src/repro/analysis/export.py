@@ -1,0 +1,76 @@
+"""Sweep-result export: JSON and CSV for downstream plotting tools.
+
+The tables module renders for terminals; this module produces structured
+data so the regenerated figures can be replotted (matplotlib, gnuplot,
+spreadsheets) without re-running the sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, TextIO
+
+from ..core.phases import Phase
+from .sweeps import SweepPoint, SweepResult
+
+
+def sweep_to_records(sweep: SweepResult) -> List[Dict]:
+    """One flat record per sweep point (JSON/CSV-friendly)."""
+    records = []
+    for point in sweep.points:
+        mean = point.result.worker_mean
+        record = {
+            "axis": sweep.axis_name,
+            "x": point.x,
+            "strategy": point.strategy,
+            "query_sync": point.query_sync,
+            "elapsed_s": point.result.elapsed,
+            "nprocs": point.result.nprocs,
+            "compute_speed": point.result.compute_speed,
+            "file_bytes": point.result.file_stats.total_bytes,
+            "file_complete": point.result.file_stats.complete,
+        }
+        for phase in Phase:
+            record[f"worker_{phase.value}_s"] = mean[phase]
+        records.append(record)
+    records.sort(key=lambda r: (r["strategy"], r["query_sync"], r["x"]))
+    return records
+
+
+def export_json(sweep: SweepResult, stream: TextIO) -> None:
+    """JSON document with sweep metadata and per-point records."""
+    json.dump(
+        {
+            "format": "s3asim-sweep-1",
+            "axis": sweep.axis_name,
+            "xs": sweep.xs(),
+            "strategies": sweep.strategies(),
+            "points": sweep_to_records(sweep),
+        },
+        stream,
+        indent=1,
+    )
+
+
+def export_csv(sweep: SweepResult, stream: TextIO) -> None:
+    """Flat CSV, one row per sweep point."""
+    records = sweep_to_records(sweep)
+    if not records:
+        return
+    writer = csv.DictWriter(stream, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    writer.writerows(records)
+
+
+def sweep_to_json_str(sweep: SweepResult) -> str:
+    buffer = io.StringIO()
+    export_json(sweep, buffer)
+    return buffer.getvalue()
+
+
+def sweep_to_csv_str(sweep: SweepResult) -> str:
+    buffer = io.StringIO()
+    export_csv(sweep, buffer)
+    return buffer.getvalue()

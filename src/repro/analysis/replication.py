@@ -1,0 +1,74 @@
+"""Replicated measurements: the paper's "averaged over 3 test runs".
+
+The simulator is deterministic for a fixed seed, so replication here means
+re-running each configuration under different workload seeds — capturing
+sensitivity to the sampled queries/results rather than machine noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.app import run_simulation
+from ..core.config import SimulationConfig
+from ..core.report import RunResult
+
+
+@dataclass(frozen=True)
+class ReplicatedMeasurement:
+    """Mean/stdev of elapsed time over several seeds."""
+
+    config_label: str
+    seeds: Sequence[int]
+    elapsed: List[float]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.elapsed) / len(self.elapsed)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.elapsed) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((x - mu) ** 2 for x in self.elapsed) / (len(self.elapsed) - 1)
+        )
+
+    @property
+    def relative_spread(self) -> float:
+        """stdev/mean — how workload-sensitive this configuration is."""
+        return self.stdev / self.mean if self.mean else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.config_label}: {self.mean:.2f} ± {self.stdev:.2f} s "
+            f"over seeds {list(self.seeds)}"
+        )
+
+
+def replicate(
+    config: SimulationConfig,
+    seeds: Sequence[int] = (2006, 2007, 2008),
+    runner: Optional[Callable[[SimulationConfig], RunResult]] = None,
+) -> ReplicatedMeasurement:
+    """Run ``config`` once per seed (the paper used 3 runs per point)."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    runner = runner if runner is not None else run_simulation
+    elapsed = [runner(config.with_(seed=seed)).elapsed for seed in seeds]
+    label = f"{config.strategy}@np={config.nprocs}"
+    return ReplicatedMeasurement(
+        config_label=label, seeds=tuple(seeds), elapsed=elapsed
+    )
+
+
+def compare_replicated(
+    a: ReplicatedMeasurement, b: ReplicatedMeasurement
+) -> bool:
+    """True if ``a`` is faster than ``b`` beyond one pooled stdev —
+    a conservative "the ordering is real, not workload luck" check."""
+    pooled = math.sqrt((a.stdev**2 + b.stdev**2) / 2) or 1e-12
+    return a.mean + pooled < b.mean

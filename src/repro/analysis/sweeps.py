@@ -1,0 +1,133 @@
+"""Parameter sweeps: the experiment drivers behind the paper's figures.
+
+Figure 2/3/4 sweep the process count at fixed compute speed; Figure 5/6/7
+sweep the compute speed at 64 processes.  Each sweep point is one full
+S3aSim run; results collect into a :class:`SweepResult` that the table and
+figure formatters consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.app import run_simulation
+from ..core.config import SimulationConfig
+from ..core.report import RunResult
+
+#: The paper's process-count axis (Section 3.3: "One suite of tests used 2
+#: to 96 processors", figures show 2,4,8,16,32,48,64,96).
+PAPER_PROCESS_COUNTS: Tuple[int, ...] = (2, 4, 8, 16, 32, 48, 64, 96)
+
+#: The paper's compute-speed axis (0.1 to 25.6, doubling).
+PAPER_COMPUTE_SPEEDS: Tuple[float, ...] = (0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8, 25.6)
+
+#: All four strategies in the paper's presentation order.
+ALL_STRATEGIES: Tuple[str, ...] = ("mw", "ww-posix", "ww-list", "ww-coll")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One run within a sweep."""
+
+    strategy: str
+    query_sync: bool
+    x: float  # the swept value (process count or compute speed)
+    result: RunResult
+
+
+@dataclass
+class SweepResult:
+    """All runs of one sweep, indexable by (strategy, sync, x)."""
+
+    axis_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def add(self, point: SweepPoint) -> None:
+        self.points.append(point)
+
+    def series(self, strategy: str, query_sync: bool) -> List[Tuple[float, RunResult]]:
+        """The (x, result) series of one strategy/sync combination."""
+        return sorted(
+            (p.x, p.result)
+            for p in self.points
+            if p.strategy == strategy and p.query_sync == query_sync
+        )
+
+    def lookup(self, strategy: str, query_sync: bool, x: float) -> RunResult:
+        for p in self.points:
+            if p.strategy == strategy and p.query_sync == query_sync and p.x == x:
+                return p.result
+        raise KeyError((strategy, query_sync, x))
+
+    def xs(self) -> List[float]:
+        return sorted({p.x for p in self.points})
+
+    def strategies(self) -> List[str]:
+        seen: List[str] = []
+        for p in self.points:
+            if p.strategy not in seen:
+                seen.append(p.strategy)
+        return seen
+
+
+ProgressHook = Optional[Callable[[SweepPoint], None]]
+
+
+def process_scaling_sweep(
+    base: SimulationConfig,
+    process_counts: Sequence[int] = PAPER_PROCESS_COUNTS,
+    strategies: Sequence[str] = ALL_STRATEGIES,
+    sync_options: Sequence[bool] = (False, True),
+    progress: ProgressHook = None,
+) -> SweepResult:
+    """Figure 2's experiment: overall time vs process count."""
+    sweep = SweepResult(axis_name="processes")
+    for nprocs in process_counts:
+        for query_sync in sync_options:
+            for strategy in strategies:
+                cfg = base.with_(
+                    nprocs=nprocs, strategy=strategy, query_sync=query_sync
+                )
+                point = SweepPoint(
+                    strategy=strategy,
+                    query_sync=query_sync,
+                    x=float(nprocs),
+                    result=run_simulation(cfg),
+                )
+                sweep.add(point)
+                if progress:
+                    progress(point)
+    return sweep
+
+
+def compute_speed_sweep(
+    base: SimulationConfig,
+    speeds: Sequence[float] = PAPER_COMPUTE_SPEEDS,
+    strategies: Sequence[str] = ALL_STRATEGIES,
+    sync_options: Sequence[bool] = (False, True),
+    nprocs: int = 64,
+    progress: ProgressHook = None,
+) -> SweepResult:
+    """Figure 5's experiment: overall time vs compute speed at 64 procs."""
+    sweep = SweepResult(axis_name="compute_speed")
+    for speed in speeds:
+        compute = replace(base.compute, speed=speed)
+        for query_sync in sync_options:
+            for strategy in strategies:
+                cfg = base.with_(
+                    nprocs=nprocs,
+                    strategy=strategy,
+                    query_sync=query_sync,
+                    compute=compute,
+                )
+                point = SweepPoint(
+                    strategy=strategy,
+                    query_sync=query_sync,
+                    x=float(speed),
+                    result=run_simulation(cfg),
+                )
+                sweep.add(point)
+                if progress:
+                    progress(point)
+    return sweep

@@ -1,0 +1,134 @@
+"""Text renderings of sweep results: the rows/series the paper reports.
+
+``overall_table`` reproduces the Figure 2/5 line charts as numbers;
+``phase_table`` reproduces the Figure 3/4/6/7 stacked bars; and
+``ratio_table`` prints the paper's headline "WW-List outperforms X by N%"
+comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.phases import Phase
+from ..core.strategies import LABELS
+from .sweeps import SweepResult
+
+
+def _fmt_x(axis_name: str, x: float) -> str:
+    if axis_name == "processes":
+        return str(int(x))
+    return f"{x:g}"
+
+
+def overall_table(sweep: SweepResult, query_sync: bool) -> str:
+    """Overall execution time: one row per x, one column per strategy."""
+    strategies = sweep.strategies()
+    sync_label = "sync" if query_sync else "no-sync"
+    header = f"{sweep.axis_name:>12s}  " + "  ".join(
+        f"{LABELS.get(s, s):>22s}" for s in strategies
+    )
+    lines = [f"Overall Execution Time - {sync_label}", header]
+    for x in sweep.xs():
+        cells = []
+        for s in strategies:
+            try:
+                result = sweep.lookup(s, query_sync, x)
+                cells.append(f"{result.elapsed:>22.2f}")
+            except KeyError:
+                cells.append(f"{'-':>22s}")
+        lines.append(f"{_fmt_x(sweep.axis_name, x):>12s}  " + "  ".join(cells))
+    return "\n".join(lines)
+
+
+def phase_table(sweep: SweepResult, strategy: str, query_sync: bool) -> str:
+    """Mean worker-process phase breakdown per x (the stacked-bar data)."""
+    sync_label = "sync" if query_sync else "no-sync"
+    phases = list(Phase)
+    header = f"{sweep.axis_name:>12s}  " + "  ".join(
+        f"{p.value:>18s}" for p in phases
+    ) + f"  {'total':>10s}"
+    lines = [
+        f"{LABELS.get(strategy, strategy)} - {sync_label}, worker process",
+        header,
+    ]
+    for x in sweep.xs():
+        try:
+            result = sweep.lookup(strategy, query_sync, x)
+        except KeyError:
+            continue
+        mean = result.worker_mean
+        cells = "  ".join(f"{mean[p]:>18.3f}" for p in phases)
+        lines.append(
+            f"{_fmt_x(sweep.axis_name, x):>12s}  {cells}  {mean.total:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def ratio_table(
+    sweep: SweepResult,
+    x: float,
+    baseline: str = "ww-list",
+    paper_ratios: Optional[Dict[str, Dict[bool, float]]] = None,
+) -> str:
+    """Headline comparison at one x: how much each strategy loses to the
+    baseline, as the paper's "outperforms by N%" figures.
+
+    ``paper_ratios[strategy][query_sync]`` optionally carries the paper's
+    reported percentage for side-by-side display.
+    """
+    lines = [f"Ratios vs {LABELS.get(baseline, baseline)} at {sweep.axis_name}={_fmt_x(sweep.axis_name, x)}"]
+    for query_sync in (False, True):
+        sync_label = "sync" if query_sync else "no-sync"
+        try:
+            base = sweep.lookup(baseline, query_sync, x)
+        except KeyError:
+            continue
+        for strategy in sweep.strategies():
+            if strategy == baseline:
+                continue
+            try:
+                other = sweep.lookup(strategy, query_sync, x)
+            except KeyError:
+                continue
+            pct = 100.0 * (other.elapsed / base.elapsed - 1.0)
+            row = (
+                f"  {sync_label:8s} {LABELS.get(strategy, strategy):<24s} "
+                f"measured +{pct:6.0f}%"
+            )
+            if paper_ratios and strategy in paper_ratios:
+                paper = paper_ratios[strategy].get(query_sync)
+                if paper is not None:
+                    row += f"   (paper +{paper:.0f}%)"
+            lines.append(row)
+    return "\n".join(lines)
+
+
+def speedup_series(
+    sweep: SweepResult, strategy: str, query_sync: bool
+) -> List[tuple]:
+    """(x, speedup-vs-first-x) pairs — scaling efficiency of one strategy."""
+    series = sweep.series(strategy, query_sync)
+    if not series:
+        return []
+    base_x, base_result = series[0]
+    return [
+        (x, base_result.elapsed / result.elapsed) for x, result in series
+    ]
+
+
+def crossover_x(
+    sweep: SweepResult, a: str, b: str, query_sync: bool
+) -> Optional[float]:
+    """Smallest x at which strategy ``a`` becomes faster than ``b``
+    (None if it never does)."""
+    xs = sweep.xs()
+    for x in xs:
+        try:
+            ra = sweep.lookup(a, query_sync, x)
+            rb = sweep.lookup(b, query_sync, x)
+        except KeyError:
+            continue
+        if ra.elapsed < rb.elapsed:
+            return x
+    return None

@@ -1,0 +1,276 @@
+"""Command-line interface: ``s3asim run|sweep|trace|validate``.
+
+Examples
+--------
+Run one simulation and print the phase breakdown::
+
+    s3asim run --nprocs 64 --strategy ww-list --query-sync
+
+Reproduce Figure 2's data (reduced axis for speed)::
+
+    s3asim sweep processes --counts 2,8,32,96
+
+Reproduce Figure 5's data::
+
+    s3asim sweep speed --speeds 0.1,1,25.6 --nprocs 64
+
+Render an ASCII Jumpshot timeline::
+
+    s3asim trace --nprocs 8 --strategy ww-coll --width 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import List, Optional
+
+from .analysis import (
+    FIG2_RATIOS_PCT,
+    compute_speed_sweep,
+    overall_table,
+    phase_table,
+    process_scaling_sweep,
+    ratio_table,
+)
+from .cluster.presets import get_preset
+from .core import HybridS3aSim, S3aSim, SimulationConfig
+from .core.scenarios import SCENARIOS, get_scenario
+from .core.phases import Phase
+from .core.strategies import STRATEGIES
+from .trace import TraceRecorder, export_json, render_timeline
+from .workload import ComputeModel, load_workload_kwargs, save_workload
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--nprocs", type=int, default=16)
+    parser.add_argument(
+        "--strategy", choices=sorted(STRATEGIES), default="ww-list"
+    )
+    parser.add_argument("--query-sync", action="store_true")
+    parser.add_argument("--nqueries", type=int, default=20)
+    parser.add_argument("--nfragments", type=int, default=128)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--compute-speed", type=float, default=1.0)
+    parser.add_argument("--write-every", type=int, default=1)
+    parser.add_argument(
+        "--cluster", choices=["feynman", "gige", "modern"], default="feynman"
+    )
+    parser.add_argument(
+        "--store-data",
+        action="store_true",
+        help="generate and verify actual output bytes (slower)",
+    )
+    parser.add_argument(
+        "--workload",
+        help="load workload parameters from a JSON file (see "
+        "repro.workload.save_workload)",
+    )
+    parser.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        help="apply a named historical scenario (mpiblast-1.2, pioblast, ...)",
+    )
+
+
+def _config_from(args: argparse.Namespace) -> SimulationConfig:
+    preset = get_preset(args.cluster)
+    kwargs = dict(
+        nprocs=args.nprocs,
+        strategy=args.strategy,
+        query_sync=args.query_sync,
+        nqueries=args.nqueries,
+        nfragments=args.nfragments,
+        compute=ComputeModel(speed=args.compute_speed),
+        write_every=args.write_every,
+        network=preset.network,
+        pvfs=preset.pvfs,
+        store_data=args.store_data,
+    )
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if getattr(args, "workload", None):
+        with open(args.workload) as fh:
+            loaded = load_workload_kwargs(fh)
+        if args.seed is not None:
+            loaded["seed"] = args.seed
+        loaded["compute"] = ComputeModel(
+            startup_s=loaded["compute"].startup_s,
+            rate_s_per_byte=loaded["compute"].rate_s_per_byte,
+            speed=args.compute_speed,
+            startup_scales=loaded["compute"].startup_scales,
+        )
+        kwargs.update(loaded)
+    config = SimulationConfig(**kwargs)
+    if getattr(args, "scenario", None):
+        config = get_scenario(args.scenario, config)
+    return config
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    cfg = _config_from(args)
+    if getattr(args, "save_workload", None):
+        with open(args.save_workload, "w") as fh:
+            save_workload(cfg, fh)
+        print(f"workload parameters written to {args.save_workload}")
+    result = S3aSim(cfg).run()
+    print(result.summary_line())
+    print()
+    print(f"{'phase':>20s} {'master':>12s} {'worker mean':>12s}")
+    wm = result.worker_mean
+    for phase in Phase:
+        print(
+            f"{phase.value:>20s} {result.master[phase]:>12.3f} {wm[phase]:>12.3f}"
+        )
+    fstat = result.file_stats
+    print()
+    print(
+        f"output file: {fstat.total_bytes} bytes in {fstat.nextents} extent(s), "
+        f"expected {fstat.expected_bytes}, complete={fstat.complete}"
+    )
+    return 0 if fstat.complete else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    cfg = _config_from(args)
+    progress = (
+        (lambda p: print(p.result.summary_line(), file=sys.stderr))
+        if args.verbose
+        else None
+    )
+    if args.axis == "processes":
+        counts = [int(x) for x in args.counts.split(",")]
+        sweep = process_scaling_sweep(cfg, process_counts=counts, progress=progress)
+        headline_x: Optional[float] = float(max(counts))
+    else:
+        speeds = [float(x) for x in args.speeds.split(",")]
+        sweep = compute_speed_sweep(
+            cfg, speeds=speeds, nprocs=args.nprocs, progress=progress
+        )
+        headline_x = float(max(speeds))
+    for query_sync in (False, True):
+        print(overall_table(sweep, query_sync))
+        print()
+    if args.phases:
+        for strategy in sweep.strategies():
+            for query_sync in (False, True):
+                print(phase_table(sweep, strategy, query_sync))
+                print()
+    if headline_x is not None:
+        print(ratio_table(sweep, headline_x, paper_ratios=FIG2_RATIOS_PCT if args.axis == "processes" else None))
+    if args.json:
+        from .analysis import export_json as export_sweep_json
+
+        with open(args.json, "w") as fh:
+            export_sweep_json(sweep, fh)
+        print(f"sweep exported to {args.json}")
+    if args.csv:
+        from .analysis import export_csv as export_sweep_csv
+
+        with open(args.csv, "w") as fh:
+            export_sweep_csv(sweep, fh)
+        print(f"sweep exported to {args.csv}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    cfg = _config_from(args)
+    recorder = TraceRecorder()
+    S3aSim(cfg, recorder=recorder).run()
+    print(render_timeline(recorder, width=args.width))
+    if args.output:
+        with open(args.output, "w") as fh:
+            export_json(recorder, fh)
+        print(f"trace written to {args.output}")
+    return 0
+
+
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    cfg = _config_from(args)
+    result = HybridS3aSim(cfg, args.partitions).run()
+    print(result.summary_line())
+    for index, part in enumerate(result.partition_results):
+        print(f"  partition {index}: {part.summary_line()}")
+    print("complete:", result.complete)
+    return 0 if result.complete else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    cfg = _config_from(args).with_(store_data=True)
+    reference = None
+    status = 0
+    for strategy in sorted(STRATEGIES):
+        app = S3aSim(cfg.with_(strategy=strategy))
+        result = app.run()
+        store = app.fh.file.bytestore
+        if reference is None:
+            reference, ref_name = store, strategy
+            same = True
+        else:
+            same = reference.content_equal(store)
+        ok = result.file_stats.complete and same
+        status |= 0 if ok else 1
+        print(
+            f"{strategy:10s} complete={result.file_stats.complete} "
+            f"matches[{ref_name}]={same}"
+        )
+    print("VALIDATION", "PASSED" if status == 0 else "FAILED")
+    return status
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="s3asim",
+        description="S3aSim: sequence-search I/O strategy simulator (HPDC'06 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one simulation")
+    _add_common(p_run)
+    p_run.add_argument(
+        "--save-workload", help="write the run's workload parameters to a JSON file"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run a parameter sweep (Fig 2/5)")
+    p_sweep.add_argument("axis", choices=["processes", "speed"])
+    _add_common(p_sweep)
+    p_sweep.add_argument("--counts", default="2,4,8,16,32,48,64,96")
+    p_sweep.add_argument("--speeds", default="0.1,0.2,0.4,0.8,1.6,3.2,6.4,12.8,25.6")
+    p_sweep.add_argument("--phases", action="store_true", help="print phase tables")
+    p_sweep.add_argument("--verbose", action="store_true")
+    p_sweep.add_argument("--json", help="export the sweep to this JSON file")
+    p_sweep.add_argument("--csv", help="export the sweep to this CSV file")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_trace = sub.add_parser("trace", help="run once and render a timeline")
+    _add_common(p_trace)
+    p_trace.add_argument("--width", type=int, default=100)
+    p_trace.add_argument("--output", help="write JSON trace to this path")
+    p_trace.set_defaults(func=_cmd_trace)
+
+    p_val = sub.add_parser(
+        "validate", help="verify byte-identical output across strategies"
+    )
+    _add_common(p_val)
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_hybrid = sub.add_parser(
+        "hybrid",
+        help="hybrid query/database segmentation (paper future work)",
+    )
+    _add_common(p_hybrid)
+    p_hybrid.add_argument("--partitions", type=int, default=2)
+    p_hybrid.set_defaults(func=_cmd_hybrid)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""Cluster presets (Feynman and variants)."""
+
+from .presets import (
+    PRESETS,
+    ClusterPreset,
+    bigger_filesystem,
+    feynman,
+    get_preset,
+    gigabit_ethernet_cluster,
+    modern_nvme_cluster,
+)
+
+__all__ = [
+    "PRESETS",
+    "ClusterPreset",
+    "bigger_filesystem",
+    "feynman",
+    "get_preset",
+    "gigabit_ethernet_cluster",
+    "modern_nvme_cluster",
+]

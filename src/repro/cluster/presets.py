@@ -1,0 +1,115 @@
+"""Machine presets: the paper's test environment and variations.
+
+The paper ran on Sandia's Feynman cluster (Section 3.2): dual 2.0 GHz
+Pentium-4 Xeon Europa nodes with 1 GB RDRAM, Myrinet-2000, RedHat
+Enterprise Linux, and a 16-computer PVFS2 volume with 64 KiB strips
+(1 MiB full stripe) where one server doubled as metadata server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..mpi.network import KIB, MIB, NetworkConfig
+from ..pvfs.disk import DiskModel
+from ..pvfs.filesystem import PVFSConfig
+
+
+@dataclass(frozen=True)
+class ClusterPreset:
+    """A named machine configuration."""
+
+    name: str
+    description: str
+    network: NetworkConfig
+    pvfs: PVFSConfig
+    procs_per_node: int = 2
+
+    def with_pvfs(self, **kwargs) -> "ClusterPreset":
+        return replace(self, pvfs=replace(self.pvfs, **kwargs))
+
+    def with_network(self, **kwargs) -> "ClusterPreset":
+        return replace(self, network=replace(self.network, **kwargs))
+
+
+def feynman() -> ClusterPreset:
+    """The paper's environment (our calibrated stand-in)."""
+    return ClusterPreset(
+        name="feynman",
+        description=(
+            "Sandia Feynman / Europa nodes: dual 2.0 GHz Xeon, Myrinet-2000, "
+            "16-server PVFS2 with 64 KiB strips"
+        ),
+        network=NetworkConfig.myrinet2000(),
+        pvfs=PVFSConfig.feynman(),
+        procs_per_node=2,
+    )
+
+
+def bigger_filesystem(nservers: int = 32) -> ClusterPreset:
+    """The paper's conjecture: "A larger file system configuration with
+    more I/O bandwidth may have provided more scalable I/O performance."
+    """
+    base = feynman()
+    return replace(
+        base,
+        name=f"feynman-{nservers}srv",
+        description=f"Feynman variant with {nservers} PVFS2 servers",
+        pvfs=replace(base.pvfs, nservers=nservers),
+    )
+
+
+def gigabit_ethernet_cluster() -> ClusterPreset:
+    """A contemporary commodity alternative: GigE instead of Myrinet."""
+    return ClusterPreset(
+        name="gige",
+        description="commodity cluster on gigabit ethernet",
+        network=NetworkConfig(
+            latency_s=50e-6, bandwidth_Bps=110 * MIB, eager_threshold_B=64 * KIB
+        ),
+        pvfs=replace(
+            PVFSConfig.feynman(),
+            network=NetworkConfig(latency_s=50e-6, bandwidth_Bps=110 * MIB),
+        ),
+        procs_per_node=2,
+    )
+
+
+def modern_nvme_cluster() -> ClusterPreset:
+    """A forward-looking variant: fast network + low-latency storage — the
+    future the paper argues I/O strategy will matter for."""
+    return ClusterPreset(
+        name="modern",
+        description="fast-network, NVMe-like storage variant",
+        network=NetworkConfig(latency_s=1.5e-6, bandwidth_Bps=3000 * MIB),
+        pvfs=replace(
+            PVFSConfig.feynman(),
+            network=NetworkConfig(latency_s=1.5e-6, bandwidth_Bps=3000 * MIB),
+            disk=DiskModel(
+                op_overhead_s=3e-5,
+                region_overhead_s=2e-6,
+                seek_penalty_s=1e-5,
+                bandwidth_Bps=2000 * MIB,
+                sync_s=5e-5,
+            ),
+            client_pipeline_Bps=1500 * MIB,
+        ),
+        procs_per_node=8,
+    )
+
+
+PRESETS = {
+    "feynman": feynman,
+    "gige": gigabit_ethernet_cluster,
+    "modern": modern_nvme_cluster,
+}
+
+
+def get_preset(name: str) -> ClusterPreset:
+    try:
+        return PRESETS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown cluster preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None

@@ -1,0 +1,83 @@
+"""S3aSim core: the simulator of parallel sequence-search I/O strategies."""
+
+from .app import S3aSim, run_simulation
+from .hybrid import HybridResult, HybridS3aSim, run_hybrid
+from .validate import (
+    build_reference_bytestore,
+    reference_layout,
+    verify_against_reference,
+)
+from .config import PAPER_SEED, SimulationConfig, Workload
+from .master import Master
+from .offsets import OffsetLedger, ScoredBatchMeta, merge_query, validate_assignment
+from .phases import Phase, PhaseReport, PhaseTimer
+from .queryseg import (
+    DEFAULT_WORKER_MEMORY_B,
+    QuerySegS3aSim,
+    run_query_segmentation,
+)
+from .protocol import (
+    MASTER_RANK,
+    OffsetEntry,
+    OffsetMessage,
+    ScoreMessage,
+    TaskAssignment,
+    WrittenNotice,
+)
+from .report import FileStats, RunResult
+from .scenarios import SCENARIOS, get_scenario
+from .strategies import (
+    LABELS,
+    MASTER_WRITING,
+    STRATEGIES,
+    WORKER_COLLECTIVE,
+    WORKER_LIST,
+    WORKER_POSIX,
+    IOStrategy,
+    get_strategy,
+)
+from .worker import Worker
+
+__all__ = [
+    "FileStats",
+    "HybridResult",
+    "HybridS3aSim",
+    "IOStrategy",
+    "LABELS",
+    "MASTER_RANK",
+    "MASTER_WRITING",
+    "Master",
+    "OffsetEntry",
+    "OffsetLedger",
+    "OffsetMessage",
+    "PAPER_SEED",
+    "Phase",
+    "PhaseReport",
+    "PhaseTimer",
+    "QuerySegS3aSim",
+    "RunResult",
+    "SCENARIOS",
+    "S3aSim",
+    "STRATEGIES",
+    "ScoreMessage",
+    "ScoredBatchMeta",
+    "SimulationConfig",
+    "TaskAssignment",
+    "WORKER_COLLECTIVE",
+    "WORKER_LIST",
+    "WORKER_POSIX",
+    "Worker",
+    "Workload",
+    "WrittenNotice",
+    "build_reference_bytestore",
+    "get_scenario",
+    "get_strategy",
+    "merge_query",
+    "reference_layout",
+    "DEFAULT_WORKER_MEMORY_B",
+    "run_hybrid",
+    "run_query_segmentation",
+    "run_simulation",
+    "validate_assignment",
+    "verify_against_reference",
+]

@@ -1,0 +1,298 @@
+"""The master process — Algorithm 1 of the paper.
+
+The master hands out (query, fragment) tasks on request (self-scheduling),
+gathers sorted score lists (plus payloads under master-writing), merges
+them, and — depending on the strategy — either writes completed queries
+itself or answers workers with file-offset lists.
+
+Completed write groups are dispatched strictly in query order because a
+query's block base is only known once all earlier queries' sizes are in
+(see :class:`~repro.core.offsets.OffsetLedger`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from .. import mpi
+from ..mpiio.file import MPIIOFile
+from .config import SimulationConfig
+from .offsets import OffsetLedger, ScoredBatchMeta, merge_query
+from .phases import Phase, PhaseTimer
+from .protocol import (
+    ASSIGN_BYTES,
+    NOTICE_BYTES,
+    OffsetEntry,
+    OffsetMessage,
+    ScoreMessage,
+    TAG_ASSIGN,
+    TAG_OFFSETS,
+    TAG_REQUEST,
+    TAG_SCORES,
+    TAG_WRITTEN,
+    TaskAssignment,
+    WrittenNotice,
+)
+
+
+class Master:
+    """State machine of the master rank."""
+
+    def __init__(
+        self,
+        comm,
+        cfg: SimulationConfig,
+        fh: MPIIOFile,
+        recorder=None,
+        resume_block_sizes: Optional[List[int]] = None,
+    ) -> None:
+        self.comm = comm
+        self.cfg = cfg
+        self.fh = fh
+        self.strategy = cfg.io_strategy()
+        self.timer = PhaseTimer(comm.env, rank=comm.rank, recorder=recorder)
+
+        # Task queue in (query, fragment) order; a resumed run skips the
+        # queries already written by the failed run.
+        self.tasks: List[TaskAssignment] = [
+            TaskAssignment(q, f)
+            for q in range(cfg.resume_from_query, cfg.nqueries)
+            for f in range(cfg.nfragments)
+        ]
+        self.next_task = 0
+
+        # Gathered score metadata: query -> fragment -> meta.
+        self.received: Dict[int, Dict[int, ScoredBatchMeta]] = {}
+        self.payloads: Dict[Tuple[int, int], Optional[List[bytes]]] = {}
+        self.task_owner: Dict[Tuple[int, int], int] = {}
+
+        self.ledger = OffsetLedger(cfg.nqueries)
+        if cfg.resume_from_query:
+            # Pre-seed the ledger with the completed run's block sizes
+            # (on a real resume the master reads them from the partial
+            # output's index).
+            if (
+                resume_block_sizes is None
+                or len(resume_block_sizes) != cfg.resume_from_query
+            ):
+                raise ValueError(
+                    "resuming requires one prior block size per skipped query"
+                )
+            for q, size in enumerate(resume_block_sizes):
+                self.ledger.base_for(q, size)
+        self.groups_dispatched = cfg.resume_group
+        self.pending_requests: deque = deque()
+        self.done_workers = 0
+        self.pending_sends: List = []
+
+    # -- assignability ----------------------------------------------------
+    def _task_assignable(self) -> bool:
+        if self.next_task >= len(self.tasks):
+            return False
+        if not self.strategy.gates_assignment:
+            return True
+        # WW-Coll: only hand out tasks of the current write group.
+        group = self.cfg.group_of(self.tasks[self.next_task].query_id)
+        return group <= self.groups_dispatched
+
+    def _tasks_exhausted(self) -> bool:
+        return self.next_task >= len(self.tasks)
+
+    def _group_complete(self, group: int) -> bool:
+        for q in self.cfg.queries_in_group(group):
+            got = self.received.get(q)
+            if got is None or len(got) < self.cfg.nfragments:
+                return False
+        return True
+
+    # -- main loop -------------------------------------------------------------
+    def run(self):
+        """Process fragment: the master's whole life."""
+        comm, cfg, timer = self.comm, self.cfg, self.timer
+
+        # Setup: distribute input variables to the workers (step 1).
+        yield from timer.measure(
+            Phase.SETUP,
+            mpi.bcast(comm, 0, 256, {"nqueries": cfg.nqueries, "nfragments": cfg.nfragments}),
+        )
+
+        request_recv = comm.irecv(tag=TAG_REQUEST)
+        score_recv = comm.irecv(tag=TAG_SCORES)
+
+        while self.groups_dispatched < cfg.ngroups or self.done_workers < cfg.nworkers:
+            yield from self._make_progress()
+
+            if self.groups_dispatched >= cfg.ngroups and self.done_workers >= cfg.nworkers:
+                break
+
+            # Wait for the next worker message (request or scores).
+            start = comm.env.now
+            yield request_recv.done_event | score_recv.done_event
+            timer.add_span(Phase.DATA_DISTRIBUTION, start)
+
+            if request_recv.completed:
+                worker = request_recv.done_event.value
+                request_recv = comm.irecv(tag=TAG_REQUEST)
+                yield from self._handle_request(worker)
+
+            if score_recv.completed:
+                message: ScoreMessage = score_recv.done_event.value
+                score_recv = comm.irecv(tag=TAG_SCORES)
+                yield from self._handle_scores(message)
+
+        # Drain any in-flight offset/notice sends before the final barrier.
+        for send in self.pending_sends:
+            yield from timer.measure(Phase.GATHER, send.wait())
+        yield from timer.measure(Phase.SYNC, mpi.barrier(comm))
+        timer.finish()
+        return timer.report()
+
+    # -- progress: serve deferred requests, dispatch completed groups ---------
+    def _make_progress(self):
+        cfg = self.cfg
+        moved = True
+        while moved:
+            moved = False
+            # Dispatch completed groups in order.
+            while (
+                self.groups_dispatched < cfg.ngroups
+                and self._group_complete(self.groups_dispatched)
+            ):
+                yield from self._dispatch_group(self.groups_dispatched)
+                self.groups_dispatched += 1
+                moved = True
+            # Serve deferred work requests that became assignable.
+            while self.pending_requests and self._task_assignable():
+                yield from self._respond(self.pending_requests.popleft())
+                moved = True
+            # Terminate waiting workers once no tasks remain.
+            while self.pending_requests and self._tasks_exhausted():
+                yield from self._send_no_more_work(self.pending_requests.popleft())
+                moved = True
+
+    # -- request handling -----------------------------------------------------------
+    def _handle_request(self, worker: int):
+        if self._task_assignable():
+            yield from self._respond(worker)
+        elif self._tasks_exhausted():
+            yield from self._send_no_more_work(worker)
+        else:
+            # WW-Coll gating: park the request until the group advances.
+            self.pending_requests.append(worker)
+            return
+
+    def _respond(self, worker: int):
+        task = self.tasks[self.next_task]
+        self.next_task += 1
+        self.task_owner[(task.query_id, task.fragment_id)] = worker
+        yield from self.timer.measure(
+            Phase.DATA_DISTRIBUTION,
+            self.comm.send(worker, TAG_ASSIGN, ASSIGN_BYTES, task),
+        )
+
+    def _send_no_more_work(self, worker: int):
+        self.done_workers += 1
+        yield from self.timer.measure(
+            Phase.DATA_DISTRIBUTION,
+            self.comm.send(worker, TAG_ASSIGN, ASSIGN_BYTES, None),
+        )
+
+    # -- score handling ---------------------------------------------------------------
+    def _handle_scores(self, message: ScoreMessage):
+        meta = ScoredBatchMeta(
+            query_id=message.query_id,
+            fragment_id=message.fragment_id,
+            scores=message.scores,
+            sizes=message.sizes,
+        )
+        key = (message.query_id, message.fragment_id)
+        self.received.setdefault(message.query_id, {})[message.fragment_id] = meta
+        if message.payloads is not None:
+            self.payloads[key] = message.payloads
+        # The master merges the ordered scores with its own ordered list.
+        cost = self.cfg.merge.merge_time(meta.count, 16 * meta.count)
+        yield from self.timer.sleep(Phase.GATHER, cost)
+
+    # -- group dispatch ----------------------------------------------------------------
+    def _dispatch_group(self, group: int):
+        if self.strategy.master_writes:
+            yield from self._write_group(group)
+            if self.cfg.query_sync:
+                yield from self._notify_group_written(group)
+        else:
+            yield from self._send_offsets(group)
+
+    def _merge_group(self, group: int):
+        """Offsets for every query of the group; returns per-worker entries."""
+        per_worker: Dict[int, List[OffsetEntry]] = {}
+        blocks = []
+        for q in self.cfg.queries_in_group(group):
+            batches = list(self.received[q].values())
+            total = sum(b.total_bytes for b in batches)
+            base = self.ledger.base_for(q, total)
+            offsets_by_frag, block_size = merge_query(batches, base)
+            blocks.append((q, base, block_size))
+            for frag, offsets in offsets_by_frag.items():
+                worker = self.task_owner[(q, frag)]
+                per_worker.setdefault(worker, []).append(
+                    OffsetEntry(query_id=q, fragment_id=frag, offsets=offsets)
+                )
+        return per_worker, blocks
+
+    def _send_offsets(self, group: int):
+        per_worker, _ = self._merge_group(group)
+        broadcast = self.strategy.collective or self.cfg.query_sync
+        targets = (
+            range(1, self.cfg.nprocs) if broadcast else sorted(per_worker.keys())
+        )
+        for worker in targets:
+            message = OffsetMessage(
+                group=group, entries=tuple(per_worker.get(worker, ()))
+            )
+            self.pending_sends.append(
+                self.comm.isend(worker, TAG_OFFSETS, message.wire_bytes(), message)
+            )
+        # isend: the master moves on; completions are drained at exit.
+        if False:  # pragma: no cover - keeps this a generator
+            yield None
+
+    def _write_group(self, group: int):
+        """Master-writing: one large contiguous write per completed query."""
+        _, blocks = self._merge_group_mw(group)
+        for q, base, block_size, data in blocks:
+            yield from self.timer.measure(
+                Phase.IO,
+                self.fh.write_at(self.comm.global_rank, base, block_size, data),
+            )
+
+    def _merge_group_mw(self, group: int):
+        blocks = []
+        for q in self.cfg.queries_in_group(group):
+            batches = list(self.received[q].values())
+            total = sum(b.total_bytes for b in batches)
+            base = self.ledger.base_for(q, total)
+            offsets_by_frag, block_size = merge_query(batches, base)
+            data: Optional[bytes] = None
+            if self.cfg.store_data:
+                block = bytearray(block_size)
+                for frag, offsets in offsets_by_frag.items():
+                    meta = self.received[q][frag]
+                    payloads = self.payloads.get((q, frag))
+                    if payloads is None:
+                        continue
+                    for off, size, chunk in zip(offsets, meta.sizes, payloads):
+                        pos = int(off) - base
+                        block[pos : pos + int(size)] = chunk
+                data = bytes(block)
+            blocks.append((q, base, block_size, data))
+        return None, blocks
+
+    def _notify_group_written(self, group: int):
+        notice = WrittenNotice(group=group)
+        for worker in range(1, self.cfg.nprocs):
+            self.pending_sends.append(
+                self.comm.isend(worker, TAG_WRITTEN, NOTICE_BYTES, notice)
+            )
+        if False:  # pragma: no cover - keeps this a generator
+            yield None

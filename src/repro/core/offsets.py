@@ -1,0 +1,169 @@
+"""Score merging and output-file offset assignment (master-side logic).
+
+The output file is a sequence of per-query blocks in query order; within a
+block, results from every fragment appear in descending score order (ties
+broken by (fragment, index) for full determinism).  Workers send sorted
+per-(query, fragment) score lists; the master merges them and answers with
+"a list of 64-bit offsets sent to each worker with results" (Section 2.2).
+
+Pure functions — no simulation time here; the master charges merge costs
+separately via :class:`~repro.workload.compute.MergeModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScoredBatchMeta:
+    """What the master knows about one (query, fragment) batch: the sorted
+    scores and per-result sizes (not the payloads, unless master-writing)."""
+
+    query_id: int
+    fragment_id: int
+    scores: np.ndarray
+    sizes: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.scores) != len(self.sizes):
+            raise ValueError("scores and sizes must align")
+
+    @property
+    def count(self) -> int:
+        return len(self.scores)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.sizes.sum()) if self.count else 0
+
+
+def merge_query(
+    batches: Sequence[ScoredBatchMeta], base_offset: int
+) -> Tuple[Dict[int, np.ndarray], int]:
+    """Assign file offsets to every result of one query.
+
+    Parameters
+    ----------
+    batches:
+        One entry per fragment of the query (any order); each already
+        sorted by descending score.
+    base_offset:
+        File offset where this query's block starts.
+
+    Returns
+    -------
+    (offsets_by_fragment, block_size):
+        ``offsets_by_fragment[f][i]`` is the absolute file offset of result
+        ``i`` of fragment ``f`` *in the fragment's own (score-sorted)
+        order*; ``block_size`` is the query's total output bytes.
+    """
+    if not batches:
+        return {}, 0
+    query_ids = {b.query_id for b in batches}
+    if len(query_ids) != 1:
+        raise ValueError(f"batches span multiple queries: {sorted(query_ids)}")
+    frag_ids = [b.fragment_id for b in batches]
+    if len(set(frag_ids)) != len(frag_ids):
+        raise ValueError("duplicate fragment in merge")
+
+    scores = np.concatenate([b.scores for b in batches]) if batches else np.zeros(0)
+    sizes = np.concatenate([b.sizes for b in batches])
+    frags = np.concatenate(
+        [np.full(b.count, b.fragment_id, dtype=np.int64) for b in batches]
+    )
+    index_in_batch = np.concatenate(
+        [np.arange(b.count, dtype=np.int64) for b in batches]
+    )
+
+    # Global order: descending score, ties by (fragment, index).
+    order = np.lexsort((index_in_batch, frags, -scores))
+    ends = np.cumsum(sizes[order])
+    starts = base_offset + ends - sizes[order]
+
+    offsets_by_fragment: Dict[int, np.ndarray] = {}
+    for b in batches:
+        mask = frags[order] == b.fragment_id
+        # Positions of this fragment's results in the global order appear in
+        # the fragment's own descending-score order because lexsort is
+        # stable within equal keys and each batch is pre-sorted.
+        offsets_by_fragment[b.fragment_id] = starts[mask]
+
+    return offsets_by_fragment, int(sizes.sum())
+
+
+def validate_assignment(
+    offsets_by_fragment: Dict[int, np.ndarray],
+    sizes_by_fragment: Dict[int, np.ndarray],
+    base_offset: int,
+    block_size: int,
+) -> None:
+    """Raise if the assignment is not a dense, non-overlapping tiling of
+    [base_offset, base_offset + block_size)."""
+    spans: List[Tuple[int, int]] = []
+    for frag, offsets in offsets_by_fragment.items():
+        sizes = sizes_by_fragment[frag]
+        if len(offsets) != len(sizes):
+            raise ValueError(f"fragment {frag}: offsets/sizes mismatch")
+        spans.extend(
+            (int(o), int(o + s)) for o, s in zip(offsets, sizes)
+        )
+    spans.sort()
+    cursor = base_offset
+    for start, end in spans:
+        if start != cursor:
+            raise ValueError(f"gap or overlap at {cursor} (next span at {start})")
+        cursor = end
+    if cursor != base_offset + block_size:
+        raise ValueError(
+            f"block ends at {cursor}, expected {base_offset + block_size}"
+        )
+
+
+class OffsetLedger:
+    """Tracks per-query block bases as queries complete in order.
+
+    Query blocks are laid out in query-id order; query ``q``'s base is only
+    known once the sizes of all earlier queries are in.  The master feeds
+    completed queries in ascending order (its scheduler completes them that
+    way) and reads back absolute bases.
+    """
+
+    def __init__(self, nqueries: int) -> None:
+        if nqueries <= 0:
+            raise ValueError("nqueries must be positive")
+        self.nqueries = nqueries
+        self._block_sizes: List[int] = []
+
+    @property
+    def next_query(self) -> int:
+        """The query id whose base the ledger can assign next."""
+        return len(self._block_sizes)
+
+    @property
+    def assigned_bytes(self) -> int:
+        return sum(self._block_sizes)
+
+    def base_for(self, query_id: int, block_size: int) -> int:
+        """Record ``query_id``'s block and return its base offset."""
+        if query_id != self.next_query:
+            raise ValueError(
+                f"queries must be assigned in order (expected {self.next_query}, "
+                f"got {query_id})"
+            )
+        if block_size < 0:
+            raise ValueError("block_size must be non-negative")
+        base = self.assigned_bytes
+        self._block_sizes.append(block_size)
+        return base
+
+    def complete(self) -> bool:
+        return len(self._block_sizes) == self.nqueries
+
+    def total_bytes(self) -> int:
+        if not self.complete():
+            raise ValueError("ledger incomplete")
+        return self.assigned_bytes

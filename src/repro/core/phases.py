@@ -1,0 +1,149 @@
+"""Timing phases — S3aSim's execution-time decomposition (paper Section 3).
+
+Every rank accumulates simulated time into the eight phases the paper
+defines: Setup, Data Distribution, Compute, Merge Results, Gather Results,
+I/O, Sync, and Other (the remainder).  Figures 3, 4, 6, and 7 are stacked
+bars of exactly these buckets for the worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+from ..sim import Environment
+
+
+class Phase(str, Enum):
+    """The paper's timing phases."""
+
+    SETUP = "setup"
+    DATA_DISTRIBUTION = "data_distribution"
+    COMPUTE = "compute"
+    MERGE = "merge_results"
+    GATHER = "gather_results"
+    IO = "io"
+    SYNC = "sync"
+    OTHER = "other"
+
+    @classmethod
+    def measured(cls) -> List["Phase"]:
+        """Phases accumulated directly (OTHER is derived)."""
+        return [p for p in cls if p is not cls.OTHER]
+
+
+class PhaseTimer:
+    """Accumulates per-phase simulated time for one rank.
+
+    With a ``recorder`` attached (any object exposing
+    ``record(rank, state, start, end)``, e.g.
+    :class:`repro.trace.TraceRecorder`), every measured span also becomes a
+    timeline interval — S3aSim's MPE/Jumpshot-style tracing.
+    """
+
+    def __init__(self, env: Environment, rank: int = -1, recorder=None) -> None:
+        self.env = env
+        self.rank = rank
+        self.recorder = recorder
+        self.times: Dict[Phase, float] = {p: 0.0 for p in Phase.measured()}
+        self.started_at: float = env.now
+        self.finished_at: Optional[float] = None
+
+    def _record(self, phase: Phase, start: float) -> None:
+        if self.recorder is not None and self.env.now > start:
+            self.recorder.record(self.rank, phase.value, start, self.env.now)
+
+    def __repr__(self) -> str:
+        spent = {p.value: round(t, 6) for p, t in self.times.items() if t}
+        return f"<PhaseTimer {spent}>"
+
+    def add(self, phase: Phase, seconds: float) -> None:
+        """Directly credit ``seconds`` to ``phase``."""
+        if seconds < 0:
+            raise ValueError("cannot credit negative time")
+        if phase is Phase.OTHER:
+            raise ValueError("OTHER is derived; credit a measured phase")
+        self.times[phase] += seconds
+
+    def add_span(self, phase: Phase, start: float) -> None:
+        """Credit the span from ``start`` to now (and trace it)."""
+        self.add(phase, self.env.now - start)
+        self._record(phase, start)
+
+    def measure(self, phase: Phase, fragment):
+        """Process fragment: run ``fragment`` crediting its span to ``phase``.
+
+        Usage inside rank code: ``x = yield from timer.measure(Phase.IO,
+        fs.write(...))``.
+        """
+        start = self.env.now
+        result = yield from fragment
+        self.times[phase] += self.env.now - start
+        self._record(phase, start)
+        return result
+
+    def wait(self, phase: Phase, event):
+        """Process fragment: wait on a kernel event, crediting the wait."""
+        start = self.env.now
+        value = yield event
+        self.times[phase] += self.env.now - start
+        self._record(phase, start)
+        return value
+
+    def sleep(self, phase: Phase, seconds: float):
+        """Process fragment: spend ``seconds`` of simulated time in
+        ``phase`` (models local CPU work like searching or merging)."""
+        if seconds < 0:
+            raise ValueError("cannot sleep negative time")
+        start = self.env.now
+        yield self.env.timeout(seconds)
+        self.times[phase] += self.env.now - start
+        self._record(phase, start)
+
+    def finish(self) -> None:
+        """Mark the rank's end time (for the OTHER remainder)."""
+        self.finished_at = self.env.now
+
+    def report(self) -> "PhaseReport":
+        end = self.finished_at if self.finished_at is not None else self.env.now
+        return PhaseReport.from_times(self.times, end - self.started_at)
+
+
+@dataclass(frozen=True)
+class PhaseReport:
+    """Immutable snapshot: per-phase seconds plus the derived OTHER bucket."""
+
+    times: Dict[Phase, float]
+    total: float
+
+    @classmethod
+    def from_times(cls, times: Dict[Phase, float], total: float) -> "PhaseReport":
+        measured = {p: times.get(p, 0.0) for p in Phase.measured()}
+        other = max(0.0, total - sum(measured.values()))
+        full = dict(measured)
+        full[Phase.OTHER] = other
+        return cls(times=full, total=total)
+
+    def __getitem__(self, phase: Phase) -> float:
+        return self.times[phase]
+
+    def get(self, phase: Phase, default: float = 0.0) -> float:
+        return self.times.get(phase, default)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {p.value: self.times[p] for p in Phase}
+
+    @staticmethod
+    def mean(reports: Iterable["PhaseReport"]) -> "PhaseReport":
+        """Average of several ranks' reports (the paper plots the mean
+        worker-process breakdown)."""
+        reports = list(reports)
+        if not reports:
+            raise ValueError("need at least one report")
+        n = len(reports)
+        times = {
+            p: sum(r.times[p] for r in reports) / n for p in Phase
+        }
+        total = sum(r.total for r in reports) / n
+        return PhaseReport(times=times, total=total)

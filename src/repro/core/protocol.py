@@ -1,0 +1,93 @@
+"""Wire protocol between the S3aSim master and workers.
+
+Message kinds and their (simulated) wire sizes.  The paper's Algorithms 1
+and 2 exchange: work requests, task assignments / termination notices,
+score (+result) messages, offset lists, and — for master-writing with the
+query-sync option — write-completion notices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+MASTER_RANK = 0
+
+TAG_REQUEST = 1  # worker -> master: "give me work"
+TAG_ASSIGN = 2  # master -> worker: TaskAssignment or NoMoreWork (None)
+TAG_SCORES = 3  # worker -> master: ScoreMessage
+TAG_OFFSETS = 4  # master -> worker: OffsetMessage (parallel-I/O modes)
+TAG_WRITTEN = 5  # master -> worker: WrittenNotice (MW + query sync)
+
+REQUEST_BYTES = 16
+ASSIGN_BYTES = 16
+NOTICE_BYTES = 16
+_HEADER_BYTES = 32
+
+
+@dataclass(frozen=True)
+class TaskAssignment:
+    """One unit of work: search ``query_id`` against ``fragment_id``."""
+
+    query_id: int
+    fragment_id: int
+
+
+@dataclass(frozen=True)
+class ScoreMessage:
+    """Worker → master after finishing a task.
+
+    Under worker-writing strategies only the sorted scores and sizes
+    travel; under master-writing the result payload rides along (its bytes
+    are charged on the wire even when content generation is disabled).
+    """
+
+    query_id: int
+    fragment_id: int
+    worker: int
+    scores: np.ndarray
+    sizes: np.ndarray
+    payload_bytes: int = 0
+    payloads: Optional[List[bytes]] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.scores)
+
+    def wire_bytes(self) -> int:
+        return _HEADER_BYTES + 16 * self.count + self.payload_bytes
+
+
+@dataclass(frozen=True)
+class OffsetEntry:
+    """File offsets for one (query, fragment) batch, in batch order."""
+
+    query_id: int
+    fragment_id: int
+    offsets: np.ndarray
+
+
+@dataclass(frozen=True)
+class OffsetMessage:
+    """Master → worker: where to write the worker's results of one write
+    group.  ``entries`` may be empty — the worker still needs the message
+    as a group boundary for collective writes and query-sync barriers."""
+
+    group: int
+    entries: Tuple[OffsetEntry, ...]
+
+    def wire_bytes(self) -> int:
+        return _HEADER_BYTES + sum(16 + 8 * len(e.offsets) for e in self.entries)
+
+    @property
+    def count(self) -> int:
+        return sum(len(e.offsets) for e in self.entries)
+
+
+@dataclass(frozen=True)
+class WrittenNotice:
+    """Master → worker: group's results are on disk (MW + query sync)."""
+
+    group: int

@@ -1,0 +1,361 @@
+"""Query segmentation — the baseline the paper's introduction argues against.
+
+"In this approach, the entire sequence database is replicated to all
+processors and a set of query sequences are segmented into fractions.
+Each processor searches a fraction of query sequences against the entire
+sequence database.  When the sequence database does not fit into the
+processor memory, query segmentation suffers repeated I/O introduced by
+loading sequence data back and forth between the file system and the main
+memory."  (Section 1)
+
+This module implements that tool shape over the same substrates, so the
+intro's two structural claims become measurable:
+
+* **repeated I/O** — each worker owns a whole query and must stream every
+  database byte that does not fit in its memory, *per query*, from the
+  shared file system (a `/database` file on the simulated PVFS2 volume);
+* **under-utilization** — one query is the unit of work, so at most
+  ``nqueries`` workers are ever busy ("result in resource
+  under-utilization ... when the number of sequences is relatively small
+  compared to the number of processors").
+
+Search results are identical to the database-segmentation runs (same
+deterministic generator), so the output file remains byte-comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import mpi
+from ..mpi.world import MpiWorld
+from ..mpiio.file import MPIIOFile
+from ..pvfs.filesystem import FileSystem, PVFSFile
+from ..workload.results import result_payload
+from .config import SimulationConfig, Workload
+from .offsets import OffsetLedger, ScoredBatchMeta, merge_query
+from .phases import Phase, PhaseTimer
+from .report import FileStats, RunResult
+
+TAG_REQUEST = 11
+TAG_ASSIGN = 12
+TAG_SIZE = 13
+TAG_BASE = 14
+
+_CONTROL_BYTES = 16
+_DB_PATH = "/s3asim/database"
+_READ_CHUNK_B = 16 * 1024 * 1024
+
+MIB = 1024 * 1024
+#: Per-process memory available for caching database fragments.  Feynman
+#: nodes had 1 GB RDRAM shared by two ranks; leave room for the
+#: application.
+DEFAULT_WORKER_MEMORY_B = 384 * MIB
+
+
+class QuerySegMaster:
+    """Hands out whole queries; serializes output-block base offsets."""
+
+    def __init__(self, comm, cfg: SimulationConfig, recorder=None) -> None:
+        self.comm = comm
+        self.cfg = cfg
+        self.timer = PhaseTimer(comm.env, rank=comm.rank, recorder=recorder)
+        self.next_query = 0
+        self.ledger = OffsetLedger(cfg.nqueries)
+        self.sizes: Dict[int, int] = {}
+        self.owners: Dict[int, int] = {}
+        self.done_workers = 0
+        self.bases_sent = 0
+        self.pending_sends: List = []
+
+    def run(self):
+        comm, cfg, timer = self.comm, self.cfg, self.timer
+        yield from timer.measure(
+            Phase.SETUP, mpi.bcast(comm, 0, 256, {"nqueries": cfg.nqueries})
+        )
+
+        request_recv = comm.irecv(tag=TAG_REQUEST)
+        size_recv = comm.irecv(tag=TAG_SIZE)
+
+        while self.bases_sent < cfg.nqueries or self.done_workers < cfg.nworkers:
+            self._advance_ledger()
+            if (
+                self.bases_sent >= cfg.nqueries
+                and self.done_workers >= cfg.nworkers
+            ):
+                break
+            start = comm.env.now
+            yield request_recv.done_event | size_recv.done_event
+            timer.add_span(Phase.DATA_DISTRIBUTION, start)
+
+            if request_recv.completed:
+                worker = request_recv.done_event.value
+                request_recv = comm.irecv(tag=TAG_REQUEST)
+                if self.next_query < cfg.nqueries:
+                    query = self.next_query
+                    self.next_query += 1
+                    self.owners[query] = worker
+                    yield from timer.measure(
+                        Phase.DATA_DISTRIBUTION,
+                        comm.send(worker, TAG_ASSIGN, _CONTROL_BYTES, query),
+                    )
+                else:
+                    self.done_workers += 1
+                    yield from timer.measure(
+                        Phase.DATA_DISTRIBUTION,
+                        comm.send(worker, TAG_ASSIGN, _CONTROL_BYTES, None),
+                    )
+
+            if size_recv.completed:
+                query, nbytes = size_recv.done_event.value
+                size_recv = comm.irecv(tag=TAG_SIZE)
+                self.sizes[query] = nbytes
+
+        for send in self.pending_sends:
+            yield from timer.measure(Phase.GATHER, send.wait())
+        yield from timer.measure(Phase.SYNC, mpi.barrier(comm))
+        timer.finish()
+        return timer.report()
+
+    def _advance_ledger(self) -> None:
+        """Assign base offsets for queries whose predecessors are sized."""
+        while self.ledger.next_query in self.sizes:
+            query = self.ledger.next_query
+            base = self.ledger.base_for(query, self.sizes[query])
+            self.pending_sends.append(
+                self.comm.isend(
+                    self.owners[query], TAG_BASE, _CONTROL_BYTES, (query, base)
+                )
+            )
+            self.bases_sent += 1
+
+
+class QuerySegWorker:
+    """Searches whole queries against the whole (streamed) database."""
+
+    def __init__(
+        self,
+        comm,
+        cfg: SimulationConfig,
+        workload: Workload,
+        fh: MPIIOFile,
+        db_file: PVFSFile,
+        fs: FileSystem,
+        memory_B: int = DEFAULT_WORKER_MEMORY_B,
+        recorder=None,
+    ) -> None:
+        self.comm = comm
+        self.cfg = cfg
+        self.workload = workload
+        self.fh = fh
+        self.db_file = db_file
+        self.fs = fs
+        self.memory_B = memory_B
+        self.timer = PhaseTimer(comm.env, rank=comm.rank, recorder=recorder)
+        self.resident_B = 0  # database bytes cached from the last pass
+        self.read_cursor = 0
+        self.pending_blocks: Dict[int, Tuple[int, Dict[int, object]]] = {}
+        self.base_recv = None
+        self.no_more_work = False
+        self.pending_sends: List = []
+
+    # -- lifecycle ----------------------------------------------------------
+    def run(self):
+        comm, timer = self.comm, self.timer
+        yield from timer.measure(Phase.SETUP, mpi.bcast(comm, 0, 256, None))
+        self.base_recv = comm.irecv(source=0, tag=TAG_BASE)
+
+        while True:
+            yield from self._drain_bases()
+            if not self.no_more_work:
+                yield from self._request_and_work()
+            else:
+                if not self.pending_blocks:
+                    break
+                start = comm.env.now
+                yield self.base_recv.done_event
+                timer.add_span(Phase.DATA_DISTRIBUTION, start)
+
+        for send in self.pending_sends:
+            yield from timer.measure(Phase.GATHER, send.wait())
+        yield from timer.measure(Phase.SYNC, mpi.barrier(comm))
+        timer.finish()
+        return timer.report()
+
+    def _request_and_work(self):
+        comm, timer = self.comm, self.timer
+        comm.isend(0, TAG_REQUEST, _CONTROL_BYTES, comm.rank)
+        assign_recv = comm.irecv(source=0, tag=TAG_ASSIGN)
+        while not assign_recv.completed:
+            start = comm.env.now
+            yield assign_recv.done_event | self.base_recv.done_event
+            timer.add_span(Phase.DATA_DISTRIBUTION, start)
+            yield from self._drain_bases()
+        query = assign_recv.done_event.value
+        if query is None:
+            self.no_more_work = True
+            return
+        yield from self._search_query(query)
+
+    # -- the whole-database search -------------------------------------------
+    def _search_query(self, query: int):
+        cfg, timer = self.cfg, self.timer
+        batches = [
+            self.workload.results.batch(query, fragment)
+            for fragment in range(cfg.nfragments)
+        ]
+        total_compute = sum(cfg.compute.batch_time(b) for b in batches)
+
+        # Stream the database fraction that no longer fits in memory —
+        # the intro's "repeated I/O ... loading sequence data back and
+        # forth between the file system and the main memory".
+        to_read = max(0, self.cfg.db_total_bytes - self.resident_B)
+        if to_read > 0:
+            nchunks = max(1, -(-to_read // _READ_CHUNK_B))
+            compute_slice = total_compute / nchunks
+            remaining = to_read
+            while remaining > 0:
+                take = min(_READ_CHUNK_B, remaining)
+                offset = self.read_cursor % self.cfg.db_total_bytes
+                take = min(take, self.cfg.db_total_bytes - offset)
+                yield from timer.measure(
+                    Phase.IO,
+                    self.fs.read(self.comm.global_rank, self.db_file, offset, take),
+                )
+                self.read_cursor += take
+                remaining -= take
+                yield from timer.sleep(Phase.COMPUTE, compute_slice)
+            self.resident_B = min(self.memory_B, self.cfg.db_total_bytes)
+        else:
+            yield from timer.sleep(Phase.COMPUTE, total_compute)
+        # If the database does not fully fit, the tail of this pass
+        # evicted the head: the next query must re-read the overflow.
+        if self.cfg.db_total_bytes > self.memory_B:
+            self.resident_B = self.memory_B
+
+        # Merge the per-fragment result lists locally.
+        count = sum(b.count for b in batches)
+        nbytes = sum(b.total_bytes for b in batches)
+        yield from timer.sleep(
+            Phase.MERGE, cfg.merge.merge_time(count, nbytes)
+        )
+
+        # Report the block size; write once the base offset arrives.
+        self.pending_blocks[query] = (nbytes, {b.fragment_id: b for b in batches})
+        send = self.comm.isend(0, TAG_SIZE, _CONTROL_BYTES, (query, nbytes))
+        self.pending_sends.append(send)
+
+    # -- output ------------------------------------------------------------------
+    def _drain_bases(self):
+        while self.base_recv is not None and self.base_recv.completed:
+            query, base = self.base_recv.done_event.value
+            self.base_recv = self.comm.irecv(source=0, tag=TAG_BASE)
+            yield from self._write_block(query, base)
+
+    def _write_block(self, query: int, base: int):
+        cfg, timer = self.cfg, self.timer
+        nbytes, batches = self.pending_blocks.pop(query)
+        data: Optional[bytes] = None
+        if cfg.store_data:
+            metas = [
+                ScoredBatchMeta(
+                    query_id=query,
+                    fragment_id=b.fragment_id,
+                    scores=b.scores,
+                    sizes=b.sizes,
+                )
+                for b in batches.values()
+            ]
+            offsets_by_fragment, _ = merge_query(metas, base)
+            block = bytearray(nbytes)
+            for fragment, offsets in offsets_by_fragment.items():
+                batch = batches[fragment]
+                for index, (offset, size) in enumerate(
+                    zip(offsets, batch.sizes)
+                ):
+                    position = int(offset) - base
+                    block[position : position + int(size)] = result_payload(
+                        batch.query_id, batch.fragment_id, index, int(size)
+                    )
+            data = bytes(block)
+        yield from timer.measure(
+            Phase.IO,
+            self.fh.write_at(self.comm.global_rank, base, nbytes, data),
+        )
+
+
+class QuerySegS3aSim:
+    """A query-segmentation job on the shared simulated machine."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        worker_memory_B: int = DEFAULT_WORKER_MEMORY_B,
+        recorder=None,
+    ) -> None:
+        if worker_memory_B <= 0:
+            raise ValueError("worker_memory_B must be positive")
+        self.config = config
+        self.worker_memory_B = worker_memory_B
+        self.recorder = recorder
+        self.world = MpiWorld(nranks=config.nprocs, network=config.network)
+        self.fs = FileSystem(
+            self.world.env,
+            config.effective_pvfs(),
+            client_nic=lambda rank: self.world.network.nic(rank),
+        )
+        self.workload = config.build_workload()
+        # The replicated-database file lives on the shared volume.
+        db_file = PVFSFile(_DB_PATH, self.fs.layout, store_data=False)
+        db_file.bytestore.write(0, config.db_total_bytes)
+        self.fs.files[_DB_PATH] = db_file
+        self.db_file = db_file
+        out = PVFSFile(config.output_path, self.fs.layout, config.store_data)
+        self.fs.files[config.output_path] = out
+        strategy = config.io_strategy()
+        self.fh = MPIIOFile(
+            self.fs, out, strategy.hints(sync_after_write=config.sync_after_write)
+        )
+
+    def run(self) -> RunResult:
+        cfg = self.config
+        master = QuerySegMaster(
+            self.world.comm.view(0), cfg, recorder=self.recorder
+        )
+        self.world.spawn(0, lambda _v, m=master: m.run())
+        for rank in range(1, cfg.nprocs):
+            worker = QuerySegWorker(
+                self.world.comm.view(rank), cfg, self.workload, self.fh,
+                self.db_file, self.fs, memory_B=self.worker_memory_B,
+                recorder=self.recorder,
+            )
+            self.world.spawn(rank, lambda _v, w=worker: w.run())
+
+        reports = self.world.run()
+        elapsed = self.world.env.now
+        bytestore = self.fh.file.bytestore
+        expected = self.workload.results.run_total_bytes()
+        return RunResult(
+            strategy="query-seg",
+            query_sync=False,
+            nprocs=cfg.nprocs,
+            compute_speed=cfg.compute.speed,
+            elapsed=elapsed,
+            master=reports[0],
+            workers=[reports[r] for r in range(1, cfg.nprocs)],
+            file_stats=FileStats(
+                total_bytes=bytestore.total_bytes(),
+                expected_bytes=expected,
+                nextents=len(bytestore.extents()),
+                dense=bytestore.is_dense(expected),
+            ),
+        )
+
+
+def run_query_segmentation(
+    config: SimulationConfig, worker_memory_B: int = DEFAULT_WORKER_MEMORY_B
+) -> RunResult:
+    """Convenience one-shot query-segmentation run."""
+    return QuerySegS3aSim(config, worker_memory_B).run()

@@ -1,0 +1,78 @@
+"""Run results: phase breakdowns, totals, and output-file statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .phases import Phase, PhaseReport
+
+
+@dataclass(frozen=True)
+class FileStats:
+    """What ended up in the simulated output file."""
+
+    total_bytes: int
+    expected_bytes: int
+    nextents: int
+    dense: bool
+
+    @property
+    def complete(self) -> bool:
+        return self.dense and self.total_bytes == self.expected_bytes
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything one S3aSim run produced.
+
+    ``master`` is rank 0's phase report; ``workers[i]`` is rank ``i+1``'s.
+    ``elapsed`` is the wall-clock (simulated) span of the whole job — what
+    Figure 2/5 plot as "overall execution time".
+    """
+
+    strategy: str
+    query_sync: bool
+    nprocs: int
+    compute_speed: float
+    elapsed: float
+    master: PhaseReport
+    workers: List[PhaseReport]
+    file_stats: FileStats
+    server_stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def worker_mean(self) -> PhaseReport:
+        """Mean worker-process breakdown (what Figures 3/4/6/7 show)."""
+        return PhaseReport.mean(self.workers)
+
+    def phase_seconds(self, phase: Phase) -> float:
+        return self.worker_mean[phase]
+
+    def summary_line(self) -> str:
+        wm = self.worker_mean
+        parts = " ".join(
+            f"{p.value}={wm[p]:.2f}" for p in Phase if wm[p] > 0.005
+        )
+        sync = "sync" if self.query_sync else "no-sync"
+        return (
+            f"{self.strategy:8s} {sync:7s} np={self.nprocs:<3d} "
+            f"speed={self.compute_speed:<5g} total={self.elapsed:8.2f}s  [{parts}]"
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "query_sync": self.query_sync,
+            "nprocs": self.nprocs,
+            "compute_speed": self.compute_speed,
+            "elapsed": self.elapsed,
+            "worker_mean": self.worker_mean.as_dict(),
+            "master": self.master.as_dict(),
+            "file": {
+                "total_bytes": self.file_stats.total_bytes,
+                "expected_bytes": self.file_stats.expected_bytes,
+                "dense": self.file_stats.dense,
+            },
+            "servers": self.server_stats,
+        }

@@ -1,0 +1,75 @@
+"""Named scenarios: the real tools each strategy configuration mirrors.
+
+The paper anchors every strategy in a shipping sequence-search tool:
+
+* **mpiBLAST 1.2** — master-writing, all results held until the end of the
+  run ("the master wrote all its results at the end of the application
+  run.  This limited the size of input queries and the target database").
+* **mpiBLAST 1.4** — master-writing, results written immediately after
+  each query ("the current design path ... has headed towards writing the
+  results out immediately after a query is processed").
+* **pioBLAST** — collective worker-writing ("The WW-Coll strategy,
+  proposed by pioBLAST, uses MPI-IO collective writes").
+* **proposed** — the paper's individual worker-writing list-I/O strategy.
+
+Each scenario is a function from a base configuration to a concrete
+:class:`~repro.core.config.SimulationConfig`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .config import SimulationConfig
+
+
+def mpiblast_12(base: Optional[SimulationConfig] = None) -> SimulationConfig:
+    """mpiBLAST 1.2: master writes everything at the end of the run."""
+    base = base if base is not None else SimulationConfig()
+    return base.with_(strategy="mw", write_every=base.nqueries)
+
+
+def mpiblast_14(base: Optional[SimulationConfig] = None) -> SimulationConfig:
+    """mpiBLAST 1.4: master writes after every query (resumable)."""
+    base = base if base is not None else SimulationConfig()
+    return base.with_(strategy="mw", write_every=1)
+
+
+def pioblast(base: Optional[SimulationConfig] = None) -> SimulationConfig:
+    """pioBLAST: collective worker writes, all results at the end."""
+    base = base if base is not None else SimulationConfig()
+    return base.with_(strategy="ww-coll", write_every=base.nqueries)
+
+
+def proposed_ww_list(base: Optional[SimulationConfig] = None) -> SimulationConfig:
+    """The paper's proposal: individual worker list-I/O per query."""
+    base = base if base is not None else SimulationConfig()
+    return base.with_(strategy="ww-list", write_every=1)
+
+
+def proposed_ww_posix(base: Optional[SimulationConfig] = None) -> SimulationConfig:
+    """The proposal's unoptimized variant (per-region POSIX writes)."""
+    base = base if base is not None else SimulationConfig()
+    return base.with_(strategy="ww-posix", write_every=1)
+
+
+SCENARIOS: Dict[str, Callable[[Optional[SimulationConfig]], SimulationConfig]] = {
+    "mpiblast-1.2": mpiblast_12,
+    "mpiblast-1.4": mpiblast_14,
+    "pioblast": pioblast,
+    "proposed": proposed_ww_list,
+    "proposed-posix": proposed_ww_posix,
+}
+
+
+def get_scenario(
+    name: str, base: Optional[SimulationConfig] = None
+) -> SimulationConfig:
+    """Build the configuration for a named historical scenario."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return factory(base)

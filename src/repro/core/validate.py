@@ -1,0 +1,108 @@
+"""Independent output-file oracle.
+
+The simulation's master assigns file offsets by merging scores as they
+arrive over simulated messages.  This module computes the *same* layout
+directly from the deterministic workload — no master, no messages, no
+timing — giving an independent oracle: any simulated run's output file
+must equal the reference byte for byte.  Used by tests and
+``s3asim validate --oracle``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..pvfs.bytestore import ByteStore
+from .config import SimulationConfig, Workload
+from .offsets import ScoredBatchMeta, merge_query
+from ..workload.results import result_payload
+
+
+def reference_layout(
+    workload: Workload, nqueries: int, nfragments: int
+) -> List[Tuple[int, int, int, int, int]]:
+    """The expected placement of every result.
+
+    Returns tuples ``(query, fragment, index_in_batch, offset, size)``
+    sorted by offset; offsets tile [0, total) densely.
+    """
+    placements: List[Tuple[int, int, int, int, int]] = []
+    base = 0
+    for query in range(nqueries):
+        batches = [
+            workload.results.batch(query, fragment)
+            for fragment in range(nfragments)
+        ]
+        metas = [
+            ScoredBatchMeta(
+                query_id=query,
+                fragment_id=batch.fragment_id,
+                scores=batch.scores,
+                sizes=batch.sizes,
+            )
+            for batch in batches
+        ]
+        offsets_by_fragment, block_size = merge_query(metas, base)
+        for batch in batches:
+            offsets = offsets_by_fragment.get(batch.fragment_id, np.zeros(0))
+            for index, (offset, size) in enumerate(
+                zip(offsets, batch.sizes)
+            ):
+                placements.append(
+                    (query, batch.fragment_id, index, int(offset), int(size))
+                )
+        base += block_size
+    placements.sort(key=lambda p: p[3])
+    return placements
+
+
+def build_reference_bytestore(config: SimulationConfig) -> ByteStore:
+    """The byte-exact expected output file for ``config``'s workload."""
+    workload = config.build_workload()
+    store = ByteStore(store_data=True)
+    for query, fragment, index, offset, size in reference_layout(
+        workload, config.nqueries, config.nfragments
+    ):
+        store.write(offset, size, result_payload(query, fragment, index, size))
+    return store
+
+
+def verify_against_reference(
+    config: SimulationConfig, bytestore: ByteStore
+) -> List[str]:
+    """Compare a simulated run's output against the oracle.
+
+    Returns a list of human-readable problems (empty = verified).  The
+    bytestore must have been produced with ``store_data=True``.
+    """
+    problems: List[str] = []
+    reference = build_reference_bytestore(config)
+    if bytestore.extents() != reference.extents():
+        problems.append(
+            f"extents differ: got {bytestore.extents()[:3]}..., "
+            f"expected {reference.extents()[:3]}..."
+        )
+        return problems
+    if not bytestore.store_data:
+        problems.append("bytestore has no content (store_data=False)")
+        return problems
+    # Compare content in 1 MiB windows to localize a mismatch.
+    window = 1 << 20
+    for start, end in reference.extents():
+        position = start
+        while position < end:
+            take = min(window, end - position)
+            got = bytestore.read(position, take)
+            want = reference.read(position, take)
+            if got != want:
+                first = next(
+                    i for i in range(take) if got[i] != want[i]
+                )
+                problems.append(
+                    f"content mismatch at byte {position + first}"
+                )
+                return problems
+            position += take
+    return problems

@@ -1,0 +1,243 @@
+"""The worker process — Algorithm 2 of the paper.
+
+Workers self-schedule: request a task, search it (simulated compute),
+locally merge and ship sorted scores (plus payloads under master-writing),
+and — in worker-writing strategies — write their results when the master's
+offset lists arrive.  Under the individual strategies a worker keeps
+processing new tasks while offset lists are in flight ("while workers wait
+for the location list from the master, they can process additional
+queries"); under WW-Coll every worker must enter the per-group collective
+write.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .. import mpi
+from ..mpiio.file import MPIIOFile
+from ..workload.results import ResultBatch, result_payload
+from .config import SimulationConfig, Workload
+from .phases import Phase, PhaseTimer
+from .protocol import (
+    MASTER_RANK,
+    OffsetMessage,
+    REQUEST_BYTES,
+    ScoreMessage,
+    TAG_ASSIGN,
+    TAG_OFFSETS,
+    TAG_REQUEST,
+    TAG_SCORES,
+    TAG_WRITTEN,
+    TaskAssignment,
+    WrittenNotice,
+)
+
+
+class Worker:
+    """State machine of one worker rank."""
+
+    def __init__(
+        self,
+        comm,
+        wcomm,
+        cfg: SimulationConfig,
+        workload: Workload,
+        fh: MPIIOFile,
+        recorder=None,
+    ) -> None:
+        self.comm = comm  # world communicator view (rank >= 1)
+        self.wcomm = wcomm  # worker-only communicator view
+        self.cfg = cfg
+        self.workload = workload
+        self.fh = fh
+        self.strategy = cfg.io_strategy()
+        self.timer = PhaseTimer(comm.env, rank=comm.rank, recorder=recorder)
+
+        self.stored: Dict[Tuple[int, int], ResultBatch] = {}
+        self.pending_sends: List = []
+        self.no_more_work = False
+        # Offset messages processed / barriers joined, counted in absolute
+        # group ids (a resumed run starts past the already-written groups).
+        self.groups_handled = cfg.resume_group
+        self.groups_synced = cfg.resume_group
+
+        self.offset_recv = None
+        self.notice_recv = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def run(self):
+        """Process fragment: the worker's whole life."""
+        comm, cfg, timer = self.comm, self.cfg, self.timer
+
+        # Setup: receive input variables from the master (step 1).
+        yield from timer.measure(Phase.SETUP, mpi.bcast(comm, 0, 256, None))
+
+        if self.strategy.parallel_io:
+            self.offset_recv = comm.irecv(source=MASTER_RANK, tag=TAG_OFFSETS)
+        elif cfg.query_sync:
+            self.notice_recv = comm.irecv(source=MASTER_RANK, tag=TAG_WRITTEN)
+
+        while True:
+            yield from self._drain_io()
+
+            if not self.no_more_work:
+                yield from self._request_and_work()
+            else:
+                if self._io_finished():
+                    break
+                # Only offset lists / notices remain; wait for the next one.
+                events = self._io_events()
+                start = comm.env.now
+                yield comm.env.any_of(events)
+                timer.add_span(Phase.DATA_DISTRIBUTION, start)
+
+        # Make sure all score sends reached the master (step 15).
+        for send in self.pending_sends:
+            yield from timer.measure(Phase.GATHER, send.wait())
+        yield from timer.measure(Phase.SYNC, mpi.barrier(comm))
+        timer.finish()
+        return timer.report()
+
+    # -- task cycle --------------------------------------------------------------
+    def _request_and_work(self):
+        comm, timer = self.comm, self.timer
+
+        request = comm.isend(MASTER_RANK, TAG_REQUEST, REQUEST_BYTES, comm.rank)
+        assign_recv = comm.irecv(source=MASTER_RANK, tag=TAG_ASSIGN)
+
+        while not assign_recv.completed:
+            events = [assign_recv.done_event] + self._io_events()
+            start = comm.env.now
+            yield comm.env.any_of(events)
+            timer.add_span(Phase.DATA_DISTRIBUTION, start)
+            yield from self._drain_io()
+
+        assignment: Optional[TaskAssignment] = assign_recv.done_event.value
+        if assignment is None:
+            self.no_more_work = True
+            return
+        yield from self._do_task(assignment)
+
+    def _do_task(self, task: TaskAssignment):
+        cfg, timer = self.cfg, self.timer
+        batch = self.workload.results.batch(task.query_id, task.fragment_id)
+
+        # Compute: the simulated search (step 6).
+        yield from timer.sleep(Phase.COMPUTE, cfg.compute.batch_time(batch))
+
+        payload_bytes = 0
+        payloads: Optional[List[bytes]] = None
+        if self.strategy.parallel_io:
+            # Merge with previous results for this query (step 8).
+            cost = cfg.merge.merge_time(batch.count, batch.total_bytes)
+            yield from timer.sleep(Phase.MERGE, cost)
+            self.stored[(task.query_id, task.fragment_id)] = batch
+        else:
+            payload_bytes = batch.total_bytes
+            if cfg.store_data:
+                # Identity comes from the batch (its query id is global
+                # even when this worker addresses queries through a
+                # partition-local view, as in hybrid segmentation).
+                payloads = [
+                    result_payload(
+                        batch.query_id, batch.fragment_id, i, int(size)
+                    )
+                    for i, size in enumerate(batch.sizes)
+                ]
+
+        message = ScoreMessage(
+            query_id=task.query_id,
+            fragment_id=task.fragment_id,
+            worker=self.comm.rank,
+            scores=batch.scores,
+            sizes=batch.sizes,
+            payload_bytes=payload_bytes,
+            payloads=payloads,
+        )
+        # Nonblocking send of scores (and results if MW) — step 10.
+        send = self.comm.isend(
+            MASTER_RANK, TAG_SCORES, message.wire_bytes(), message
+        )
+        self.pending_sends.append(send)
+        self.pending_sends = [s for s in self.pending_sends if not s.completed]
+        if False:  # pragma: no cover - keeps this a generator
+            yield None
+
+    # -- I/O-side message handling -------------------------------------------------
+    def _io_events(self) -> List:
+        events = []
+        if self.offset_recv is not None:
+            events.append(self.offset_recv.done_event)
+        if self.notice_recv is not None:
+            events.append(self.notice_recv.done_event)
+        return events
+
+    def _drain_io(self):
+        while True:
+            progressed = False
+            if self.offset_recv is not None and self.offset_recv.completed:
+                message: OffsetMessage = self.offset_recv.done_event.value
+                self.offset_recv = self.comm.irecv(
+                    source=MASTER_RANK, tag=TAG_OFFSETS
+                )
+                yield from self._handle_offsets(message)
+                progressed = True
+            if self.notice_recv is not None and self.notice_recv.completed:
+                notice: WrittenNotice = self.notice_recv.done_event.value
+                self.notice_recv = self.comm.irecv(
+                    source=MASTER_RANK, tag=TAG_WRITTEN
+                )
+                yield from self._handle_notice(notice)
+                progressed = True
+            if not progressed:
+                return
+
+    def _handle_offsets(self, message: OffsetMessage):
+        """Write the group's results (step 18) and sync if requested."""
+        cfg, timer = self.cfg, self.timer
+        regions: List[Tuple[int, int]] = []
+        datas: Optional[List[Optional[bytes]]] = [] if cfg.store_data else None
+        for entry in message.entries:
+            batch = self.stored.pop((entry.query_id, entry.fragment_id))
+            for i, (offset, size) in enumerate(zip(entry.offsets, batch.sizes)):
+                regions.append((int(offset), int(size)))
+                if datas is not None:
+                    datas.append(
+                        result_payload(
+                            batch.query_id, batch.fragment_id, i, int(size)
+                        )
+                    )
+
+        if self.strategy.collective:
+            # Everyone joins the collective write, data or not.
+            yield from timer.measure(
+                Phase.IO, self.fh.write_at_all(self.wcomm, regions, datas)
+            )
+        elif regions:
+            yield from timer.measure(
+                Phase.IO,
+                self.fh.write_at_list(self.comm.global_rank, regions, datas),
+            )
+        self.groups_handled = message.group + 1
+
+        if cfg.query_sync:
+            yield from timer.measure(Phase.SYNC, mpi.barrier(self.wcomm))
+            self.groups_synced = message.group + 1
+
+    def _handle_notice(self, notice: WrittenNotice):
+        """MW + query sync: barrier once the master wrote the group."""
+        yield from self.timer.measure(Phase.SYNC, mpi.barrier(self.wcomm))
+        self.groups_synced = notice.group + 1
+
+    # -- termination -------------------------------------------------------------------
+    def _io_finished(self) -> bool:
+        cfg = self.cfg
+        if self.strategy.master_writes:
+            return (not cfg.query_sync) or self.groups_synced >= cfg.ngroups
+        if self.strategy.collective or cfg.query_sync:
+            # Every group produces a message to every worker.
+            synced_ok = (not cfg.query_sync) or self.groups_synced >= cfg.ngroups
+            return self.groups_handled >= cfg.ngroups and not self.stored and synced_ok
+        # Individual, no sync: done once everything stored has been written.
+        return not self.stored and self.no_more_work

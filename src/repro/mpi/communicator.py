@@ -1,0 +1,209 @@
+"""The simulated communicator: point-to-point operations per rank.
+
+Each rank gets its own :class:`RankComm` handle (as in real MPI, where every
+process holds its own view of the communicator).  Sends spawn small protocol
+processes that move bytes through the :class:`~repro.mpi.network.Network`;
+receives go through the rank's :class:`~repro.mpi.mailbox.Mailbox`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..sim import Environment
+from .constants import ANY_SOURCE, ANY_TAG, EAGER, RENDEZVOUS_RTS
+from .mailbox import Mailbox
+from .message import Envelope, Status
+from .network import Network
+from .request import RecvRequest, SendRequest
+
+# Size of a rendezvous RTS/CTS control message on the wire.
+HEADER_BYTES = 64
+
+
+class Communicator:
+    """Shared state: one mailbox per rank plus the network.
+
+    ``ranks`` maps communicator-local rank → global rank (NIC owner); the
+    default identity mapping is the world communicator.  Sub-communicators
+    (e.g. the worker-only communicator WW-Coll's collective write runs on)
+    share the network but have their own matching space, exactly like real
+    MPI communicators isolate message traffic.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        ranks: Optional[list] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        if ranks is None:
+            ranks = list(range(network.nranks))
+        if len(set(ranks)) != len(ranks):
+            raise ValueError("ranks must be distinct")
+        for g in ranks:
+            if not 0 <= g < network.nranks:
+                raise ValueError(f"global rank {g} outside network of {network.nranks}")
+        self.ranks = list(ranks)
+        self.size = len(self.ranks)
+        self.mailboxes: Dict[int, Mailbox] = {
+            r: Mailbox(env, r) for r in range(self.size)
+        }
+        self._send_seq = 0
+
+    def __repr__(self) -> str:
+        return f"<Communicator size={self.size}>"
+
+    def global_rank(self, local_rank: int) -> int:
+        """Translate a communicator-local rank to the global/network rank."""
+        return self.ranks[local_rank]
+
+    def sub(self, ranks_local: list) -> "Communicator":
+        """A sub-communicator over the given local ranks (in that order)."""
+        return Communicator(
+            self.env, self.network, [self.ranks[r] for r in ranks_local]
+        )
+
+    def view(self, rank: int) -> "RankComm":
+        """The rank-local handle used inside that rank's process."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+        return RankComm(self, rank)
+
+    # -- protocol processes --------------------------------------------------
+    def _start_send(
+        self, src: int, dst: int, tag: int, nbytes: int, payload: Any
+    ) -> SendRequest:
+        if not 0 <= dst < self.size:
+            raise ValueError(f"destination rank {dst} out of range [0, {self.size})")
+        if tag < 0 and tag > -1000:
+            raise ValueError(f"user tags must be >= 0 (got {tag})")
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+        request = SendRequest(self.env, dst, tag, nbytes)
+        self._send_seq += 1
+        seq = self._send_seq
+
+        if src == dst:
+            self.env.process(
+                self._loopback(src, dst, tag, nbytes, payload, seq, request),
+                name=f"loopback-{src}",
+            )
+        elif nbytes <= self.network.config.eager_threshold_B:
+            self.env.process(
+                self._eager(src, dst, tag, nbytes, payload, seq, request),
+                name=f"eager-{src}->{dst}",
+            )
+        else:
+            self.env.process(
+                self._rendezvous(src, dst, tag, nbytes, payload, seq, request),
+                name=f"rndv-{src}->{dst}",
+            )
+        return request
+
+    def _loopback(self, src, dst, tag, nbytes, payload, seq, request):
+        yield from self.network.transfer(self.ranks[src], self.ranks[dst], nbytes)
+        request._complete()
+        self.mailboxes[dst].deliver(
+            Envelope(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload, seq=seq)
+        )
+
+    def _eager(self, src, dst, tag, nbytes, payload, seq, request):
+        # Sender serializes onto the wire; once the bytes leave the host the
+        # send is locally complete (buffered at the receiver).
+        yield from self.network.occupy_tx(self.ranks[src], nbytes)
+        request._complete()
+        yield from self.network.wire_latency()
+        yield from self.network.occupy_rx(self.ranks[dst], nbytes)
+        self.mailboxes[dst].deliver(
+            Envelope(
+                src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload,
+                kind=EAGER, seq=seq,
+            )
+        )
+
+    def _rendezvous(self, src, dst, tag, nbytes, payload, seq, request):
+        cts = self.env.event()
+        data = self.env.event()
+        header = Envelope(
+            src=src, dst=dst, tag=tag, nbytes=nbytes, payload=None,
+            kind=RENDEZVOUS_RTS, seq=seq, cts_event=cts, data_event=data,
+        )
+        # RTS header to the receiver.
+        yield from self.network.occupy_tx(self.ranks[src], HEADER_BYTES)
+        yield from self.network.wire_latency()
+        yield from self.network.occupy_rx(self.ranks[dst], HEADER_BYTES)
+        self.mailboxes[dst].deliver(header)
+        # Wait for the matching receive (CTS), pay the CTS flight time,
+        # then stream the payload.
+        yield cts
+        yield from self.network.wire_latency()
+        yield from self.network.transfer(self.ranks[src], self.ranks[dst], nbytes)
+        request._complete()
+        data.succeed(payload)
+
+
+class RankComm:
+    """Rank-local communicator handle (the object rank code talks to)."""
+
+    def __init__(self, comm: Communicator, rank: int) -> None:
+        self._comm = comm
+        self.rank = rank
+        self.mailbox = comm.mailboxes[rank]
+        # Per-rank collective sequence number: collectives must be invoked
+        # in the same order on every rank (an MPI correctness requirement),
+        # so identical counters yield matching reserved tags.
+        self._coll_seq = 0
+
+    def __repr__(self) -> str:
+        return f"<RankComm rank={self.rank}/{self.size}>"
+
+    @property
+    def env(self) -> Environment:
+        return self._comm.env
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    @property
+    def global_rank(self) -> int:
+        """The network/world rank behind this communicator-local rank."""
+        return self._comm.ranks[self.rank]
+
+    @property
+    def network(self) -> Network:
+        return self._comm.network
+
+    # -- nonblocking p2p -----------------------------------------------------
+    def isend(
+        self, dst: int, tag: int, nbytes: int, payload: Any = None
+    ) -> SendRequest:
+        """Start a nonblocking send of ``nbytes`` (``payload`` rides along)."""
+        return self._comm._start_send(self.rank, dst, tag, nbytes, payload)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
+        """Post a nonblocking receive."""
+        request = RecvRequest(self.env, source, tag, self.mailbox)
+        self.mailbox.post(request)
+        return request
+
+    # -- blocking p2p (process fragments) -------------------------------------
+    def send(self, dst: int, tag: int, nbytes: int, payload: Any = None):
+        """Process fragment: blocking send."""
+        request = self.isend(dst, tag, nbytes, payload)
+        yield from request.wait()
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Process fragment: blocking receive, returns ``(payload, status)``."""
+        request = self.irecv(source, tag)
+        payload = yield from request.wait()
+        return payload, request.status
+
+    # -- probing ---------------------------------------------------------------
+    def iprobe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Optional[Status]:
+        """Nonblocking probe of the unexpected-message queue."""
+        return self.mailbox.probe(source, tag)

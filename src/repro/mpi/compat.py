@@ -1,0 +1,207 @@
+"""An mpi4py-flavoured facade over the simulated MPI.
+
+The reproduction environment has no MPI runtime, but much existing
+parallel-bioinformatics code (and any direct S3aSim port) is written
+against mpi4py's API.  This facade mirrors the relevant subset —
+``comm.send/recv/isend/irecv``, ``comm.bcast/gather/barrier``,
+``MPI.File.Open / Write_at / Write_at_all / Sync / Close`` — so such code
+can run inside a rank *process fragment* with minimal edits.
+
+The one structural difference is unavoidable in a discrete-event world:
+blocking calls are generators (``yield from comm.send(...)``) and
+nonblocking requests are awaited with ``yield from req.wait()`` — the
+cooperative equivalents of their blocking originals.  ``Request.Test()``
+matches mpi4py exactly.
+
+Example (mpi4py tutorial's point-to-point snippet, adapted)::
+
+    def main(C):            # C is a CompatComm
+        if C.Get_rank() == 0:
+            data = {"a": 7, "b": 3.14}
+            yield from C.send(data, dest=1, tag=11)
+        elif C.Get_rank() == 1:
+            data = yield from C.recv(source=0, tag=11)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Tuple
+
+from . import collectives
+from .communicator import RankComm
+from .constants import ANY_SOURCE, ANY_TAG
+from ..mpiio.file import MPIIOFile
+from ..mpiio.hints import MPIIOHints
+from ..pvfs.filesystem import FileSystem
+
+# mpi4py-style module constants.
+MODE_WRONLY = 0x04
+MODE_RDWR = 0x08
+MODE_CREATE = 0x01
+
+
+def _payload_nbytes(obj: Any) -> int:
+    """Approximate pickled size of a Python object (for wire timing)."""
+    import pickle
+
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64
+
+
+class CompatRequest:
+    """mpi4py-style request wrapper (capitalized Test/Wait)."""
+
+    def __init__(self, request) -> None:
+        self._request = request
+
+    def Test(self) -> bool:  # noqa: N802 - mpi4py naming
+        return self._request.test()
+
+    def Wait(self):  # noqa: N802 - mpi4py naming
+        """Process fragment: ``value = yield from req.Wait()``."""
+        value = yield from self._request.wait()
+        return value
+
+    @property
+    def request(self):
+        return self._request
+
+
+class CompatComm:
+    """mpi4py-ish communicator facade over a :class:`RankComm`."""
+
+    def __init__(self, comm: RankComm) -> None:
+        self._comm = comm
+
+    # -- introspection (exact mpi4py names) --------------------------------
+    def Get_rank(self) -> int:  # noqa: N802
+        return self._comm.rank
+
+    def Get_size(self) -> int:  # noqa: N802
+        return self._comm.size
+
+    @property
+    def rank(self) -> int:
+        return self._comm.rank
+
+    @property
+    def size(self) -> int:
+        return self._comm.size
+
+    @property
+    def raw(self) -> RankComm:
+        return self._comm
+
+    # -- point to point -----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0):
+        """Process fragment: blocking pickled-object send."""
+        yield from self._comm.send(dest, tag, _payload_nbytes(obj), obj)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Process fragment: blocking receive; returns the object."""
+        payload, _status = yield from self._comm.recv(source, tag)
+        return payload
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> CompatRequest:
+        return CompatRequest(
+            self._comm.isend(dest, tag, _payload_nbytes(obj), obj)
+        )
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> CompatRequest:
+        return CompatRequest(self._comm.irecv(source, tag))
+
+    # -- collectives -----------------------------------------------------------
+    def barrier(self):
+        yield from collectives.barrier(self._comm)
+
+    def bcast(self, obj: Any, root: int = 0):
+        result = yield from collectives.bcast(
+            self._comm, root, _payload_nbytes(obj), obj
+        )
+        return result
+
+    def gather(self, obj: Any, root: int = 0):
+        result = yield from collectives.gather(
+            self._comm, root, _payload_nbytes(obj), obj
+        )
+        return result
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0):
+        nbytes = max(
+            (_payload_nbytes(o) for o in objs), default=64
+        ) if objs is not None else 64
+        result = yield from collectives.scatter(self._comm, root, nbytes, objs)
+        return result
+
+    def allgather(self, obj: Any):
+        result = yield from collectives.allgather(
+            self._comm, _payload_nbytes(obj), obj
+        )
+        return result
+
+    def allreduce(self, obj: Any, op=None):
+        import operator
+
+        op = op if op is not None else operator.add
+        result = yield from collectives.allreduce(
+            self._comm, _payload_nbytes(obj), obj, op
+        )
+        return result
+
+
+class File:
+    """mpi4py ``MPI.File`` facade over the simulated MPI-IO layer."""
+
+    def __init__(self, handle: MPIIOFile, comm: CompatComm) -> None:
+        self._handle = handle
+        self._comm = comm
+
+    @classmethod
+    def Open(  # noqa: N802
+        cls,
+        comm: CompatComm,
+        fs: FileSystem,
+        filename: str,
+        amode: int = MODE_WRONLY | MODE_CREATE,
+        hints: Optional[MPIIOHints] = None,
+    ):
+        """Process fragment: collective open (every rank must call)."""
+        if hints is None:
+            hints = MPIIOHints(sync_after_write=False)
+        handle = yield from MPIIOFile.open(comm.raw, fs, filename, hints)
+        return cls(handle, comm)
+
+    def Write_at(self, offset: int, data: bytes):  # noqa: N802
+        """Process fragment: independent contiguous write."""
+        yield from self._handle.write_at(
+            self._comm.raw.global_rank, offset, len(data), data
+        )
+
+    def Write_at_all(  # noqa: N802
+        self, offset: int, data: bytes
+    ):
+        """Process fragment: collective write of one contiguous block per
+        rank at ``offset`` (every rank passes its own offset/data)."""
+        regions = [(offset, len(data))] if data else []
+        datas = [data] if data else None
+        yield from self._handle.write_at_all(self._comm.raw, regions, datas)
+
+    def Read_at(self, offset: int, nbytes: int):  # noqa: N802
+        """Process fragment: independent contiguous read."""
+        data = yield from self._handle.fs.read(
+            self._comm.raw.global_rank, self._handle.file, offset, nbytes
+        )
+        return data
+
+    def Sync(self):  # noqa: N802
+        yield from self._handle.sync(self._comm.raw.global_rank)
+
+    def Close(self):  # noqa: N802
+        """Closing is collective in MPI; a barrier models it."""
+        yield from collectives.barrier(self._comm.raw)
+
+    @property
+    def handle(self) -> MPIIOFile:
+        return self._handle

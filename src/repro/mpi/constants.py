@@ -1,0 +1,23 @@
+"""MPI-like constants for the simulated message-passing layer."""
+
+from __future__ import annotations
+
+# Wildcards (match the sign conventions of real MPI).
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+# Tags >= 0 are user tags.  The collective implementation reserves a
+# disjoint negative tag space derived from a per-communicator sequence
+# number, so user traffic can never match collective traffic.
+COLLECTIVE_TAG_BASE = -1000
+
+# Internal protocol message kinds.
+EAGER = "eager"
+RENDEZVOUS_RTS = "rts"
+
+
+def collective_tag(sequence: int) -> int:
+    """Reserved tag for the ``sequence``-th collective on a communicator."""
+    if sequence < 0:
+        raise ValueError("collective sequence must be non-negative")
+    return COLLECTIVE_TAG_BASE - sequence

@@ -1,0 +1,195 @@
+"""Network timing model for the simulated MPI layer.
+
+The model is deliberately first-order but captures the contention structure
+that drives the paper's results:
+
+* every rank owns a NIC with one transmit (TX) and one receive (RX) channel,
+  each a unit-capacity :class:`~repro.sim.resources.Resource` — concurrent
+  messages to/from the same rank serialize (this is what makes the
+  master-writing strategy a funnel);
+* a point-to-point transfer costs ``latency + nbytes / bandwidth`` on the
+  wire plus per-message CPU overhead on both ends;
+* an optional fabric capacity bounds the number of full-rate transfers in
+  flight (crude bisection-bandwidth stand-in; unlimited by default, as
+  Myrinet-2000 on <100 nodes was far from bisection-limited for this
+  workload).
+
+Defaults correspond to the Feynman cluster's Myrinet-2000 interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..sim import Environment, Resource
+
+KIB = 1024
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Parameters of the interconnect timing model.
+
+    Attributes
+    ----------
+    latency_s:
+        One-way small-message latency in seconds.
+    bandwidth_Bps:
+        Per-link bandwidth in bytes/second.
+    eager_threshold_B:
+        Messages at or below this size use the eager protocol (buffered at
+        the receiver); larger ones use rendezvous (sender blocks until the
+        matching receive is posted).
+    cpu_overhead_s:
+        Per-message host CPU cost charged on each side (packetization,
+        matching).
+    fabric_capacity:
+        Max concurrent full-rate transfers through the fabric; ``None``
+        disables fabric contention.
+    """
+
+    latency_s: float = 7e-6
+    bandwidth_Bps: float = 245 * MIB
+    eager_threshold_B: int = 64 * KIB
+    cpu_overhead_s: float = 1e-6
+    fabric_capacity: Optional[int] = None
+    #: Ranks sharing one physical adapter.  Feynman ran two compute
+    #: processes per dual-CPU node over a single Myrinet card ("Since each
+    #: of compute nodes had dual CPUs, we ran two compute processes per
+    #: node"); 1 gives every rank its own NIC.
+    ranks_per_nic: int = 1
+
+    def __post_init__(self) -> None:
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be non-negative")
+        if self.bandwidth_Bps <= 0:
+            raise ValueError("bandwidth_Bps must be positive")
+        if self.eager_threshold_B < 0:
+            raise ValueError("eager_threshold_B must be non-negative")
+        if self.fabric_capacity is not None and self.fabric_capacity <= 0:
+            raise ValueError("fabric_capacity must be positive or None")
+        if self.ranks_per_nic <= 0:
+            raise ValueError("ranks_per_nic must be positive")
+
+    @classmethod
+    def myrinet2000(cls) -> "NetworkConfig":
+        """The Feynman cluster's interconnect (paper test environment)."""
+        return cls()
+
+    @classmethod
+    def instant(cls) -> "NetworkConfig":
+        """A nearly free network — isolates non-network costs in tests."""
+        return cls(latency_s=1e-12, bandwidth_Bps=1e18, cpu_overhead_s=0.0)
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time to push ``nbytes`` through one NIC channel."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.bandwidth_Bps
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Uncontended end-to-end time for a single message."""
+        return self.latency_s + self.serialization_time(nbytes)
+
+
+@dataclass
+class NicStats:
+    """Byte/message counters for one rank's NIC (observability hooks)."""
+
+    tx_messages: int = 0
+    rx_messages: int = 0
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+
+
+class Nic:
+    """A rank's network interface: serialized TX and RX channels."""
+
+    def __init__(self, env: Environment, rank: int) -> None:
+        self.rank = rank
+        self.tx = Resource(env, capacity=1)
+        self.rx = Resource(env, capacity=1)
+        self.stats = NicStats()
+
+    def __repr__(self) -> str:
+        return f"<Nic rank={self.rank} tx_q={len(self.tx.queue)} rx_q={len(self.rx.queue)}>"
+
+
+class Network:
+    """Owns per-rank NICs and provides the transfer primitives.
+
+    The MPI layer composes these primitives into eager/rendezvous protocol
+    processes; the network itself knows nothing about matching.
+    """
+
+    def __init__(self, env: Environment, nranks: int, config: NetworkConfig) -> None:
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        self.env = env
+        self.nranks = nranks
+        self.config = config
+        # With ranks_per_nic > 1, node-mates share one adapter object.
+        nnics = -(-nranks // config.ranks_per_nic)
+        self.nics: Dict[int, Nic] = {n: Nic(env, n) for n in range(nnics)}
+        self.fabric: Optional[Resource] = (
+            Resource(env, capacity=config.fabric_capacity)
+            if config.fabric_capacity is not None
+            else None
+        )
+
+    def nic(self, rank: int) -> Nic:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} not in network of size {self.nranks}")
+        return self.nics[rank // self.config.ranks_per_nic]
+
+    def occupy_tx(self, src: int, nbytes: int):
+        """Process fragment: hold src's TX channel for the wire time."""
+        nic = self.nic(src)
+        with nic.tx.request() as req:
+            yield req
+            yield self.env.timeout(
+                self.config.serialization_time(nbytes) + self.config.cpu_overhead_s
+            )
+        nic.stats.tx_messages += 1
+        nic.stats.tx_bytes += nbytes
+
+    def occupy_rx(self, dst: int, nbytes: int):
+        """Process fragment: hold dst's RX channel for the wire time."""
+        nic = self.nic(dst)
+        with nic.rx.request() as req:
+            yield req
+            yield self.env.timeout(
+                self.config.serialization_time(nbytes) + self.config.cpu_overhead_s
+            )
+        nic.stats.rx_messages += 1
+        nic.stats.rx_bytes += nbytes
+
+    def wire_latency(self):
+        """Process fragment: one-way propagation delay."""
+        yield self.env.timeout(self.config.latency_s)
+
+    def transfer(self, src: int, dst: int, nbytes: int):
+        """Process fragment: full point-to-point transfer src → dst.
+
+        TX serialization, optional fabric slot, propagation, RX
+        serialization.  Loopback and node-local transfers (same NIC) only
+        pay a memcpy-like cost — MPI moves intra-node traffic through
+        shared memory, never the wire.
+        """
+        if src == dst or self.nic(src) is self.nic(dst):
+            yield self.env.timeout(
+                self.config.cpu_overhead_s + self.config.serialization_time(nbytes) / 4
+            )
+            return
+        if self.fabric is not None:
+            with self.fabric.request() as slot:
+                yield slot
+                yield from self.occupy_tx(src, nbytes)
+                yield from self.wire_latency()
+                yield from self.occupy_rx(dst, nbytes)
+        else:
+            yield from self.occupy_tx(src, nbytes)
+            yield from self.wire_latency()
+            yield from self.occupy_rx(dst, nbytes)

@@ -1,0 +1,93 @@
+"""MpiWorld: convenience harness that wires env + network + communicator.
+
+Typical use::
+
+    world = MpiWorld(nranks=4, network=NetworkConfig.myrinet2000())
+
+    def main(comm):             # runs once per rank
+        if comm.rank == 0:
+            yield from comm.send(1, tag=0, nbytes=100, payload="hi")
+        elif comm.rank == 1:
+            payload, status = yield from comm.recv()
+        yield from world.barrier(comm)
+
+    world.spawn_all(main)
+    world.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from ..sim import Environment, Process
+from . import collectives
+from .communicator import Communicator, RankComm
+from .network import Network, NetworkConfig
+
+RankMain = Callable[[RankComm], Generator]
+
+
+class MpiWorld:
+    """A simulated MPI job: ``nranks`` processes over one network."""
+
+    def __init__(
+        self,
+        nranks: int,
+        network: Optional[NetworkConfig] = None,
+        env: Optional[Environment] = None,
+    ) -> None:
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        self.env = env if env is not None else Environment()
+        self.config = network if network is not None else NetworkConfig.myrinet2000()
+        self.network = Network(self.env, nranks, self.config)
+        self.comm = Communicator(self.env, self.network)
+        self.nranks = nranks
+        self.rank_procs: Dict[int, Process] = {}
+
+    def __repr__(self) -> str:
+        return f"<MpiWorld nranks={self.nranks} now={self.env.now:.6g}>"
+
+    # -- process management ------------------------------------------------
+    def spawn(self, rank: int, main: RankMain) -> Process:
+        """Start ``main(comm_view)`` as the process for ``rank``."""
+        if rank in self.rank_procs:
+            raise ValueError(f"rank {rank} already spawned")
+        view = self.comm.view(rank)
+        proc = self.env.process(main(view), name=f"rank-{rank}")
+        self.rank_procs[rank] = proc
+        return proc
+
+    def spawn_all(self, main: RankMain) -> List[Process]:
+        """Start the same ``main`` on every rank."""
+        return [self.spawn(r, main) for r in range(self.nranks)]
+
+    def run(self, until: Optional[float] = None) -> Dict[int, Any]:
+        """Run the simulation; returns per-rank process return values.
+
+        With ``until=None`` runs until every spawned rank terminates (any
+        rank failure propagates).  Raises if no ranks were spawned.
+        """
+        if not self.rank_procs:
+            raise RuntimeError("No ranks spawned; nothing to run")
+        if until is not None:
+            self.env.run(until=until)
+        else:
+            done = self.env.all_of([p for p in self.rank_procs.values()])
+            self.env.run(until=done)
+        return {
+            rank: (proc.value if proc.triggered else None)
+            for rank, proc in self.rank_procs.items()
+        }
+
+    # -- collectives (delegates, so callers can say world.barrier(comm)) ----
+    barrier = staticmethod(collectives.barrier)
+    bcast = staticmethod(collectives.bcast)
+    gather = staticmethod(collectives.gather)
+    gatherv = staticmethod(collectives.gatherv)
+    scatter = staticmethod(collectives.scatter)
+    scatterv = staticmethod(collectives.scatterv)
+    allgather = staticmethod(collectives.allgather)
+    alltoallv = staticmethod(collectives.alltoallv)
+    reduce = staticmethod(collectives.reduce)
+    allreduce = staticmethod(collectives.allreduce)

@@ -1,0 +1,37 @@
+"""Simulated MPI-IO (ROMIO analogue): file views, independent noncontiguous
+writes (POSIX / list I/O / data sieving), and two-phase collective writes."""
+
+from .datatypes import (
+    Bytes,
+    Contiguous,
+    Datatype,
+    FlatRegion,
+    Hindexed,
+    Struct,
+    Vector,
+    tile_view,
+)
+from .file import MPIIOFile
+from .hints import IND_LIST, IND_POSIX, IND_SIEVE, MPIIOHints
+from .noncontig import datasieve_write, listio_write, posix_write
+from .twophase import two_phase_write_all
+
+__all__ = [
+    "Bytes",
+    "Contiguous",
+    "Datatype",
+    "FlatRegion",
+    "Hindexed",
+    "IND_LIST",
+    "IND_POSIX",
+    "IND_SIEVE",
+    "MPIIOFile",
+    "MPIIOHints",
+    "Struct",
+    "Vector",
+    "datasieve_write",
+    "listio_write",
+    "posix_write",
+    "tile_view",
+    "two_phase_write_all",
+]

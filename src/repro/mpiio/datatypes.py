@@ -1,0 +1,245 @@
+"""MPI derived datatypes with flattening (ROMIO's ADIOI_Flatten analogue).
+
+A datatype describes a byte-access pattern.  Flattening turns any type tree
+into an ordered list of ``(displacement, length)`` pairs — the representation
+both the list-I/O path and file views consume.  ROMIO implements exactly this
+"datatype flattening system ... used to support list I/O for PVFS2"
+(paper Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+FlatRegion = Tuple[int, int]  # (displacement, length)
+
+
+class Datatype:
+    """Base class; subclasses implement ``flatten`` / ``extent`` / ``size``."""
+
+    def flatten(self) -> List[FlatRegion]:
+        """Ordered (displacement, length) pairs; adjacent pairs coalesced."""
+        raise NotImplementedError
+
+    @property
+    def extent(self) -> int:
+        """Span from first to last byte (incl. trailing holes for vectors)."""
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        """Number of significant bytes."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{self.__class__.__name__} size={self.size} extent={self.extent}>"
+
+
+def _coalesce(regions: Sequence[FlatRegion]) -> List[FlatRegion]:
+    """Merge adjacent regions; drop zero-length ones."""
+    out: List[FlatRegion] = []
+    for disp, length in regions:
+        if length == 0:
+            continue
+        if length < 0:
+            raise ValueError("region length must be non-negative")
+        if out and out[-1][0] + out[-1][1] == disp:
+            out[-1] = (out[-1][0], out[-1][1] + length)
+        else:
+            out.append((disp, length))
+    return out
+
+
+@dataclass(frozen=True)
+class Bytes(Datatype):
+    """A contiguous run of ``count`` bytes (the elementary type)."""
+
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+
+    def flatten(self) -> List[FlatRegion]:
+        return [(0, self.count)] if self.count else []
+
+    @property
+    def extent(self) -> int:
+        return self.count
+
+    @property
+    def size(self) -> int:
+        return self.count
+
+
+@dataclass(frozen=True)
+class Contiguous(Datatype):
+    """``count`` back-to-back copies of ``base``."""
+
+    count: int
+    base: Datatype
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError("count must be non-negative")
+
+    def flatten(self) -> List[FlatRegion]:
+        base_flat = self.base.flatten()
+        stride = self.base.extent
+        return _coalesce(
+            (disp + i * stride, length)
+            for i in range(self.count)
+            for disp, length in base_flat
+        )
+
+    @property
+    def extent(self) -> int:
+        return self.count * self.base.extent
+
+    @property
+    def size(self) -> int:
+        return self.count * self.base.size
+
+
+@dataclass(frozen=True)
+class Vector(Datatype):
+    """``count`` blocks of ``blocklength`` base items, ``stride`` apart.
+
+    ``stride`` is in units of the base extent (like ``MPI_Type_vector``).
+    """
+
+    count: int
+    blocklength: int
+    stride: int
+    base: Datatype
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or self.blocklength < 0:
+            raise ValueError("count and blocklength must be non-negative")
+
+    def flatten(self) -> List[FlatRegion]:
+        unit = self.base.extent
+        block = Contiguous(self.blocklength, self.base).flatten()
+        return _coalesce(
+            (disp + i * self.stride * unit, length)
+            for i in range(self.count)
+            for disp, length in block
+        )
+
+    @property
+    def extent(self) -> int:
+        if self.count == 0:
+            return 0
+        unit = self.base.extent
+        return ((self.count - 1) * self.stride + self.blocklength) * unit
+
+    @property
+    def size(self) -> int:
+        return self.count * self.blocklength * self.base.size
+
+
+@dataclass(frozen=True)
+class Hindexed(Datatype):
+    """Blocks at explicit byte displacements (``MPI_Type_create_hindexed``)."""
+
+    blocklengths: Tuple[int, ...]
+    displacements: Tuple[int, ...]
+    base: Datatype
+
+    def __post_init__(self) -> None:
+        if len(self.blocklengths) != len(self.displacements):
+            raise ValueError("blocklengths and displacements must align")
+
+    @classmethod
+    def of_bytes(
+        cls, regions: Sequence[FlatRegion]
+    ) -> "Hindexed":
+        """Convenience: an hindexed-of-bytes type from (offset, length)s."""
+        lengths = tuple(length for _, length in regions)
+        disps = tuple(offset for offset, _ in regions)
+        return cls(lengths, disps, Bytes(1))
+
+    def flatten(self) -> List[FlatRegion]:
+        base_flat = self.base.flatten()
+        unit = self.base.extent
+        regions: List[FlatRegion] = []
+        for blocklen, disp in zip(self.blocklengths, self.displacements):
+            for i in range(blocklen):
+                for bdisp, blen in base_flat:
+                    regions.append((disp + i * unit + bdisp, blen))
+        # Displacements may be unsorted; preserve order (MPI does) but
+        # coalesce adjacency.
+        return _coalesce(regions)
+
+    @property
+    def extent(self) -> int:
+        if not self.blocklengths:
+            return 0
+        unit = self.base.extent
+        return max(
+            disp + blocklen * unit
+            for blocklen, disp in zip(self.blocklengths, self.displacements)
+        ) - min(self.displacements)
+
+    @property
+    def size(self) -> int:
+        return sum(self.blocklengths) * self.base.size
+
+
+@dataclass(frozen=True)
+class Struct(Datatype):
+    """Heterogeneous fields at byte displacements (``MPI_Type_create_struct``)."""
+
+    fields: Tuple[Tuple[int, Datatype], ...]  # (displacement, type)
+
+    def flatten(self) -> List[FlatRegion]:
+        regions: List[FlatRegion] = []
+        for disp, dtype in self.fields:
+            for fdisp, flen in dtype.flatten():
+                regions.append((disp + fdisp, flen))
+        return _coalesce(regions)
+
+    @property
+    def extent(self) -> int:
+        if not self.fields:
+            return 0
+        return max(disp + t.extent for disp, t in self.fields) - min(
+            disp for disp, _ in self.fields
+        )
+
+    @property
+    def size(self) -> int:
+        return sum(t.size for _, t in self.fields)
+
+
+def tile_view(
+    view: Datatype, view_offset: int, nbytes: int
+) -> List[FlatRegion]:
+    """Absolute file regions for writing ``nbytes`` through a file view.
+
+    The view's flattened pattern repeats every ``extent`` bytes starting at
+    ``view_offset`` (the MPI-IO displacement); successive significant bytes
+    of the write land in successive significant bytes of the tiled pattern.
+    """
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    pattern = view.flatten()
+    if not pattern:
+        if nbytes:
+            raise ValueError("cannot write through an empty view")
+        return []
+    extent = view.extent
+    out: List[FlatRegion] = []
+    remaining = nbytes
+    tile = 0
+    while remaining > 0:
+        base = view_offset + tile * extent
+        for disp, length in pattern:
+            take = min(length, remaining)
+            out.append((base + disp, take))
+            remaining -= take
+            if remaining == 0:
+                break
+        tile += 1
+    return _coalesce(out)

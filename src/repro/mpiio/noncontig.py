@@ -1,0 +1,113 @@
+"""Independent (non-collective) noncontiguous write methods.
+
+Three ways to push an (offset, length) list to the file system from a single
+process, mirroring the paper's Section 2.3:
+
+* **POSIX** — ROMIO's unoptimized generic path: every contiguous region is
+  its own client→server round trip (lseek+write equivalent), issued
+  sequentially.  "The POSIX I/O method is the MPI_Write() call without
+  optimization."
+* **List I/O** — PVFS2-native: regions are shipped in batched offset/length
+  lists (up to 64 per wire request), amortizing per-request overhead
+  (Ching et al., "Noncontiguous I/O through PVFS", Cluster 2002).
+* **Data sieving** — read-modify-write of the covering extent in buffer-size
+  chunks (ROMIO's generic fallback; included for ablations — it needs
+  atomicity and is a poor fit for interleaved writers, which is why the
+  paper's strategies don't use it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..pvfs.filesystem import FileSystem, PVFSFile
+
+Region = Tuple[int, int]
+
+
+def posix_write(
+    fs: FileSystem,
+    client: int,
+    file: PVFSFile,
+    regions: Sequence[Region],
+    datas: Optional[Sequence[Optional[bytes]]] = None,
+):
+    """Process fragment: one independent contiguous write per region."""
+    for idx, (offset, length) in enumerate(regions):
+        data = datas[idx] if datas is not None else None
+        yield from fs.write(client, file, offset, length, data)
+
+
+def listio_write(
+    fs: FileSystem,
+    client: int,
+    file: PVFSFile,
+    regions: Sequence[Region],
+    datas: Optional[Sequence[Optional[bytes]]] = None,
+):
+    """Process fragment: a single list-I/O request batch for all regions."""
+    yield from fs.write_list(client, file, regions, datas)
+
+
+def datasieve_write(
+    fs: FileSystem,
+    client: int,
+    file: PVFSFile,
+    regions: Sequence[Region],
+    datas: Optional[Sequence[Optional[bytes]]] = None,
+    buffer_size: int = 4 * 1024 * 1024,
+):
+    """Process fragment: data-sieving write (read window, merge, write back).
+
+    Only safe when no other process writes the covering extent concurrently;
+    the caller is responsible for that (as ROMIO is, via file locking on
+    file systems that support it — PVFS2 does not, which is why this method
+    exists here only for ablation experiments).
+    """
+    if not regions:
+        return
+    ordered = sorted(regions)
+    datamap = dict()
+    if datas is not None:
+        datamap = {region: datas[i] for i, region in enumerate(regions)}
+
+    lo = ordered[0][0]
+    hi = max(offset + length for offset, length in ordered)
+    window_start = lo
+    while window_start < hi:
+        window_end = min(window_start + buffer_size, hi)
+        inside = [
+            (offset, length)
+            for offset, length in ordered
+            if offset < window_end and offset + length > window_start
+        ]
+        if inside:
+            run_lo = max(min(o for o, _ in inside), window_start)
+            run_hi = min(max(o + l for o, l in inside), window_end)
+            # Read-modify-write of the covering run.  The read is skipped on
+            # a write-once store when the run has no previously written
+            # bytes; we model the worst case (ROMIO always reads unless the
+            # regions tile the window exactly).
+            covered = sum(
+                min(o + l, run_hi) - max(o, window_start)
+                for o, l in inside
+                if max(o, window_start) < min(o + l, run_hi)
+            )
+            if covered < run_hi - run_lo:
+                yield from fs.read(client, file, run_lo, run_hi - run_lo)
+            # The merged buffer goes back as one contiguous write; without
+            # stored data we only account for timing and extents, so issue
+            # the regions as separately recorded writes grouped in one wire
+            # request (no read-back content to merge).
+            chunk_regions: List[Region] = []
+            chunk_datas: List[Optional[bytes]] = []
+            for offset, length in inside:
+                clipped_lo = max(offset, window_start)
+                clipped_hi = min(offset + length, window_end)
+                chunk_regions.append((clipped_lo, clipped_hi - clipped_lo))
+                data = datamap.get((offset, length))
+                if data is not None:
+                    data = data[clipped_lo - offset : clipped_hi - offset]
+                chunk_datas.append(data)
+            yield from fs.write_list(client, file, chunk_regions, chunk_datas)
+        window_start = window_end

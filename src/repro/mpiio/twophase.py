@@ -1,0 +1,153 @@
+"""Two-phase collective write (ROMIO's generic collective I/O).
+
+The default collective method in ROMIO and the engine behind the paper's
+WW-Coll strategy.  Phase 1 exchanges data so that each of the ``cb_nodes``
+aggregators holds a contiguous *file domain*; phase 2 has aggregators issue
+large (near-)contiguous writes.  The exchange is an ``alltoallv`` among all
+participants — this is the *inherent synchronization* whose cost the paper
+sets out to expose: every rank blocks in the exchange until the slowest
+participant arrives, whether or not it has data to contribute.
+
+The domain is processed in ``cb_buffer_size`` windows ("ntimes" rounds in
+ROMIO), each round being a fresh exchange + write.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .. import mpi
+from ..pvfs.filesystem import FileSystem, PVFSFile
+from .hints import MPIIOHints
+
+Region = Tuple[int, int]
+_PIECE_HEADER_B = 16  # wire overhead per (offset, length) pair exchanged
+
+
+def two_phase_write_all(
+    comm,
+    fs: FileSystem,
+    file: PVFSFile,
+    regions: Sequence[Region],
+    datas: Optional[Sequence[Optional[bytes]]] = None,
+    hints: Optional[MPIIOHints] = None,
+):
+    """Process fragment: collective write; every rank of ``comm`` must call.
+
+    ``regions`` may be empty on ranks with nothing to write — they still
+    participate in every exchange round (the synchronization the paper
+    measures).
+    """
+    hints = hints if hints is not None else MPIIOHints()
+    regions = list(regions)
+    if datas is not None and len(datas) != len(regions):
+        raise ValueError("datas must align with regions")
+
+    # --- Step 1: allgather per-rank span metadata (small messages). ---------
+    my_span = None
+    if regions:
+        my_span = (
+            min(offset for offset, _ in regions),
+            max(offset + length for offset, length in regions),
+        )
+    spans = yield from mpi.allgather(comm, 32, my_span)
+
+    live = [s for s in spans if s is not None]
+    if not live:
+        if hints.collective_final_barrier:
+            yield from mpi.barrier(comm)
+        return
+
+    global_lo = min(s[0] for s in live)
+    global_hi = max(s[1] for s in live)
+
+    # --- Step 2: partition [lo, hi) into per-aggregator file domains. -------
+    naggs = hints.effective_cb_nodes(comm.size, len(fs.servers))
+    fd_size = -(-(global_hi - global_lo) // naggs)  # ceil
+    # Aggregators are the first naggs ranks of the communicator (ROMIO uses
+    # the cb_config_list selection; first-N is its flat default).
+    domains = [
+        (global_lo + k * fd_size, min(global_lo + (k + 1) * fd_size, global_hi))
+        for k in range(naggs)
+    ]
+    ntimes = max(1, -(-fd_size // hints.cb_buffer_size))
+
+    my_pieces = _indexed_pieces(regions, datas)
+
+    # --- Step 3+4: rounds of exchange + aggregator write. -------------------
+    for round_idx in range(ntimes):
+        sizes = [0] * comm.size
+        payloads: List[Optional[List]] = [None] * comm.size
+        for agg in range(naggs):
+            d_lo, d_hi = domains[agg]
+            w_lo = d_lo + round_idx * hints.cb_buffer_size
+            w_hi = min(w_lo + hints.cb_buffer_size, d_hi)
+            if w_lo >= w_hi:
+                continue
+            chunk = _clip_pieces(my_pieces, w_lo, w_hi)
+            if chunk:
+                nbytes = sum(length for _, length, _ in chunk)
+                sizes[agg] = nbytes + _PIECE_HEADER_B * len(chunk)
+                payloads[agg] = chunk
+
+        received = yield from mpi.alltoallv(comm, sizes, payloads)
+
+        if comm.rank < naggs:
+            incoming: List[Tuple[int, int, Optional[bytes]]] = []
+            for item in received:
+                if item:
+                    incoming.extend(item)
+            if incoming:
+                runs, run_datas = _coalesce_pieces(incoming)
+                yield from fs.write_list(
+                    comm.global_rank, file, runs, run_datas
+                )
+
+    if hints.collective_final_barrier:
+        yield from mpi.barrier(comm)
+
+
+def _indexed_pieces(
+    regions: Sequence[Region], datas: Optional[Sequence[Optional[bytes]]]
+) -> List[Tuple[int, int, Optional[bytes]]]:
+    out = []
+    for idx, (offset, length) in enumerate(regions):
+        data = datas[idx] if datas is not None else None
+        if data is not None and len(data) != length:
+            raise ValueError("data length mismatch")
+        out.append((offset, length, data))
+    return out
+
+
+def _clip_pieces(
+    pieces: List[Tuple[int, int, Optional[bytes]]], lo: int, hi: int
+) -> List[Tuple[int, int, Optional[bytes]]]:
+    """Pieces intersected with the window [lo, hi)."""
+    out = []
+    for offset, length, data in pieces:
+        c_lo = max(offset, lo)
+        c_hi = min(offset + length, hi)
+        if c_lo >= c_hi:
+            continue
+        c_data = data[c_lo - offset : c_hi - offset] if data is not None else None
+        out.append((c_lo, c_hi - c_lo, c_data))
+    return out
+
+
+def _coalesce_pieces(
+    pieces: List[Tuple[int, int, Optional[bytes]]],
+) -> Tuple[List[Region], Optional[List[Optional[bytes]]]]:
+    """Sort by offset and merge adjacent pieces into contiguous runs."""
+    pieces = sorted(pieces, key=lambda p: p[0])
+    runs: List[List] = []
+    have_data = any(p[2] is not None for p in pieces)
+    for offset, length, data in pieces:
+        if runs and runs[-1][0] + runs[-1][1] == offset:
+            runs[-1][1] += length
+            if have_data:
+                runs[-1][2] = (runs[-1][2] or b"") + (data or bytes(length))
+        else:
+            runs.append([offset, length, data if data is not None else (bytes(length) if have_data else None)])
+    regions = [(r[0], r[1]) for r in runs]
+    datas = [r[2] for r in runs] if have_data else None
+    return regions, datas

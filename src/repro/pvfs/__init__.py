@@ -1,0 +1,22 @@
+"""Simulated PVFS2: striped parallel file system with list-I/O support."""
+
+from .bytestore import ByteStore, OverlapError
+from .disk import DiskModel
+from .filesystem import FileSystem, PVFSConfig, PVFSFile
+from .layout import Piece, Region, StripingLayout
+from .server import IOServer, MetadataServer, ServerStats
+
+__all__ = [
+    "ByteStore",
+    "DiskModel",
+    "FileSystem",
+    "IOServer",
+    "MetadataServer",
+    "OverlapError",
+    "PVFSConfig",
+    "PVFSFile",
+    "Piece",
+    "Region",
+    "ServerStats",
+    "StripingLayout",
+]

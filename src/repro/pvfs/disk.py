@@ -1,0 +1,84 @@
+"""Disk service-time model for one I/O server.
+
+A 2006-era commodity server disk: every request pays a fixed per-operation
+overhead (request decode, buffer setup, kernel crossing), each discontiguous
+jump pays a seek penalty, and bytes stream at the platter rate.  A sync
+(``MPI_File_sync`` reaches every server) pays a flush cost.
+
+The head position persists across requests, so a master writing one large
+contiguous stream per query gets near-streaming service while interleaved
+worker regions pay seeks — the contiguous-vs-noncontiguous asymmetry the
+paper's Section 2.1 leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Timing parameters of one server's storage stack.
+
+    Attributes
+    ----------
+    op_overhead_s:
+        Fixed cost per server request (regardless of region count).
+    region_overhead_s:
+        Additional cost per region within a list request (PVFS2 processes
+        each (offset, length) pair of a listio request individually but
+        amortizes the request setup).
+    seek_penalty_s:
+        Cost of repositioning when a region does not start where the
+        previous one ended (beyond ``seek_free_gap_B``).
+    bandwidth_Bps:
+        Streaming transfer rate.
+    sync_s:
+        Cost of a flush/sync request.
+    seek_free_gap_B:
+        Forward gaps up to this size count as sequential (read-ahead /
+        track cache absorbs them).
+    """
+
+    op_overhead_s: float = 8e-4
+    region_overhead_s: float = 5e-5
+    seek_penalty_s: float = 4.5e-3
+    bandwidth_Bps: float = 45 * MIB
+    sync_s: float = 4e-3
+    seek_free_gap_B: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_Bps <= 0:
+            raise ValueError("bandwidth_Bps must be positive")
+        for name in ("op_overhead_s", "region_overhead_s", "seek_penalty_s", "sync_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.seek_free_gap_B < 0:
+            raise ValueError("seek_free_gap_B must be non-negative")
+
+    def service_time(
+        self, regions: Sequence[Tuple[int, int]], head_position: int
+    ) -> Tuple[float, int]:
+        """Time to service a request of physical ``regions``.
+
+        Returns ``(seconds, new_head_position)``.  Regions are serviced in
+        the order given (clients sort them by offset).
+        """
+        total = self.op_overhead_s
+        head = head_position
+        for offset, length in regions:
+            if length < 0:
+                raise ValueError("region length must be non-negative")
+            total += self.region_overhead_s
+            gap = offset - head
+            if gap < 0 or gap > self.seek_free_gap_B:
+                total += self.seek_penalty_s
+            total += length / self.bandwidth_Bps
+            head = offset + length
+        return total, head
+
+    def sync_time(self) -> float:
+        return self.sync_s

@@ -1,0 +1,336 @@
+"""PVFS2 facade: files, client operations, and the server farm.
+
+Client operations are process fragments invoked from rank processes.  A
+logical request is split by the striping layout into per-server subrequests
+that proceed *in parallel* (PVFS2 clients talk to all servers directly; no
+single funnel), each paying: client NIC serialization → wire latency →
+server inbound channel → disk service → response latency.
+
+PVFS2 characteristics modelled faithfully:
+
+* native list I/O — many (offset, length) regions per request, up to
+  ``listio_max_regions`` (64 in the PVFS2 listio wire protocol);
+* no write atomicity/locking — concurrent non-overlapping writes never
+  serialize against each other beyond physical contention (the paper's
+  Section 3.1 point about PVFS2 avoiding false-sharing serialization);
+* a single metadata server (first server also runs metadata duties on the
+  Feynman deployment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..sim import Environment, Event, Resource
+from ..mpi.network import NetworkConfig, Nic, KIB, MIB
+from .bytestore import ByteStore
+from .disk import DiskModel
+from .layout import Region, StripingLayout
+from .server import IOServer, MetadataServer
+
+
+@dataclass(frozen=True)
+class PVFSConfig:
+    """Deployment parameters for the simulated file system."""
+
+    nservers: int = 16
+    strip_size: int = 64 * KIB
+    disk: DiskModel = field(default_factory=DiskModel)
+    network: NetworkConfig = field(default_factory=NetworkConfig.myrinet2000)
+    metadata_op_s: float = 3e-4
+    request_header_B: int = 256
+    listio_max_regions: int = 64
+    #: Effective per-client streaming rate into the file system.  A single
+    #: 2006 PVFS2 client could not come close to saturating a 16-server
+    #: volume — client-side buffer copies, flow-control windows, and the
+    #: sync-after-every-write discipline bound one process to a few MB/s,
+    #: which is why "having more clients writing simultaneously provides
+    #: better I/O throughput" (paper Section 2.2) and why master-writing
+    #: cannot scale.  Aggregate bandwidth still scales with client count up
+    #: to the servers' limits.
+    client_pipeline_Bps: float = 3 * MIB
+    store_data: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nservers <= 0:
+            raise ValueError("nservers must be positive")
+        if self.strip_size <= 0:
+            raise ValueError("strip_size must be positive")
+        if self.listio_max_regions <= 0:
+            raise ValueError("listio_max_regions must be positive")
+        if self.request_header_B < 0:
+            raise ValueError("request_header_B must be non-negative")
+        if self.client_pipeline_Bps <= 0:
+            raise ValueError("client_pipeline_Bps must be positive")
+
+    @classmethod
+    def feynman(cls, store_data: bool = False) -> "PVFSConfig":
+        """The paper's deployment: 16 servers, 64 KiB strips."""
+        return cls(store_data=store_data)
+
+    def layout(self) -> StripingLayout:
+        return StripingLayout(strip_size=self.strip_size, nservers=self.nservers)
+
+
+class PVFSFile:
+    """A file in the simulated PVFS2 namespace."""
+
+    def __init__(self, name: str, layout: StripingLayout, store_data: bool) -> None:
+        self.name = name
+        self.layout = layout
+        self.bytestore = ByteStore(store_data=store_data)
+
+    def __repr__(self) -> str:
+        return f"<PVFSFile {self.name!r} size={self.size}>"
+
+    @property
+    def size(self) -> int:
+        return self.bytestore.size()
+
+
+class FileSystem:
+    """The PVFS2 volume: I/O servers, metadata server, namespace.
+
+    ``client_nic`` optionally maps a client id (MPI rank) to its
+    :class:`~repro.mpi.network.Nic` so file-system traffic contends with
+    MPI traffic on the same host adapter — on the Feynman cluster both
+    rode the same Myrinet.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        config: Optional[PVFSConfig] = None,
+        client_nic: Optional[Callable[[int], Nic]] = None,
+    ) -> None:
+        self.env = env
+        self.config = config if config is not None else PVFSConfig()
+        self.layout = self.config.layout()
+        self.servers: List[IOServer] = [
+            IOServer(env, i, self.config.disk) for i in range(self.config.nservers)
+        ]
+        self.metadata = MetadataServer(env, self.config.metadata_op_s)
+        self.files: Dict[str, PVFSFile] = {}
+        self._client_nic = client_nic
+        # Fallback per-client serialization when no NIC is wired in: the
+        # client pipeline is a host-wide bottleneck, so concurrent
+        # subrequests from one client must not each get full rate.
+        self._client_locks: Dict[int, "Resource"] = {}
+
+    def __repr__(self) -> str:
+        return f"<FileSystem servers={len(self.servers)} files={len(self.files)}>"
+
+    # -- fault/degradation injection --------------------------------------
+    def degrade_server(self, server_id: int, factor: float) -> None:
+        """Slow one I/O server down by ``factor`` (a straggler disk).
+
+        Every striped request touches most servers, so a single straggler
+        throttles the whole volume — a classic parallel-file-system
+        failure mode.  ``factor`` scales service times (>1 = slower).
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        server = self.servers[server_id]
+        disk = server.disk
+        server.disk = replace(
+            disk,
+            op_overhead_s=disk.op_overhead_s * factor,
+            region_overhead_s=disk.region_overhead_s * factor,
+            seek_penalty_s=disk.seek_penalty_s * factor,
+            bandwidth_Bps=disk.bandwidth_Bps / factor,
+            sync_s=disk.sync_s * factor,
+        )
+
+    # -- namespace ------------------------------------------------------------
+    def open(self, client: int, path: str, create: bool = True):
+        """Process fragment: open (and maybe create) a file; returns it."""
+        yield from self._round_trip_metadata()
+        if path not in self.files:
+            if not create:
+                raise FileNotFoundError(path)
+            yield from self._round_trip_metadata()
+            # Re-check: another client may have raced us to the create while
+            # we waited on the metadata server (which arbitrates for real);
+            # both openers must end up with the same file object.
+            if path not in self.files:
+                self.files[path] = PVFSFile(
+                    path, self.layout, self.config.store_data
+                )
+        return self.files[path]
+
+    def lookup(self, path: str) -> PVFSFile:
+        """Zero-cost namespace lookup for assertions in tests."""
+        return self.files[path]
+
+    # -- data operations ---------------------------------------------------------
+    def write(
+        self,
+        client: int,
+        file: PVFSFile,
+        offset: int,
+        length: int,
+        data: Optional[bytes] = None,
+    ):
+        """Process fragment: one contiguous write."""
+        yield from self.write_list(
+            client, file, [(offset, length)], [data] if data is not None else None
+        )
+
+    def write_list(
+        self,
+        client: int,
+        file: PVFSFile,
+        regions: Sequence[Region],
+        datas: Optional[Sequence[Optional[bytes]]] = None,
+    ):
+        """Process fragment: a PVFS2 list-I/O write of many regions.
+
+        The request is decomposed per server; each server receives at most
+        ``listio_max_regions`` regions per wire request (additional requests
+        are pipelined to the same server).  Subrequests to distinct servers
+        run concurrently.
+        """
+        regions = list(regions)
+        if datas is not None and len(datas) != len(regions):
+            raise ValueError("datas must align with regions")
+        for idx, (offset, length) in enumerate(regions):
+            file.bytestore.write(
+                offset, length, datas[idx] if datas is not None else None
+            )
+
+        by_server = self.layout.map_regions(regions)
+        subrequests = []
+        for server_id, pieces in by_server.items():
+            # Service in ascending physical offset, as the server would.
+            phys = sorted((p.physical_offset, p.length) for p in pieces)
+            for start in range(0, len(phys), self.config.listio_max_regions):
+                chunk = phys[start : start + self.config.listio_max_regions]
+                subrequests.append((self.servers[server_id], chunk))
+
+        yield from self._issue_parallel(client, subrequests, is_read=False)
+
+    def read(self, client: int, file: PVFSFile, offset: int, length: int):
+        """Process fragment: one contiguous read; returns bytes when stored."""
+        result = yield from self.read_list(client, file, [(offset, length)])
+        return result[0] if result is not None else None
+
+    def read_list(self, client: int, file: PVFSFile, regions: Sequence[Region]):
+        """Process fragment: list-I/O read; returns per-region bytes or None."""
+        regions = list(regions)
+        by_server = self.layout.map_regions(regions)
+        subrequests = []
+        for server_id, pieces in by_server.items():
+            phys = sorted((p.physical_offset, p.length) for p in pieces)
+            for start in range(0, len(phys), self.config.listio_max_regions):
+                chunk = phys[start : start + self.config.listio_max_regions]
+                subrequests.append((self.servers[server_id], chunk))
+        yield from self._issue_parallel(client, subrequests, is_read=True)
+        if file.bytestore.store_data:
+            return [file.bytestore.read(offset, length) for offset, length in regions]
+        return None
+
+    def sync(self, client: int, file: PVFSFile):
+        """Process fragment: flush on every server (MPI_File_sync target)."""
+        procs = [
+            self.env.process(
+                self._sync_one(client, server), name=f"sync-s{server.server_id}"
+            )
+            for server in self.servers
+        ]
+        yield self.env.all_of(procs)
+
+    # -- internals -----------------------------------------------------------------
+    def _round_trip_metadata(self):
+        net = self.config.network
+        yield self.env.timeout(net.latency_s)
+        yield from self.metadata.operation()
+        yield self.env.timeout(net.latency_s)
+
+    def _client_tx(self, client: int, nbytes: int):
+        """Client-side serialization of ``nbytes`` into the file system.
+
+        Rate-limited by the slower of the NIC and the PVFS2 client
+        pipeline; holds the host NIC so file-system and MPI traffic
+        contend, as they did on Feynman's shared Myrinet.
+        """
+        net = self.config.network
+        rate = min(net.bandwidth_Bps, self.config.client_pipeline_Bps)
+        seconds = nbytes / rate + net.cpu_overhead_s
+        nic = self._client_nic(client) if self._client_nic is not None else None
+        if nic is None:
+            if client not in self._client_locks:
+                self._client_locks[client] = Resource(self.env, capacity=1)
+            with self._client_locks[client].request() as slot:
+                yield slot
+                yield self.env.timeout(seconds)
+        else:
+            with nic.tx.request() as slot:
+                yield slot
+                yield self.env.timeout(seconds)
+            nic.stats.tx_messages += 1
+            nic.stats.tx_bytes += nbytes
+
+    def _issue_parallel(
+        self,
+        client: int,
+        subrequests: List[Tuple[IOServer, List[Tuple[int, int]]]],
+        is_read: bool,
+    ):
+        if not subrequests:
+            return
+        procs = [
+            self.env.process(
+                self._one_server_request(client, server, chunk, is_read),
+                name=f"io-c{client}-s{server.server_id}",
+            )
+            for server, chunk in subrequests
+        ]
+        yield self.env.all_of(procs)
+
+    def _one_server_request(
+        self,
+        client: int,
+        server: IOServer,
+        phys_regions: List[Tuple[int, int]],
+        is_read: bool,
+    ):
+        net = self.config.network
+        nbytes = sum(length for _, length in phys_regions)
+        header = self.config.request_header_B + 16 * len(phys_regions)
+
+        if is_read:
+            # Request out (header only), data back.
+            yield from self._client_tx(client, header)
+            yield self.env.timeout(net.latency_s)
+            yield from server.service_write(phys_regions, is_read=True)
+            with server.net_in.request() as slot:  # server-side send channel
+                yield slot
+                yield self.env.timeout(net.serialization_time(nbytes))
+            yield self.env.timeout(net.latency_s)
+        else:
+            # Header + payload out, small ack back.
+            yield from self._client_tx(client, header + nbytes)
+            yield self.env.timeout(net.latency_s)
+            with server.net_in.request() as slot:
+                yield slot
+                yield self.env.timeout(net.serialization_time(header + nbytes))
+            yield from server.service_write(phys_regions, is_read=False)
+            yield self.env.timeout(net.latency_s)
+
+    def _sync_one(self, client: int, server: IOServer):
+        net = self.config.network
+        yield from self._client_tx(client, self.config.request_header_B)
+        yield self.env.timeout(net.latency_s)
+        yield from server.service_sync()
+        yield self.env.timeout(net.latency_s)
+
+    # -- aggregate stats ------------------------------------------------------------
+    def total_bytes_written(self) -> int:
+        return sum(s.stats.bytes_written for s in self.servers)
+
+    def total_requests(self) -> int:
+        return sum(s.stats.requests for s in self.servers)
+
+    def total_syncs(self) -> int:
+        return sum(s.stats.syncs for s in self.servers)

@@ -1,0 +1,102 @@
+"""File striping: mapping logical file extents onto I/O servers.
+
+PVFS2 round-robin striping (``simple_stripe``): the file is cut into strips
+of ``strip_size`` bytes; strip ``i`` lives on server ``i % nservers`` at
+physical position ``(i // nservers) * strip_size`` plus the in-strip offset.
+The paper's deployment: 16 servers, 64 KiB strips, i.e. a 1 MiB stripe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+Region = Tuple[int, int]  # (offset, length) in bytes
+
+
+@dataclass(frozen=True)
+class Piece:
+    """A server-local chunk of a logical extent."""
+
+    server: int
+    physical_offset: int
+    length: int
+    logical_offset: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("piece length must be positive")
+
+
+class StripingLayout:
+    """Round-robin strip placement over ``nservers`` servers."""
+
+    def __init__(self, strip_size: int = 64 * 1024, nservers: int = 16) -> None:
+        if strip_size <= 0:
+            raise ValueError("strip_size must be positive")
+        if nservers <= 0:
+            raise ValueError("nservers must be positive")
+        self.strip_size = strip_size
+        self.nservers = nservers
+
+    def __repr__(self) -> str:
+        return f"StripingLayout(strip_size={self.strip_size}, nservers={self.nservers})"
+
+    @property
+    def stripe_size(self) -> int:
+        """One full round across all servers."""
+        return self.strip_size * self.nservers
+
+    def server_of(self, offset: int) -> int:
+        """The server holding the byte at logical ``offset``."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        return (offset // self.strip_size) % self.nservers
+
+    def physical_offset(self, offset: int) -> int:
+        """Server-local offset of the byte at logical ``offset``."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        strip = offset // self.strip_size
+        return (strip // self.nservers) * self.strip_size + offset % self.strip_size
+
+    def map_extent(self, offset: int, length: int) -> List[Piece]:
+        """Split a logical extent into per-server pieces, in logical order."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        pieces: List[Piece] = []
+        position = offset
+        remaining = length
+        while remaining > 0:
+            in_strip = position % self.strip_size
+            take = min(self.strip_size - in_strip, remaining)
+            pieces.append(
+                Piece(
+                    server=self.server_of(position),
+                    physical_offset=self.physical_offset(position),
+                    length=take,
+                    logical_offset=position,
+                )
+            )
+            position += take
+            remaining -= take
+        return pieces
+
+    def map_regions(self, regions: Iterable[Region]) -> Dict[int, List[Piece]]:
+        """Group the pieces of many regions by server.
+
+        Within each server the pieces keep the caller's region order (which
+        for sorted input means ascending physical offset — what a real
+        server would service sequentially).
+        """
+        by_server: Dict[int, List[Piece]] = {}
+        for offset, length in regions:
+            for piece in self.map_extent(offset, length):
+                by_server.setdefault(piece.server, []).append(piece)
+        return by_server
+
+    def servers_touched(self, regions: Iterable[Region]) -> List[int]:
+        """Sorted list of servers holding any byte of ``regions``."""
+        return sorted(self.map_regions(regions).keys())

@@ -1,0 +1,94 @@
+"""PVFS2 I/O server and metadata server models.
+
+An I/O server has two contention points: an inbound network channel
+(unit-capacity resource — concurrent clients serialize their data streams
+into the server) and the disk (unit-capacity, serviced via
+:class:`~repro.pvfs.disk.DiskModel` with persistent head tracking).
+The metadata server serves open/create/resize ops with a fixed cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sim import Environment, Resource
+from .disk import DiskModel
+
+
+@dataclass
+class ServerStats:
+    """Per-server counters for observability and tests."""
+
+    requests: int = 0
+    regions: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    syncs: int = 0
+    busy_s: float = 0.0
+
+
+class IOServer:
+    """One PVFS2 I/O daemon: network-in + disk with head tracking."""
+
+    def __init__(self, env: Environment, server_id: int, disk: DiskModel) -> None:
+        self.env = env
+        self.server_id = server_id
+        self.disk = disk
+        self.net_in = Resource(env, capacity=1)
+        self.disk_res = Resource(env, capacity=1)
+        self.head_position = 0
+        self.stats = ServerStats()
+
+    def __repr__(self) -> str:
+        return (
+            f"<IOServer {self.server_id} queue={len(self.disk_res.queue)} "
+            f"head={self.head_position}>"
+        )
+
+    def service_write(self, regions: List[Tuple[int, int]], is_read: bool = False):
+        """Process fragment: acquire the disk and service ``regions``.
+
+        Must be entered after the request's bytes have crossed ``net_in``.
+        """
+        with self.disk_res.request() as slot:
+            yield slot
+            seconds, new_head = self.disk.service_time(regions, self.head_position)
+            self.head_position = new_head
+            yield self.env.timeout(seconds)
+            nbytes = sum(length for _, length in regions)
+            self.stats.requests += 1
+            self.stats.regions += len(regions)
+            if is_read:
+                self.stats.bytes_read += nbytes
+            else:
+                self.stats.bytes_written += nbytes
+            self.stats.busy_s += seconds
+
+    def service_sync(self):
+        """Process fragment: flush request (one per MPI_File_sync)."""
+        with self.disk_res.request() as slot:
+            yield slot
+            seconds = self.disk.sync_time()
+            yield self.env.timeout(seconds)
+            self.stats.syncs += 1
+            self.stats.busy_s += seconds
+
+
+class MetadataServer:
+    """PVFS2 metadata daemon: namespace ops with a fixed service cost."""
+
+    def __init__(self, env: Environment, op_cost_s: float = 3e-4) -> None:
+        if op_cost_s < 0:
+            raise ValueError("op_cost_s must be non-negative")
+        self.env = env
+        self.op_cost_s = op_cost_s
+        self.queue = Resource(env, capacity=1)
+        self.ops = 0
+
+    def operation(self):
+        """Process fragment: one metadata operation (create/open/stat)."""
+        with self.queue.request() as slot:
+            yield slot
+            yield self.env.timeout(self.op_cost_s)
+            self.ops += 1

@@ -1,0 +1,43 @@
+"""Discrete-event simulation kernel.
+
+A from-scratch process-interaction DES engine: generator-based processes,
+events, conditions, interrupts, and shared-resource primitives.  Everything
+above this package (MPI, PVFS2, MPI-IO, S3aSim) is expressed in terms of
+these primitives.
+"""
+
+from .environment import Environment
+from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from .process import Process
+from .resources import (
+    Container,
+    PriorityRequest,
+    PriorityResource,
+    Request,
+    Resource,
+    Store,
+)
+from .rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "ConditionValue",
+    "Container",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "PriorityRequest",
+    "PriorityResource",
+    "Process",
+    "RandomStreams",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "StopSimulation",
+    "Store",
+    "Timeout",
+]

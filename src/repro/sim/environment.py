@@ -1,0 +1,137 @@
+"""The simulation environment: event queue, virtual clock, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, List, Optional, Tuple, Union
+
+from .errors import EmptySchedule, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout
+from .process import Process, ProcessGenerator
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    Time is a float in *seconds* throughout this project.  Events scheduled
+    at the same timestamp are ordered by priority, then FIFO by insertion.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_proc: Optional[Process] = None
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now:.9g} queued={len(self._queue)}>"
+
+    # -- clock & introspection ----------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None between events)."""
+        return self._active_proc
+
+    @property
+    def queue_size(self) -> int:
+        return len(self._queue)
+
+    # -- factories -----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Insert ``event`` into the queue ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"Cannot schedule in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event: advance the clock, run callbacks."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            raise SimulationError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # Nobody handled this failure; crash the simulation loudly.
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else SimulationError(repr(exc))
+
+    # -- run loop ---------------------------------------------------------------
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run until the queue drains, a time is reached, or an event fires.
+
+        * ``until is None`` — run to exhaustion, return None.
+        * ``until`` is a number — run to that time, return None.
+        * ``until`` is an :class:`Event` — run until it is processed and
+          return its value (raising if it failed).
+        """
+        if until is not None:
+            if isinstance(until, Event):
+                if until.callbacks is None:
+                    # Already processed.
+                    if until._ok:
+                        return until._value
+                    raise until._value  # type: ignore[misc]
+                until.callbacks.append(_stop_simulation)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(f"until ({at}) must not be before now ({self._now})")
+                stopper = Event(self)
+                stopper._ok = True
+                stopper._value = None
+                stopper.callbacks = [_stop_simulation]
+                heapq.heappush(self._queue, (at, NORMAL, next(self._eid), stopper))
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if isinstance(until, Event) and not until.triggered:
+                raise SimulationError(
+                    "Simulation ended before the awaited event was triggered"
+                ) from None
+            return None
+
+
+def _stop_simulation(event: Event) -> None:
+    if event._ok:
+        raise StopSimulation(event._value)
+    event._defused = True
+    raise event._value  # type: ignore[misc]

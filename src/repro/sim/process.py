@@ -1,0 +1,139 @@
+"""Process abstraction: a generator-driven actor in simulated time."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from .errors import Interrupt, SimulationError
+from .events import Event, Initialize, NORMAL, URGENT, _PENDING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .environment import Environment
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """Wraps a generator so it can run as a simulated process.
+
+    A process is itself an :class:`Event` that succeeds with the generator's
+    return value (or fails with its uncaught exception), so processes can
+    wait on each other by yielding the :class:`Process` object.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: ProcessGenerator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+        self.name = name or getattr(generator, "__name__", "process")
+
+    def _desc(self) -> str:
+        return f"{self.name} {super()._desc()}"
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits for (None if running)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The process must be alive and must not interrupt itself.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("A process is not allowed to interrupt itself")
+
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks = [self._resume]
+        self.env.schedule(interrupt_event, priority=URGENT)
+
+        # Detach from the event we were waiting on so it does not resume us
+        # a second time.  (The event itself stays scheduled for any other
+        # waiters.)
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = None
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value/exception of ``event``."""
+        env = self.env
+        env._active_proc = self
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waiter takes responsibility for the failure.
+                    event._defused = True
+                    exc = event._value
+                    if isinstance(exc, BaseException):
+                        next_event = self._generator.throw(exc)
+                    else:  # pragma: no cover - defensive
+                        next_event = self._generator.throw(
+                            SimulationError(repr(exc))
+                        )
+            except StopIteration as stop:
+                # Process finished normally.
+                self._ok = True
+                self._value = stop.value
+                env.schedule(self, priority=NORMAL)
+                break
+            except BaseException as error:
+                # Process died; propagate through the process event.
+                self._ok = False
+                self._value = error
+                env.schedule(self, priority=NORMAL)
+                break
+
+            if next_event is None:
+                # Allow "yield None" as a cooperative no-op scheduling point.
+                event = Event(env)
+                event._ok = True
+                event._value = None
+                env.schedule(event, priority=URGENT)
+                event.callbacks.append(self._resume)  # type: ignore[union-attr]
+                self._target = event
+                break
+
+            if not isinstance(next_event, Event):
+                raise SimulationError(
+                    f"Process {self.name!r} yielded non-event {next_event!r}"
+                )
+
+            if next_event.env is not env:
+                raise SimulationError(
+                    "Process yielded an event from a different environment"
+                )
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: register for resumption and stop.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # Event already processed: loop and feed its value immediately.
+            event = next_event
+
+        env._active_proc = None

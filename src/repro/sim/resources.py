@@ -1,0 +1,308 @@
+"""Shared-resource primitives: Resource, PriorityResource, Container, Store.
+
+These model contention points in the simulated system — NICs, disk heads,
+server request queues — in the classic request/release style.  Request and
+get/put operations are events, so processes simply ``yield`` them; requests
+also work as context managers for exception-safe release.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, Generic, List, Optional, TypeVar
+
+from .errors import SimulationError
+from .events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .environment import Environment
+
+T = TypeVar("T")
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._do_request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw an unfulfilled request (no-op if already granted)."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A resource with ``capacity`` identical slots and a FIFO wait queue."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: List[Request] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.__class__.__name__} capacity={self.capacity} "
+            f"users={len(self.users)} queued={len(self.queue)}>"
+        )
+
+    @property
+    def in_use(self) -> int:
+        return len(self.users)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - len(self.users)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a slot claimed by ``request`` and wake the next waiter."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing an unfulfilled request equals cancelling it.
+            self._cancel(request)
+            return
+        self._grant_next()
+
+    # -- internals ----------------------------------------------------------
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            self.queue.append(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        if self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed()
+
+
+class PriorityRequest(Request):
+    """A claim with a priority (lower value = more important)."""
+
+    __slots__ = ("priority", "_order")
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
+        self.priority = priority
+        self._order = next(resource._counter)
+        super().__init__(resource)
+
+    def _key(self):
+        return (self.priority, self._order)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose wait queue is ordered by priority."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        self._counter = count()
+        super().__init__(env, capacity)
+        self._heap: List[tuple] = []
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _do_request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed()
+        else:
+            heapq.heappush(self._heap, (*request._key(), request))  # type: ignore[attr-defined]
+            self.queue.append(request)
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            return
+        self._heap = [entry for entry in self._heap if entry[2] is not request]
+        heapq.heapify(self._heap)
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _, _, nxt = heapq.heappop(self._heap)
+            if nxt not in self.queue:
+                continue
+            self.queue.remove(nxt)
+            self.users.append(nxt)
+            nxt.succeed()
+            return
+
+
+class ContainerGet(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._get_waiters.append(self)
+        container._update()
+
+
+class ContainerPut(Event):
+    __slots__ = ("amount",)
+
+    def __init__(self, container: "Container", amount: float) -> None:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        super().__init__(container.env)
+        self.amount = amount
+        container._put_waiters.append(self)
+        container._update()
+
+
+class Container:
+    """A homogeneous bulk quantity (bytes of buffer space, credits, ...)."""
+
+    def __init__(
+        self, env: "Environment", capacity: float = float("inf"), init: float = 0.0
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not (0 <= init <= capacity):
+            raise ValueError("init must lie in [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = init
+        self._get_waiters: List[ContainerGet] = []
+        self._put_waiters: List[ContainerPut] = []
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def get(self, amount: float) -> ContainerGet:
+        return ContainerGet(self, amount)
+
+    def put(self, amount: float) -> ContainerPut:
+        return ContainerPut(self, amount)
+
+    def _update(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._put_waiters:
+                put = self._put_waiters[0]
+                if self._level + put.amount <= self.capacity:
+                    self._put_waiters.pop(0)
+                    self._level += put.amount
+                    put.succeed()
+                    progressed = True
+            if self._get_waiters:
+                get = self._get_waiters[0]
+                if self._level >= get.amount:
+                    self._get_waiters.pop(0)
+                    self._level -= get.amount
+                    get.succeed()
+                    progressed = True
+
+
+class StoreGet(Event):
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store", filter: Optional[Callable[[Any], bool]] = None) -> None:
+        super().__init__(store.env)
+        self.filter = filter
+        store._getters.append(self)
+        store._dispatch()
+
+
+class StorePut(Event):
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._putters.append(self)
+        store._dispatch()
+
+
+class Store(Generic[T]):
+    """An unordered buffer of Python objects with optional capacity.
+
+    ``get`` may take a filter predicate; the first matching item is removed
+    (FilterStore semantics folded in — the simulated MPI matching queues
+    rely on this).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = float("inf")) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: List[T] = []
+        self._getters: List[StoreGet] = []
+        self._putters: List[StorePut] = []
+
+    def __repr__(self) -> str:
+        return f"<Store items={len(self.items)} getters={len(self._getters)}>"
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: T) -> StorePut:
+        return StorePut(self, item)
+
+    def get(self, filter: Optional[Callable[[T], bool]] = None) -> StoreGet:
+        return StoreGet(self, filter)
+
+    def peek(self, filter: Optional[Callable[[T], bool]] = None) -> Optional[T]:
+        """Non-destructively find the first matching item (or None)."""
+        for item in self.items:
+            if filter is None or filter(item):
+                return item
+        return None
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Move queued put items into the store while capacity allows.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progressed = True
+            # Satisfy getters in FIFO order, each taking its first match.
+            remaining: List[StoreGet] = []
+            for getter in self._getters:
+                matched = False
+                for idx, item in enumerate(self.items):
+                    if getter.filter is None or getter.filter(item):
+                        self.items.pop(idx)
+                        getter.succeed(item)
+                        matched = True
+                        progressed = True
+                        break
+                if not matched:
+                    remaining.append(getter)
+            self._getters = remaining
+            if not self._putters:
+                break

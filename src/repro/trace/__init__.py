@@ -1,0 +1,13 @@
+"""MPE/Jumpshot-style execution tracing for the simulator."""
+
+from .recorder import Interval, TraceRecorder, export_json, load_json
+from .timeline import DEFAULT_GLYPHS, render_timeline
+
+__all__ = [
+    "DEFAULT_GLYPHS",
+    "Interval",
+    "TraceRecorder",
+    "export_json",
+    "load_json",
+    "render_timeline",
+]

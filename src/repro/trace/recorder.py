@@ -1,0 +1,126 @@
+"""Execution tracing — the MPE/Jumpshot integration S3aSim advertises.
+
+The paper highlights S3aSim's "integration with the multiprocessing
+environment (MPE) and Jumpshot for easy debugging": per-rank timelines of
+colored state intervals.  :class:`TraceRecorder` collects such intervals
+(one per phase-measured span), and the exporters render them as JSON (a
+SLOG-2-like interchange) or as an ASCII timeline for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, TextIO
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One colored bar on a rank's timeline."""
+
+    rank: int
+    state: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("interval ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Collects per-rank state intervals during a run."""
+
+    def __init__(self) -> None:
+        self.intervals: List[Interval] = []
+        self._open: Dict[tuple, float] = {}
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def record(self, rank: int, state: str, start: float, end: float) -> None:
+        """Add a closed interval."""
+        self.intervals.append(Interval(rank, state, start, end))
+
+    def begin(self, rank: int, state: str, now: float) -> None:
+        """Open an interval (pair with :meth:`end`)."""
+        key = (rank, state)
+        if key in self._open:
+            raise ValueError(f"interval {key} already open")
+        self._open[key] = now
+
+    def end(self, rank: int, state: str, now: float) -> None:
+        key = (rank, state)
+        try:
+            start = self._open.pop(key)
+        except KeyError:
+            raise ValueError(f"interval {key} was never opened") from None
+        self.record(rank, state, start, now)
+
+    # -- queries ---------------------------------------------------------------
+    def ranks(self) -> List[int]:
+        return sorted({i.rank for i in self.intervals})
+
+    def states(self) -> List[str]:
+        seen: List[str] = []
+        for i in self.intervals:
+            if i.state not in seen:
+                seen.append(i.state)
+        return seen
+
+    def for_rank(self, rank: int) -> List[Interval]:
+        return sorted(
+            (i for i in self.intervals if i.rank == rank),
+            key=lambda i: (i.start, i.end),
+        )
+
+    def span(self) -> tuple:
+        if not self.intervals:
+            return (0.0, 0.0)
+        return (
+            min(i.start for i in self.intervals),
+            max(i.end for i in self.intervals),
+        )
+
+    def total_time(self, rank: int, state: str) -> float:
+        return sum(
+            i.duration
+            for i in self.intervals
+            if i.rank == rank and i.state == state
+        )
+
+
+def export_json(recorder: TraceRecorder, stream: TextIO) -> None:
+    """SLOG-2-flavoured JSON: header + interval records."""
+    lo, hi = recorder.span()
+    doc = {
+        "format": "s3asim-trace-1",
+        "start": lo,
+        "end": hi,
+        "ranks": recorder.ranks(),
+        "states": recorder.states(),
+        "intervals": [
+            {
+                "rank": i.rank,
+                "state": i.state,
+                "start": i.start,
+                "end": i.end,
+            }
+            for i in sorted(recorder.intervals, key=lambda i: (i.rank, i.start))
+        ],
+    }
+    json.dump(doc, stream, indent=1)
+
+
+def load_json(stream: TextIO) -> TraceRecorder:
+    doc = json.load(stream)
+    if doc.get("format") != "s3asim-trace-1":
+        raise ValueError(f"not an s3asim trace: format={doc.get('format')!r}")
+    recorder = TraceRecorder()
+    for item in doc["intervals"]:
+        recorder.record(item["rank"], item["state"], item["start"], item["end"])
+    return recorder

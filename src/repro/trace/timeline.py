@@ -1,0 +1,72 @@
+"""ASCII rendering of trace timelines (a terminal Jumpshot).
+
+One row per rank; time flows left to right; each column shows the state
+occupying the majority of that time slice.  States map to single
+characters so interleavings of compute/I-O/waiting are visible at a
+glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .recorder import TraceRecorder
+
+#: Default state → glyph mapping, matching the paper's phase names.
+DEFAULT_GLYPHS: Dict[str, str] = {
+    "setup": "s",
+    "data_distribution": "d",
+    "compute": "C",
+    "merge_results": "m",
+    "gather_results": "g",
+    "io": "W",
+    "sync": "=",
+    "other": ".",
+}
+
+
+def render_timeline(
+    recorder: TraceRecorder,
+    width: int = 100,
+    glyphs: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render the whole trace as one ASCII chart."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    glyphs = dict(DEFAULT_GLYPHS, **(glyphs or {}))
+    lo, hi = recorder.span()
+    span = hi - lo
+    lines: List[str] = []
+    if span <= 0:
+        return "(empty trace)"
+
+    def glyph_for(state: str) -> str:
+        if state in glyphs:
+            return glyphs[state]
+        return state[0].upper() if state else "?"
+
+    for rank in recorder.ranks():
+        # For each column pick the state with the largest overlap.
+        weights: List[Dict[str, float]] = [dict() for _ in range(width)]
+        for interval in recorder.for_rank(rank):
+            c0 = (interval.start - lo) / span * width
+            c1 = (interval.end - lo) / span * width
+            col0 = max(0, min(width - 1, int(c0)))
+            col1 = max(0, min(width - 1, int(c1 - 1e-12)))
+            for col in range(col0, col1 + 1):
+                seg_lo = max(c0, col)
+                seg_hi = min(c1, col + 1)
+                if seg_hi > seg_lo:
+                    w = weights[col]
+                    w[interval.state] = w.get(interval.state, 0.0) + (seg_hi - seg_lo)
+        row = "".join(
+            glyph_for(max(w, key=w.get)) if w else " " for w in weights
+        )
+        lines.append(f"rank {rank:>3d} |{row}|")
+
+    legend = "  ".join(
+        f"{glyph_for(s)}={s}" for s in recorder.states()
+    )
+    lines.append(f"{'':>9s} 0{'':{width - 2}s}{span:.3g}s")
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

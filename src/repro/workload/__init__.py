@@ -1,0 +1,48 @@
+"""Workload model: histograms, database, queries, results, compute time."""
+
+from .compute import ComputeModel, MergeModel
+from .database import Fragment, FragmentedDatabase
+from .histogram import Box, BoxHistogram
+from .nt import (
+    NT_HISTOGRAM,
+    NT_MAX_SEQUENCE_B,
+    NT_MEAN_SEQUENCE_B,
+    NT_MIN_SEQUENCE_B,
+    NT_QUERY_HISTOGRAM,
+)
+from .queries import Query, QuerySet
+from .results import ResultBatch, ResultGenerator, ResultModel, result_payload
+from .serialization import (
+    histogram_from_dict,
+    histogram_to_dict,
+    load_workload_kwargs,
+    save_workload,
+    workload_kwargs_from_dict,
+    workload_to_dict,
+)
+
+__all__ = [
+    "Box",
+    "BoxHistogram",
+    "ComputeModel",
+    "Fragment",
+    "FragmentedDatabase",
+    "MergeModel",
+    "NT_HISTOGRAM",
+    "NT_MAX_SEQUENCE_B",
+    "NT_MEAN_SEQUENCE_B",
+    "NT_MIN_SEQUENCE_B",
+    "NT_QUERY_HISTOGRAM",
+    "Query",
+    "QuerySet",
+    "ResultBatch",
+    "ResultGenerator",
+    "ResultModel",
+    "result_payload",
+    "histogram_from_dict",
+    "histogram_to_dict",
+    "load_workload_kwargs",
+    "save_workload",
+    "workload_kwargs_from_dict",
+    "workload_to_dict",
+]

@@ -1,0 +1,81 @@
+"""The fragmented sequence database (database segmentation substrate).
+
+Database segmentation replicates the query set and partitions the database
+into fragments (Figure 1 of the paper); each (query, fragment) pair is one
+unit of work.  For the simulation we need the database's *statistical*
+shape — sequence-length samples drive result sizes — plus fragment
+bookkeeping, not actual nucleotides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..sim.rng import RandomStreams
+from .histogram import BoxHistogram
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One database fragment: an even share of the database volume."""
+
+    fragment_id: int
+    nbytes: int
+
+
+class FragmentedDatabase:
+    """A sequence database split into ``nfragments`` even fragments.
+
+    ``sample_sequence_length`` draws a matching-sequence length for a search
+    hit — deterministic in (seed, query, fragment, result index) so results
+    are identical across runs, strategies, and process counts.
+    """
+
+    def __init__(
+        self,
+        histogram: BoxHistogram,
+        nfragments: int,
+        total_bytes: int,
+        streams: RandomStreams,
+    ) -> None:
+        if nfragments <= 0:
+            raise ValueError("nfragments must be positive")
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        self.histogram = histogram
+        self.nfragments = nfragments
+        self.total_bytes = total_bytes
+        self._streams = streams.spawn("database")
+
+    def __repr__(self) -> str:
+        return (
+            f"<FragmentedDatabase fragments={self.nfragments} "
+            f"total={self.total_bytes}B>"
+        )
+
+    @property
+    def fragments(self) -> List[Fragment]:
+        base = self.total_bytes // self.nfragments
+        remainder = self.total_bytes % self.nfragments
+        return [
+            Fragment(i, base + (1 if i < remainder else 0))
+            for i in range(self.nfragments)
+        ]
+
+    def fragment(self, fragment_id: int) -> Fragment:
+        if not 0 <= fragment_id < self.nfragments:
+            raise ValueError(f"fragment {fragment_id} out of range")
+        return self.fragments[fragment_id]
+
+    def sample_sequence_lengths(
+        self, query_id: int, fragment_id: int, count: int
+    ) -> np.ndarray:
+        """Lengths of the database sequences matched by ``count`` results."""
+        rng = self._streams.stream("seqlen", query_id, fragment_id)
+        return self.histogram.sample(rng, count)
+
+    def mean_sequence_length(self) -> float:
+        return self.histogram.mean()

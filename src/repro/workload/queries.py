@@ -1,0 +1,58 @@
+"""The input query set (replicated to all processors under database
+segmentation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..sim.rng import RandomStreams
+from .histogram import BoxHistogram
+
+
+@dataclass(frozen=True)
+class Query:
+    """One input sequence to search against the database."""
+
+    query_id: int
+    nbytes: int
+
+
+class QuerySet:
+    """The ordered input queries; sizes drawn from a box histogram."""
+
+    def __init__(self, queries: Sequence[Query]) -> None:
+        if not queries:
+            raise ValueError("query set cannot be empty")
+        ids = [q.query_id for q in queries]
+        if ids != list(range(len(queries))):
+            raise ValueError("query ids must be 0..n-1 in order")
+        self.queries: List[Query] = list(queries)
+
+    @classmethod
+    def generate(
+        cls, histogram: BoxHistogram, nqueries: int, streams: RandomStreams
+    ) -> "QuerySet":
+        """Deterministically sample ``nqueries`` query sizes."""
+        if nqueries <= 0:
+            raise ValueError("nqueries must be positive")
+        rng = streams.spawn("queries").stream("sizes")
+        sizes = histogram.sample(rng, nqueries)
+        return cls([Query(i, int(sizes[i])) for i in range(nqueries)])
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, query_id: int) -> Query:
+        return self.queries[query_id]
+
+    def total_bytes(self) -> int:
+        return sum(q.nbytes for q in self.queries)
+
+    def sizes(self) -> np.ndarray:
+        return np.array([q.nbytes for q in self.queries], dtype=np.int64)

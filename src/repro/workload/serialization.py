@@ -1,0 +1,83 @@
+"""Workload description files: save/load the S3aSim input parameters.
+
+S3aSim's pitch is that "flexibility in altering input parameters" makes
+I/O-strategy studies cheap.  This module round-trips the workload-shaped
+subset of :class:`~repro.core.config.SimulationConfig` through plain JSON
+so parameter sets can be versioned and shared (``s3asim run --workload
+my_study.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, TextIO
+
+from .compute import ComputeModel, MergeModel
+from .histogram import BoxHistogram
+from .results import ResultModel
+
+FORMAT = "s3asim-workload-1"
+
+
+def histogram_to_dict(histogram: BoxHistogram) -> Dict[str, Any]:
+    return {"boxes": [list(box) for box in histogram.boxes]}
+
+
+def histogram_from_dict(doc: Dict[str, Any]) -> BoxHistogram:
+    return BoxHistogram.from_boxes(doc["boxes"])
+
+
+def workload_to_dict(config) -> Dict[str, Any]:
+    """The workload-shaped fields of a SimulationConfig as a document."""
+    return {
+        "format": FORMAT,
+        "nqueries": config.nqueries,
+        "nfragments": config.nfragments,
+        "seed": config.seed,
+        "db_total_bytes": config.db_total_bytes,
+        "query_histogram": histogram_to_dict(config.query_histogram),
+        "db_histogram": histogram_to_dict(config.db_histogram),
+        "result_model": {
+            "min_count": config.result_model.min_count,
+            "max_count": config.result_model.max_count,
+            "min_result_size": config.result_model.min_result_size,
+            "max_match_B": config.result_model.max_match_B,
+        },
+        "compute": {
+            "startup_s": config.compute.startup_s,
+            "rate_s_per_byte": config.compute.rate_s_per_byte,
+            "speed": config.compute.speed,
+            "startup_scales": config.compute.startup_scales,
+        },
+        "merge": {
+            "per_item_s": config.merge.per_item_s,
+            "per_byte_s": config.merge.per_byte_s,
+        },
+    }
+
+
+def workload_kwargs_from_dict(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Keyword arguments for SimulationConfig from a workload document."""
+    if doc.get("format") != FORMAT:
+        raise ValueError(
+            f"not a workload document (format={doc.get('format')!r})"
+        )
+    return {
+        "nqueries": int(doc["nqueries"]),
+        "nfragments": int(doc["nfragments"]),
+        "seed": int(doc["seed"]),
+        "db_total_bytes": int(doc["db_total_bytes"]),
+        "query_histogram": histogram_from_dict(doc["query_histogram"]),
+        "db_histogram": histogram_from_dict(doc["db_histogram"]),
+        "result_model": ResultModel(**doc["result_model"]),
+        "compute": ComputeModel(**doc["compute"]),
+        "merge": MergeModel(**doc["merge"]),
+    }
+
+
+def save_workload(config, stream: TextIO) -> None:
+    json.dump(workload_to_dict(config), stream, indent=1)
+
+
+def load_workload_kwargs(stream: TextIO) -> Dict[str, Any]:
+    return workload_kwargs_from_dict(json.load(stream))

@@ -1,0 +1,58 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis import line_chart, process_scaling_sweep, stacked_bars
+from repro.core import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return process_scaling_sweep(
+        SimulationConfig(nqueries=2, nfragments=4),
+        process_counts=(2, 4),
+        strategies=("ww-list", "mw"),
+        sync_options=(False,),
+    )
+
+
+class TestLineChart:
+    def test_contains_series_glyphs_and_legend(self, sweep):
+        text = line_chart(sweep, query_sync=False, width=40, height=10)
+        assert "L" in text and "M" in text
+        assert "legend:" in text
+        assert "Master writing" in text
+
+    def test_axis_labels(self, sweep):
+        text = line_chart(sweep, query_sync=False)
+        assert "(processes)" in text
+        assert "no-sync" in text
+
+    def test_size_validation(self, sweep):
+        with pytest.raises(ValueError):
+            line_chart(sweep, False, width=5)
+        with pytest.raises(ValueError):
+            line_chart(sweep, False, height=2)
+
+    def test_missing_sync_data(self, sweep):
+        # sweep has no sync=True points; chart degrades gracefully.
+        text = line_chart(sweep, query_sync=True)
+        assert "no data" in text or "sync" in text
+
+
+class TestStackedBars:
+    def test_bars_render_phases(self, sweep):
+        text = stacked_bars(sweep, "ww-list", query_sync=False)
+        assert "#" in text  # compute cells
+        assert "worker process" in text
+        assert "legend:" in text
+
+    def test_bar_lengths_track_totals(self, sweep):
+        text = stacked_bars(sweep, "ww-list", query_sync=False, width=40)
+        lines = [l for l in text.splitlines() if "|" in l]
+        fill = [len(l.split("|")[1].strip()) for l in lines]
+        # The 2-process bar (first) is the longest (it is the slowest run).
+        assert fill[0] >= max(fill)
+
+    def test_unknown_combination(self, sweep):
+        assert stacked_bars(sweep, "ww-coll", True) == "(no data)"

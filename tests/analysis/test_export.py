@@ -1,0 +1,61 @@
+"""Sweep export (JSON/CSV)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis import (
+    export_csv,
+    export_json,
+    process_scaling_sweep,
+    sweep_to_records,
+)
+from repro.core import SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return process_scaling_sweep(
+        SimulationConfig(nqueries=2, nfragments=4),
+        process_counts=(2, 4),
+        strategies=("ww-list",),
+        sync_options=(False, True),
+    )
+
+
+class TestRecords:
+    def test_one_record_per_point(self, sweep):
+        records = sweep_to_records(sweep)
+        assert len(records) == 4
+        keys = set(records[0])
+        assert {"x", "strategy", "query_sync", "elapsed_s"} <= keys
+        assert any(k.startswith("worker_io") for k in keys)
+
+    def test_records_sorted(self, sweep):
+        records = sweep_to_records(sweep)
+        ordering = [(r["strategy"], r["query_sync"], r["x"]) for r in records]
+        assert ordering == sorted(ordering)
+
+
+class TestJson:
+    def test_document_shape(self, sweep):
+        buffer = io.StringIO()
+        export_json(sweep, buffer)
+        doc = json.loads(buffer.getvalue())
+        assert doc["format"] == "s3asim-sweep-1"
+        assert doc["axis"] == "processes"
+        assert doc["xs"] == [2.0, 4.0]
+        assert len(doc["points"]) == 4
+
+
+class TestCsv:
+    def test_csv_parses_back(self, sweep):
+        buffer = io.StringIO()
+        export_csv(sweep, buffer)
+        buffer.seek(0)
+        rows = list(csv.DictReader(buffer))
+        assert len(rows) == 4
+        assert float(rows[0]["elapsed_s"]) > 0
+        assert rows[0]["file_complete"] == "True"

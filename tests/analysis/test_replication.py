@@ -1,0 +1,39 @@
+"""Replicated (multi-seed) measurements."""
+
+import pytest
+
+from repro.analysis import ReplicatedMeasurement, compare_replicated, replicate
+from repro.core import SimulationConfig
+
+
+class TestReplicatedMeasurement:
+    def test_statistics(self):
+        m = ReplicatedMeasurement("x", (1, 2, 3), [10.0, 12.0, 14.0])
+        assert m.mean == pytest.approx(12.0)
+        assert m.stdev == pytest.approx(2.0)
+        assert m.relative_spread == pytest.approx(2.0 / 12.0)
+        assert "±" in m.summary()
+
+    def test_single_sample_stdev_zero(self):
+        m = ReplicatedMeasurement("x", (1,), [5.0])
+        assert m.stdev == 0.0
+
+
+class TestReplicate:
+    def test_runs_each_seed(self):
+        cfg = SimulationConfig(nprocs=3, nqueries=2, nfragments=4)
+        m = replicate(cfg, seeds=(1, 2, 3))
+        assert len(m.elapsed) == 3
+        # Different seeds -> different workloads -> different times.
+        assert len(set(m.elapsed)) > 1
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(SimulationConfig(nprocs=3, nqueries=1, nfragments=2), seeds=())
+
+    def test_compare_replicated_orders_strategies(self):
+        base = SimulationConfig(nprocs=8, nqueries=4, nfragments=16)
+        fast = replicate(base.with_(strategy="ww-list"), seeds=(1, 2, 3))
+        slow = replicate(base.with_(strategy="ww-posix"), seeds=(1, 2, 3))
+        assert compare_replicated(fast, slow)
+        assert not compare_replicated(slow, fast)

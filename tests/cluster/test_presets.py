@@ -1,0 +1,49 @@
+"""Cluster presets."""
+
+import pytest
+
+from repro.cluster import PRESETS, feynman, bigger_filesystem, get_preset
+from repro.core import SimulationConfig, run_simulation
+
+
+class TestPresets:
+    def test_feynman_matches_paper(self):
+        preset = feynman()
+        assert preset.pvfs.nservers == 16
+        assert preset.pvfs.strip_size == 64 * 1024
+        assert preset.procs_per_node == 2
+
+    def test_get_preset(self):
+        for name in PRESETS:
+            preset = get_preset(name)
+            assert preset.name.startswith(name.split("-")[0]) or preset.name == name
+        with pytest.raises(ValueError):
+            get_preset("nope")
+
+    def test_bigger_filesystem(self):
+        preset = bigger_filesystem(32)
+        assert preset.pvfs.nservers == 32
+
+    def test_with_helpers(self):
+        preset = feynman().with_pvfs(nservers=8).with_network(latency_s=1e-3)
+        assert preset.pvfs.nservers == 8
+        assert preset.network.latency_s == 1e-3
+
+    def test_presets_run(self):
+        """Every preset can actually drive a simulation."""
+        for name in PRESETS:
+            preset = get_preset(name)
+            cfg = SimulationConfig(
+                nprocs=3, nqueries=1, nfragments=4,
+                network=preset.network, pvfs=preset.pvfs,
+            )
+            assert run_simulation(cfg).file_stats.complete
+
+    def test_modern_cluster_is_faster(self):
+        base = dict(nprocs=6, nqueries=2, nfragments=8)
+        slow = run_simulation(SimulationConfig(**base))
+        modern = get_preset("modern")
+        fast = run_simulation(
+            SimulationConfig(**base, network=modern.network, pvfs=modern.pvfs)
+        )
+        assert fast.elapsed < slow.elapsed

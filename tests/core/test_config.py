@@ -1,0 +1,96 @@
+"""SimulationConfig: validation, derived quantities, strategy lookup."""
+
+import pytest
+
+from repro.core import SimulationConfig, get_strategy
+from repro.core.strategies import (
+    LABELS,
+    MASTER_WRITING,
+    STRATEGIES,
+    WORKER_COLLECTIVE,
+    WORKER_LIST,
+    WORKER_POSIX,
+)
+from repro.mpiio import IND_LIST, IND_POSIX
+
+
+class TestStrategies:
+    def test_registry_complete(self):
+        assert set(STRATEGIES) == {"mw", "ww-posix", "ww-list", "ww-coll"}
+        assert set(LABELS) == set(STRATEGIES)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_strategy("nope")
+
+    def test_axes(self):
+        assert MASTER_WRITING.master_writes
+        assert not MASTER_WRITING.parallel_io
+        assert MASTER_WRITING.workers_send_payload
+        assert not MASTER_WRITING.gates_assignment
+
+        assert WORKER_POSIX.parallel_io
+        assert WORKER_POSIX.ind_method == IND_POSIX
+        assert WORKER_LIST.ind_method == IND_LIST
+        assert not WORKER_LIST.collective
+
+        assert WORKER_COLLECTIVE.collective
+        assert WORKER_COLLECTIVE.gates_assignment
+
+    def test_hints_follow_strategy(self):
+        hints = WORKER_POSIX.hints(sync_after_write=False)
+        assert hints.ind_wr_method == IND_POSIX
+        assert not hints.sync_after_write
+
+
+class TestConfig:
+    def test_defaults_match_paper_setup(self):
+        cfg = SimulationConfig()
+        assert cfg.nqueries == 20
+        assert cfg.nfragments == 128
+        assert cfg.result_model.min_count == 1000
+        assert cfg.result_model.max_count == 2000
+        assert cfg.write_every == 1
+        assert cfg.sync_after_write
+        assert cfg.pvfs.nservers == 16
+        assert cfg.pvfs.strip_size == 64 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(nprocs=1)
+        with pytest.raises(ValueError):
+            SimulationConfig(nqueries=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(nfragments=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(write_every=0)
+        with pytest.raises(ValueError):
+            SimulationConfig(strategy="bogus")
+
+    def test_derived_counts(self):
+        cfg = SimulationConfig(nprocs=9, nqueries=10, nfragments=4, write_every=3)
+        assert cfg.nworkers == 8
+        assert cfg.ntasks == 40
+        assert cfg.ngroups == 4
+        assert cfg.group_of(0) == 0
+        assert cfg.group_of(9) == 3
+        assert list(cfg.queries_in_group(3)) == [9]
+        assert list(cfg.queries_in_group(0)) == [0, 1, 2]
+
+    def test_with_(self):
+        cfg = SimulationConfig(nprocs=4)
+        cfg2 = cfg.with_(nprocs=8, strategy="mw")
+        assert cfg2.nprocs == 8
+        assert cfg2.strategy == "mw"
+        assert cfg.nprocs == 4  # original untouched
+
+    def test_workload_is_deterministic(self):
+        a = SimulationConfig(seed=7).build_workload()
+        b = SimulationConfig(seed=7).build_workload()
+        assert a.queries.total_bytes() == b.queries.total_bytes()
+        assert a.results.query_result_count(3) == b.results.query_result_count(3)
+
+    def test_effective_pvfs_store_data(self):
+        cfg = SimulationConfig(store_data=True)
+        assert cfg.effective_pvfs().store_data
+        assert not SimulationConfig().effective_pvfs().store_data

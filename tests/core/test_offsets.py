@@ -1,0 +1,157 @@
+"""Offset assignment: merging scores, dense tilings, the block ledger."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import OffsetLedger, ScoredBatchMeta, merge_query, validate_assignment
+
+
+def meta(query, frag, scores, sizes):
+    return ScoredBatchMeta(
+        query_id=query,
+        fragment_id=frag,
+        scores=np.asarray(scores, dtype=float),
+        sizes=np.asarray(sizes, dtype=np.int64),
+    )
+
+
+class TestMergeQuery:
+    def test_single_batch(self):
+        offsets, block = merge_query(
+            [meta(0, 0, [0.9, 0.5], [10, 20])], base_offset=100
+        )
+        np.testing.assert_array_equal(offsets[0], [100, 110])
+        assert block == 30
+
+    def test_interleaves_by_score(self):
+        batches = [
+            meta(0, 0, [0.9, 0.3], [10, 10]),
+            meta(0, 1, [0.7, 0.1], [5, 5]),
+        ]
+        offsets, block = merge_query(batches, base_offset=0)
+        # Global order: 0.9(f0), 0.7(f1), 0.3(f0), 0.1(f1)
+        np.testing.assert_array_equal(offsets[0], [0, 15])
+        np.testing.assert_array_equal(offsets[1], [10, 25])
+        assert block == 30
+
+    def test_tie_broken_by_fragment(self):
+        batches = [
+            meta(0, 1, [0.5], [7]),
+            meta(0, 0, [0.5], [3]),
+        ]
+        offsets, _ = merge_query(batches, base_offset=0)
+        assert offsets[0][0] == 0  # fragment 0 wins the tie
+        assert offsets[1][0] == 3
+
+    def test_empty_batches(self):
+        offsets, block = merge_query([], base_offset=0)
+        assert offsets == {} and block == 0
+
+    def test_zero_count_fragment(self):
+        batches = [
+            meta(0, 0, [], []),
+            meta(0, 1, [0.4], [8]),
+        ]
+        offsets, block = merge_query(batches, base_offset=50)
+        assert len(offsets[0]) == 0
+        np.testing.assert_array_equal(offsets[1], [50])
+        assert block == 8
+
+    def test_mixed_queries_rejected(self):
+        with pytest.raises(ValueError):
+            merge_query([meta(0, 0, [1], [1]), meta(1, 1, [1], [1])], 0)
+
+    def test_duplicate_fragment_rejected(self):
+        with pytest.raises(ValueError):
+            merge_query([meta(0, 0, [1], [1]), meta(0, 0, [1], [1])], 0)
+
+    def test_validate_assignment_happy_path(self):
+        batches = [
+            meta(0, 0, [0.9, 0.3], [10, 10]),
+            meta(0, 1, [0.7], [5]),
+        ]
+        offsets, block = merge_query(batches, base_offset=40)
+        validate_assignment(
+            offsets,
+            {0: batches[0].sizes, 1: batches[1].sizes},
+            base_offset=40,
+            block_size=block,
+        )
+
+    def test_validate_assignment_detects_gap(self):
+        with pytest.raises(ValueError):
+            validate_assignment(
+                {0: np.array([0, 20])},
+                {0: np.array([10, 10])},
+                base_offset=0,
+                block_size=30,
+            )
+
+
+class TestOffsetLedger:
+    def test_sequential_bases(self):
+        ledger = OffsetLedger(3)
+        assert ledger.base_for(0, 100) == 0
+        assert ledger.base_for(1, 50) == 100
+        assert ledger.base_for(2, 10) == 150
+        assert ledger.complete()
+        assert ledger.total_bytes() == 160
+
+    def test_out_of_order_rejected(self):
+        ledger = OffsetLedger(3)
+        with pytest.raises(ValueError):
+            ledger.base_for(1, 10)
+
+    def test_incomplete_total_rejected(self):
+        ledger = OffsetLedger(2)
+        ledger.base_for(0, 5)
+        with pytest.raises(ValueError):
+            ledger.total_bytes()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OffsetLedger(0)
+        ledger = OffsetLedger(1)
+        with pytest.raises(ValueError):
+            ledger.base_for(0, -1)
+
+
+# -- property test: merge_query always produces a dense tiling -------------
+
+@st.composite
+def query_batches(draw):
+    nfrags = draw(st.integers(1, 6))
+    batches = []
+    for frag in range(nfrags):
+        count = draw(st.integers(0, 8))
+        scores = sorted(
+            draw(
+                st.lists(
+                    st.floats(0, 1, allow_nan=False), min_size=count, max_size=count
+                )
+            ),
+            reverse=True,
+        )
+        sizes = draw(
+            st.lists(st.integers(1, 1000), min_size=count, max_size=count)
+        )
+        batches.append(meta(0, frag, scores, sizes))
+    return batches
+
+
+@given(batches=query_batches(), base=st.integers(0, 1 << 30))
+@settings(max_examples=150, deadline=None)
+def test_property_merge_is_dense_tiling(batches, base):
+    offsets, block = merge_query(batches, base_offset=base)
+    assert block == sum(b.total_bytes for b in batches)
+    validate_assignment(
+        offsets,
+        {b.fragment_id: b.sizes for b in batches},
+        base_offset=base,
+        block_size=block,
+    )
+    # Per-fragment offsets come back in the batch's own order, so each
+    # fragment's list pairs 1:1 with its stored sizes.
+    for b in batches:
+        assert len(offsets.get(b.fragment_id, [])) == b.count

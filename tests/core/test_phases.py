@@ -1,0 +1,116 @@
+"""Phase timers and reports."""
+
+import pytest
+
+from repro.core import Phase, PhaseReport, PhaseTimer
+from repro.sim import Environment
+from repro.trace import TraceRecorder
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestPhaseTimer:
+    def test_sleep_accrues(self, env):
+        timer = PhaseTimer(env)
+
+        def proc():
+            yield from timer.sleep(Phase.COMPUTE, 2.5)
+            yield from timer.sleep(Phase.IO, 1.0)
+            yield from timer.sleep(Phase.COMPUTE, 0.5)
+
+        env.run(env.process(proc()))
+        assert timer.times[Phase.COMPUTE] == pytest.approx(3.0)
+        assert timer.times[Phase.IO] == pytest.approx(1.0)
+
+    def test_measure_wraps_fragment(self, env):
+        timer = PhaseTimer(env)
+
+        def inner():
+            yield env.timeout(1.5)
+            return "inner-result"
+
+        def proc():
+            result = yield from timer.measure(Phase.GATHER, inner())
+            return result
+
+        assert env.run(env.process(proc())) == "inner-result"
+        assert timer.times[Phase.GATHER] == pytest.approx(1.5)
+
+    def test_wait_on_event(self, env):
+        timer = PhaseTimer(env)
+
+        def proc():
+            value = yield from timer.wait(Phase.SYNC, env.timeout(2.0, value="v"))
+            return value
+
+        assert env.run(env.process(proc())) == "v"
+        assert timer.times[Phase.SYNC] == pytest.approx(2.0)
+
+    def test_add_span(self, env):
+        timer = PhaseTimer(env)
+
+        def proc():
+            start = env.now
+            yield env.timeout(0.7)
+            timer.add_span(Phase.DATA_DISTRIBUTION, start)
+
+        env.run(env.process(proc()))
+        assert timer.times[Phase.DATA_DISTRIBUTION] == pytest.approx(0.7)
+
+    def test_invalid_adds(self, env):
+        timer = PhaseTimer(env)
+        with pytest.raises(ValueError):
+            timer.add(Phase.COMPUTE, -1)
+        with pytest.raises(ValueError):
+            timer.add(Phase.OTHER, 1)
+
+    def test_recorder_integration(self, env):
+        recorder = TraceRecorder()
+        timer = PhaseTimer(env, rank=3, recorder=recorder)
+
+        def proc():
+            yield from timer.sleep(Phase.COMPUTE, 1.0)
+            yield from timer.sleep(Phase.IO, 0.5)
+
+        env.run(env.process(proc()))
+        assert len(recorder) == 2
+        assert recorder.total_time(3, "compute") == pytest.approx(1.0)
+
+
+class TestPhaseReport:
+    def test_other_is_remainder(self, env):
+        timer = PhaseTimer(env)
+
+        def proc():
+            yield from timer.sleep(Phase.COMPUTE, 3.0)
+            yield env.timeout(2.0)  # unattributed
+            timer.finish()
+
+        env.run(env.process(proc()))
+        report = timer.report()
+        assert report[Phase.COMPUTE] == pytest.approx(3.0)
+        assert report[Phase.OTHER] == pytest.approx(2.0)
+        assert report.total == pytest.approx(5.0)
+
+    def test_mean_of_reports(self):
+        r1 = PhaseReport.from_times({Phase.COMPUTE: 2.0}, total=4.0)
+        r2 = PhaseReport.from_times({Phase.COMPUTE: 4.0}, total=6.0)
+        mean = PhaseReport.mean([r1, r2])
+        assert mean[Phase.COMPUTE] == pytest.approx(3.0)
+        assert mean.total == pytest.approx(5.0)
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PhaseReport.mean([])
+
+    def test_as_dict_covers_all_phases(self):
+        report = PhaseReport.from_times({Phase.IO: 1.0}, total=1.0)
+        d = report.as_dict()
+        assert set(d) == {p.value for p in Phase}
+
+    def test_measured_excludes_other(self):
+        assert Phase.OTHER not in Phase.measured()
+        assert len(Phase.measured()) == 7

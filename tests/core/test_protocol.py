@@ -1,0 +1,86 @@
+"""Wire-protocol message types and their simulated sizes."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OffsetEntry,
+    OffsetMessage,
+    ScoreMessage,
+    TaskAssignment,
+    WrittenNotice,
+)
+from repro.core.protocol import (
+    ASSIGN_BYTES,
+    NOTICE_BYTES,
+    REQUEST_BYTES,
+    TAG_ASSIGN,
+    TAG_OFFSETS,
+    TAG_REQUEST,
+    TAG_SCORES,
+    TAG_WRITTEN,
+)
+
+
+class TestTags:
+    def test_tags_distinct_and_valid(self):
+        tags = {TAG_REQUEST, TAG_ASSIGN, TAG_SCORES, TAG_OFFSETS, TAG_WRITTEN}
+        assert len(tags) == 5
+        assert all(t >= 0 for t in tags)  # user tag space
+
+    def test_control_sizes_positive(self):
+        assert REQUEST_BYTES > 0 and ASSIGN_BYTES > 0 and NOTICE_BYTES > 0
+
+
+class TestScoreMessage:
+    def make(self, count=10, payload_bytes=0):
+        return ScoreMessage(
+            query_id=1,
+            fragment_id=2,
+            worker=3,
+            scores=np.linspace(1, 0, count),
+            sizes=np.full(count, 100, dtype=np.int64),
+            payload_bytes=payload_bytes,
+        )
+
+    def test_wire_bytes_scale_with_count(self):
+        small = self.make(count=10)
+        large = self.make(count=100)
+        assert large.wire_bytes() - small.wire_bytes() == 90 * 16
+
+    def test_wire_bytes_include_payload(self):
+        """Under master-writing the result bytes ride along — that is the
+        volume asymmetry between MW and the WW strategies."""
+        bare = self.make(payload_bytes=0)
+        loaded = self.make(payload_bytes=50_000)
+        assert loaded.wire_bytes() == bare.wire_bytes() + 50_000
+
+    def test_count(self):
+        assert self.make(count=7).count == 7
+
+
+class TestOffsetMessage:
+    def test_wire_bytes(self):
+        entries = (
+            OffsetEntry(0, 1, np.arange(10, dtype=np.int64)),
+            OffsetEntry(0, 2, np.arange(5, dtype=np.int64)),
+        )
+        message = OffsetMessage(group=0, entries=entries)
+        assert message.count == 15
+        # 32-byte header + per-entry 16 + 8 per offset ("a list of 64-bit
+        # offsets sent to each worker").
+        assert message.wire_bytes() == 32 + (16 + 80) + (16 + 40)
+
+    def test_empty_message_still_has_header(self):
+        message = OffsetMessage(group=3, entries=())
+        assert message.count == 0
+        assert message.wire_bytes() == 32
+
+
+class TestSimpleMessages:
+    def test_task_assignment_fields(self):
+        task = TaskAssignment(query_id=4, fragment_id=9)
+        assert (task.query_id, task.fragment_id) == (4, 9)
+
+    def test_written_notice(self):
+        assert WrittenNotice(group=2).group == 2

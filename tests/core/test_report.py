@@ -1,0 +1,64 @@
+"""RunResult / FileStats surfaces."""
+
+import pytest
+
+from repro.core import FileStats, Phase
+from repro.core.phases import PhaseReport
+from repro.core.report import RunResult
+
+
+def make_report(compute=1.0, io=0.5, total=2.0):
+    return PhaseReport.from_times(
+        {Phase.COMPUTE: compute, Phase.IO: io}, total=total
+    )
+
+
+def make_result(**kwargs):
+    defaults = dict(
+        strategy="ww-list",
+        query_sync=False,
+        nprocs=3,
+        compute_speed=1.0,
+        elapsed=2.0,
+        master=make_report(compute=0.0, io=0.0, total=2.0),
+        workers=[make_report(), make_report(compute=2.0, total=3.0)],
+        file_stats=FileStats(
+            total_bytes=100, expected_bytes=100, nextents=1, dense=True
+        ),
+    )
+    defaults.update(kwargs)
+    return RunResult(**defaults)
+
+
+class TestFileStats:
+    def test_complete_requires_dense_and_exact(self):
+        ok = FileStats(100, 100, 1, True)
+        assert ok.complete
+        assert not FileStats(90, 100, 1, True).complete
+        assert not FileStats(100, 100, 2, False).complete
+
+
+class TestRunResult:
+    def test_worker_mean_averages(self):
+        result = make_result()
+        mean = result.worker_mean
+        assert mean[Phase.COMPUTE] == pytest.approx(1.5)
+        assert mean.total == pytest.approx(2.5)
+
+    def test_phase_seconds_shortcut(self):
+        result = make_result()
+        assert result.phase_seconds(Phase.IO) == pytest.approx(0.5)
+
+    def test_summary_line_content(self):
+        line = make_result(query_sync=True).summary_line()
+        assert "ww-list" in line
+        assert "sync" in line
+        assert "np=3" in line
+
+    def test_as_dict_round_trips_to_json(self):
+        import json
+
+        doc = make_result().as_dict()
+        json.dumps(doc)
+        assert doc["nprocs"] == 3
+        assert doc["file"]["total_bytes"] == 100

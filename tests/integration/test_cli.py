@@ -1,0 +1,106 @@
+"""CLI smoke tests (argument parsing + each subcommand end to end)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.nprocs == 16
+        assert args.strategy == "ww-list"
+        assert not args.query_sync
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--strategy", "bogus"])
+
+
+SMALL = ["--nprocs", "4", "--nqueries", "2", "--nfragments", "4"]
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        code = main(["run", *SMALL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "output file" in out
+        assert "complete=True" in out
+
+    def test_run_with_options(self, capsys):
+        code = main(
+            ["run", *SMALL, "--strategy", "mw", "--query-sync",
+             "--compute-speed", "2.0", "--cluster", "modern"]
+        )
+        assert code == 0
+        assert "mw" in capsys.readouterr().out
+
+    def test_sweep_processes(self, capsys):
+        code = main(["sweep", "processes", *SMALL, "--counts", "2,3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Overall Execution Time - no-sync" in out
+        assert "Ratios vs" in out
+
+    def test_sweep_speed_with_phases(self, capsys):
+        code = main(
+            ["sweep", "speed", *SMALL, "--speeds", "1", "--phases"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worker process" in out
+
+    def test_trace(self, capsys, tmp_path):
+        out_file = tmp_path / "trace.json"
+        code = main(["trace", *SMALL, "--width", "40", "--output", str(out_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "rank   0" in out
+        assert out_file.exists()
+
+    def test_validate(self, capsys):
+        code = main(["validate", *SMALL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "VALIDATION PASSED" in out
+
+    def test_hybrid(self, capsys):
+        code = main(["hybrid", *SMALL, "--partitions", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hybrid k=2" in out
+        assert "complete: True" in out
+
+    def test_scenario_flag(self, capsys):
+        code = main(["run", *SMALL, "--scenario", "pioblast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ww-coll" in out
+
+    def test_workload_save_and_load(self, capsys, tmp_path):
+        path = tmp_path / "workload.json"
+        code = main(["run", *SMALL, "--save-workload", str(path)])
+        assert code == 0 and path.exists()
+        code = main(["run", "--nprocs", "4", "--workload", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "complete=True" in out
+
+    def test_sweep_export_files(self, capsys, tmp_path):
+        json_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        code = main([
+            "sweep", "processes", *SMALL, "--counts", "2,3",
+            "--json", str(json_path), "--csv", str(csv_path),
+        ])
+        assert code == 0
+        assert json_path.exists() and csv_path.exists()
+        import json as json_mod
+
+        doc = json_mod.loads(json_path.read_text())
+        assert doc["format"] == "s3asim-sweep-1"

@@ -1,0 +1,186 @@
+"""End-to-end S3aSim runs: correctness across every strategy and option."""
+
+import pytest
+
+from repro.core import Phase, S3aSim, SimulationConfig, run_simulation
+from repro.workload import ComputeModel
+
+ALL = ("mw", "ww-posix", "ww-list", "ww-coll")
+
+
+def small(strategy="ww-list", **kwargs):
+    defaults = dict(
+        nprocs=4,
+        strategy=strategy,
+        nqueries=4,
+        nfragments=8,
+        store_data=True,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestFileCorrectness:
+    @pytest.mark.parametrize("strategy", ALL)
+    @pytest.mark.parametrize("query_sync", [False, True])
+    def test_output_file_complete(self, strategy, query_sync):
+        result = run_simulation(small(strategy, query_sync=query_sync))
+        assert result.file_stats.complete, result.file_stats
+        assert result.file_stats.nextents == 1
+
+    @pytest.mark.parametrize("write_every", [1, 2, 4])
+    @pytest.mark.parametrize("strategy", ALL)
+    def test_write_groups(self, strategy, write_every):
+        """Writing every n queries (incl. write-at-end, the mpiBLAST-1.2 /
+        pioBLAST mode at write_every == nqueries) stays correct."""
+        result = run_simulation(small(strategy, write_every=write_every))
+        assert result.file_stats.complete
+
+    def test_cross_strategy_content_identical(self):
+        stores = {}
+        for strategy in ALL:
+            app = S3aSim(small(strategy))
+            app.run()
+            stores[strategy] = app.fh.file.bytestore
+        reference = stores["ww-list"]
+        for strategy, store in stores.items():
+            assert reference.content_equal(store), f"{strategy} differs"
+
+    def test_content_independent_of_nprocs(self):
+        stores = []
+        for nprocs in (2, 3, 7):
+            app = S3aSim(small(nprocs=nprocs))
+            app.run()
+            stores.append(app.fh.file.bytestore)
+        assert stores[0].content_equal(stores[1])
+        assert stores[0].content_equal(stores[2])
+
+    def test_content_independent_of_query_sync_and_write_every(self):
+        base = S3aSim(small())
+        base.run()
+        for kwargs in (dict(query_sync=True), dict(write_every=4)):
+            app = S3aSim(small(**kwargs))
+            app.run()
+            assert base.fh.file.bytestore.content_equal(app.fh.file.bytestore)
+
+
+class TestDeterminism:
+    def test_elapsed_reproducible(self):
+        a = run_simulation(small("ww-coll", query_sync=True))
+        b = run_simulation(small("ww-coll", query_sync=True))
+        assert a.elapsed == b.elapsed
+        assert a.worker_mean.as_dict() == b.worker_mean.as_dict()
+
+    def test_different_seed_different_workload(self):
+        a = run_simulation(small(seed=1))
+        b = run_simulation(small(seed=2))
+        assert a.file_stats.expected_bytes != b.file_stats.expected_bytes
+
+
+class TestPhaseAccounting:
+    @pytest.mark.parametrize("strategy", ALL)
+    def test_master_never_computes(self, strategy):
+        result = run_simulation(small(strategy))
+        assert result.master[Phase.COMPUTE] == 0.0
+        assert result.master[Phase.MERGE] == 0.0
+
+    @pytest.mark.parametrize("strategy", ALL)
+    def test_workers_compute(self, strategy):
+        result = run_simulation(small(strategy))
+        assert result.worker_mean[Phase.COMPUTE] > 0
+
+    def test_only_parallel_io_strategies_merge_on_workers(self):
+        mw = run_simulation(small("mw"))
+        ww = run_simulation(small("ww-list"))
+        assert mw.worker_mean[Phase.MERGE] == 0.0
+        assert ww.worker_mean[Phase.MERGE] > 0.0
+
+    @pytest.mark.parametrize("strategy", ["ww-posix", "ww-list", "ww-coll"])
+    def test_worker_writers_have_io_phase(self, strategy):
+        result = run_simulation(small(strategy))
+        assert result.worker_mean[Phase.IO] > 0
+
+    def test_mw_workers_do_no_io(self):
+        result = run_simulation(small("mw"))
+        assert result.worker_mean[Phase.IO] == 0.0
+        assert result.master[Phase.IO] > 0.0
+
+    @pytest.mark.parametrize("strategy", ALL)
+    def test_phases_account_for_total(self, strategy):
+        """Measured phases + OTHER == each worker's lifetime."""
+        result = run_simulation(small(strategy))
+        for report in result.workers:
+            assert sum(report.times.values()) == pytest.approx(report.total)
+
+    def test_query_sync_adds_sync_or_wait_time(self):
+        nosync = run_simulation(small("ww-posix", nprocs=6))
+        sync = run_simulation(small("ww-posix", nprocs=6, query_sync=True))
+        assert sync.elapsed >= nosync.elapsed * 0.99
+
+
+class TestResultObject:
+    def test_run_result_fields(self):
+        cfg = small("ww-list", query_sync=True)
+        result = run_simulation(cfg)
+        assert result.strategy == "ww-list"
+        assert result.query_sync is True
+        assert result.nprocs == 4
+        assert result.compute_speed == 1.0
+        assert len(result.workers) == 3
+        assert result.elapsed > 0
+        assert result.server_stats["bytes_written"] == result.file_stats.total_bytes
+
+    def test_summary_line_and_dict(self):
+        result = run_simulation(small())
+        line = result.summary_line()
+        assert "ww-list" in line and "no-sync" in line
+        doc = result.as_dict()
+        assert doc["file"]["dense"] is True
+        assert set(doc["worker_mean"]) == {p.value for p in Phase}
+
+    def test_compute_speed_recorded(self):
+        cfg = small(compute=ComputeModel(speed=3.2))
+        assert run_simulation(cfg).compute_speed == 3.2
+
+
+class TestScaleEdgeCases:
+    def test_minimum_two_processes(self):
+        result = run_simulation(small(nprocs=2))
+        assert result.file_stats.complete
+
+    def test_more_workers_than_tasks(self):
+        cfg = small(nprocs=12, nqueries=2, nfragments=4)  # 8 tasks, 11 workers
+        result = run_simulation(cfg)
+        assert result.file_stats.complete
+
+    def test_single_query_single_fragment(self):
+        result = run_simulation(small(nqueries=1, nfragments=1))
+        assert result.file_stats.complete
+
+    @pytest.mark.parametrize("strategy", ALL)
+    def test_single_worker_all_strategies(self, strategy):
+        result = run_simulation(small(strategy, nprocs=2, query_sync=True))
+        assert result.file_stats.complete
+
+    def test_write_every_exceeding_nqueries(self):
+        result = run_simulation(small(write_every=100))
+        assert result.file_stats.complete
+
+
+class TestStragglerResilience:
+    """A degraded I/O server slows every strategy but never breaks
+    correctness (PVFS2 has no redundancy; a slow disk just throttles)."""
+
+    @pytest.mark.parametrize("strategy", ALL)
+    def test_straggler_preserves_correctness(self, strategy):
+        app = S3aSim(small(strategy, nprocs=5))
+        app.fs.degrade_server(3, 16.0)
+        result = app.run()
+        assert result.file_stats.complete
+
+    def test_straggler_slows_the_run(self):
+        healthy = run_simulation(small("ww-list", nprocs=5))
+        app = S3aSim(small("ww-list", nprocs=5))
+        app.fs.degrade_server(3, 16.0)
+        degraded = app.run()
+        assert degraded.elapsed > healthy.elapsed

@@ -1,0 +1,96 @@
+"""Hybrid query/database segmentation (the paper's future-work strategy)."""
+
+import pytest
+
+from repro.core import HybridS3aSim, SimulationConfig, run_hybrid, run_simulation
+
+
+def cfg(**kwargs):
+    defaults = dict(
+        nprocs=12, strategy="ww-list", nqueries=8, nfragments=16,
+        store_data=True,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestValidation:
+    def test_partition_bounds(self):
+        with pytest.raises(ValueError):
+            HybridS3aSim(cfg(), 0)
+        with pytest.raises(ValueError):
+            HybridS3aSim(cfg(nprocs=4), 3)  # needs >= 2 procs/partition
+        with pytest.raises(ValueError):
+            HybridS3aSim(cfg(nqueries=2), 3)  # needs >= 1 query/partition
+
+    def test_no_resume(self):
+        with pytest.raises(ValueError):
+            HybridS3aSim(cfg(resume_from_query=2), 2)
+
+
+class TestPartitioning:
+    def test_ranks_partition_the_machine(self):
+        hybrid = HybridS3aSim(cfg(nprocs=13), 3)
+        all_ranks = sorted(
+            r for i in range(3) for r in hybrid.partition_ranks(i)
+        )
+        assert all_ranks == list(range(13))
+
+    def test_queries_partition_the_query_set(self):
+        hybrid = HybridS3aSim(cfg(nqueries=10), 3)
+        all_queries = sorted(
+            q for i in range(3) for q in hybrid.partition_queries(i)
+        )
+        assert all_queries == list(range(10))
+
+
+class TestExecution:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_all_partitions_complete(self, k):
+        result = run_hybrid(cfg(), k)
+        assert result.complete
+        assert len(result.partition_results) == k
+        assert result.elapsed >= max(
+            r.elapsed for r in result.partition_results
+        ) - 1e-9
+
+    def test_partition_outputs_match_pure_run_content(self):
+        """Every partition's file content equals the corresponding query
+        blocks of a pure database-segmentation run."""
+        pure = run_simulation(cfg())  # noqa: F841  (builds reference sizes)
+        from repro.core import S3aSim
+
+        ref_app = S3aSim(cfg())
+        ref_app.run()
+        ref_store = ref_app.fh.file.bytestore
+        sizes = [
+            ref_app.workload.results.query_total_bytes(q) for q in range(8)
+        ]
+
+        hybrid = HybridS3aSim(cfg(), 2)
+        result = hybrid.run()
+        assert result.complete
+        # Partition 0 holds queries 0..3; its file must equal the
+        # concatenation of those blocks in the reference file.
+        part0 = hybrid.fs.lookup(cfg().output_path + ".part0").bytestore
+        nbytes = sum(sizes[:4])
+        assert part0.read(0, nbytes) == ref_store.read(0, nbytes)
+        # Partition 1 holds queries 4..7.
+        part1 = hybrid.fs.lookup(cfg().output_path + ".part1").bytestore
+        tail = sum(sizes[4:])
+        assert part1.read(0, tail) == ref_store.read(nbytes, tail)
+
+    def test_single_partition_equals_pure_database_segmentation(self):
+        pure = run_simulation(cfg())
+        hybrid = run_hybrid(cfg(), 1)
+        assert hybrid.partition_results[0].elapsed == pytest.approx(
+            pure.elapsed, rel=0.02
+        )
+
+    def test_mw_hybrid_runs(self):
+        result = run_hybrid(cfg(strategy="mw"), 2)
+        assert result.complete
+
+    def test_collective_hybrid_runs(self):
+        result = run_hybrid(cfg(strategy="ww-coll"), 2)
+        assert result.complete

@@ -1,0 +1,82 @@
+"""Property-based whole-simulation fuzzing.
+
+Hypothesis drives random (small) configurations through a complete run and
+checks the invariants that must hold for *any* configuration:
+
+* the output file is one dense extent of exactly the expected bytes;
+* the file-system servers wrote exactly the file's bytes;
+* phase times are non-negative and bounded by each rank's lifetime;
+* the run is deterministic (same config -> same elapsed time).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Phase, S3aSim, SimulationConfig
+from repro.workload import ResultModel
+
+configs = st.fixed_dictionaries(
+    {
+        "nprocs": st.integers(2, 7),
+        "strategy": st.sampled_from(["mw", "ww-posix", "ww-list", "ww-coll"]),
+        "query_sync": st.booleans(),
+        "nqueries": st.integers(1, 4),
+        "nfragments": st.integers(1, 6),
+        "write_every": st.integers(1, 3),
+        "seed": st.integers(0, 50),
+    }
+)
+
+
+@given(params=configs)
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_property_any_config_produces_a_complete_file(params):
+    cfg = SimulationConfig(
+        result_model=ResultModel(min_count=20, max_count=60),
+        **params,
+    )
+    app = S3aSim(cfg)
+    result = app.run()
+
+    # 1. Output completeness.
+    assert result.file_stats.complete, (params, result.file_stats)
+
+    # 2. Conservation: servers wrote exactly the file's bytes.
+    assert app.fs.total_bytes_written() == result.file_stats.total_bytes
+
+    # 3. Phase sanity on every rank.
+    for report in [result.master, *result.workers]:
+        for phase in Phase:
+            assert report[phase] >= 0
+        assert sum(report.times.values()) == pytest.approx(report.total)
+        assert report.total <= result.elapsed + 1e-9
+
+    # 4. The master never computes or writes unless master-writing.
+    assert result.master[Phase.COMPUTE] == 0
+    if cfg.io_strategy().parallel_io:
+        assert result.master[Phase.IO] == 0
+
+
+@given(
+    seed=st.integers(0, 20),
+    strategy=st.sampled_from(["mw", "ww-list", "ww-coll"]),
+)
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_runs_are_deterministic(seed, strategy):
+    cfg = SimulationConfig(
+        nprocs=4,
+        strategy=strategy,
+        nqueries=2,
+        nfragments=4,
+        seed=seed,
+        result_model=ResultModel(min_count=20, max_count=60),
+    )
+    first = S3aSim(cfg).run()
+    second = S3aSim(cfg).run()
+    assert first.elapsed == second.elapsed
+    assert first.worker_mean.as_dict() == second.worker_mean.as_dict()

@@ -1,0 +1,71 @@
+"""The independent output-file oracle vs simulated runs."""
+
+import pytest
+
+from repro.core import (
+    S3aSim,
+    SimulationConfig,
+    build_reference_bytestore,
+    reference_layout,
+    verify_against_reference,
+)
+
+
+def cfg(**kwargs):
+    defaults = dict(
+        nprocs=4, strategy="ww-list", nqueries=3, nfragments=6,
+        store_data=True,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestReferenceLayout:
+    def test_layout_tiles_densely(self):
+        config = cfg()
+        layout = reference_layout(
+            config.build_workload(), config.nqueries, config.nfragments
+        )
+        cursor = 0
+        for _, _, _, offset, size in layout:
+            assert offset == cursor
+            cursor += size
+        total = config.build_workload().results.run_total_bytes()
+        assert cursor == total
+
+    def test_reference_store_matches_expected_volume(self):
+        config = cfg()
+        store = build_reference_bytestore(config)
+        expected = config.build_workload().results.run_total_bytes()
+        assert store.is_dense(expected)
+
+
+class TestOracleAgreement:
+    @pytest.mark.parametrize("strategy", ["mw", "ww-posix", "ww-list", "ww-coll"])
+    def test_every_strategy_matches_the_oracle(self, strategy):
+        config = cfg(strategy=strategy)
+        app = S3aSim(config)
+        result = app.run()
+        assert result.file_stats.complete
+        problems = verify_against_reference(config, app.fh.file.bytestore)
+        assert problems == []
+
+    def test_oracle_catches_corruption(self):
+        config = cfg()
+        app = S3aSim(config)
+        app.run()
+        store = app.fh.file.bytestore
+        # Corrupt one byte in place.
+        start, end = store.extents()[0]
+        segment = store._segments[0]
+        segment[2][10] ^= 0xFF
+        problems = verify_against_reference(config, store)
+        assert problems and "mismatch at byte 10" in problems[0]
+
+    def test_oracle_catches_missing_extent(self):
+        config = cfg()
+        from repro.pvfs import ByteStore
+
+        empty = ByteStore(store_data=True)
+        problems = verify_against_reference(config, empty)
+        assert problems and "extents differ" in problems[0]

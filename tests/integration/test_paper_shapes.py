@@ -1,0 +1,140 @@
+"""Paper-shape acceptance tests at reduced (fast) scale.
+
+These check the *qualitative* results of the paper's Section 4 using a
+scaled-down workload (fewer queries/fragments than the full benchmarks in
+``benchmarks/``, which regenerate the figures at paper scale).  The shapes
+under test:
+
+* WW-List is the fastest strategy (no-sync and sync),
+* all no-sync runs are at least as fast as their sync counterparts,
+* WW-Coll barely changes under forced query sync (its collective write is
+  already synchronized),
+* MW barely changes under forced query sync at base compute speed,
+* MW barely benefits from large compute-speed increases while the
+  worker-writing strategies do,
+* list I/O beats POSIX I/O for the workers' noncontiguous writes.
+"""
+
+import pytest
+
+from repro.core import SimulationConfig, run_simulation
+from repro.workload import ComputeModel
+
+pytestmark = pytest.mark.slow
+
+NPROCS = 24
+SMALL = dict(nqueries=8, nfragments=32)
+
+
+def run(strategy, query_sync=False, speed=1.0, nprocs=NPROCS):
+    cfg = SimulationConfig(
+        nprocs=nprocs,
+        strategy=strategy,
+        query_sync=query_sync,
+        compute=ComputeModel(speed=speed),
+        **SMALL,
+    )
+    return run_simulation(cfg)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """All strategy × sync results at the test scale."""
+    return {
+        (s, q): run(s, query_sync=q)
+        for s in ("mw", "ww-posix", "ww-list", "ww-coll")
+        for q in (False, True)
+    }
+
+
+class TestHeadlineOrdering:
+    def test_ww_list_fastest_no_sync(self, matrix):
+        best = matrix[("ww-list", False)].elapsed
+        for s in ("mw", "ww-posix", "ww-coll"):
+            assert best <= matrix[(s, False)].elapsed
+
+    def test_ww_list_fastest_sync(self, matrix):
+        best = matrix[("ww-list", True)].elapsed
+        for s in ("mw", "ww-posix", "ww-coll"):
+            assert best <= matrix[(s, True)].elapsed
+
+    def test_mw_is_worst_at_scale(self, matrix):
+        """MW trails every worker-writing strategy once the master's
+        single-client write path saturates."""
+        mw = matrix[("mw", False)].elapsed
+        for s in ("ww-posix", "ww-list", "ww-coll"):
+            assert mw > matrix[(s, False)].elapsed
+
+    def test_no_sync_never_slower(self, matrix):
+        """"All no-sync I/O strategies perform as good as or better than
+        their sync counterparts" (within a small tolerance for timing
+        noise in the simulated schedules)."""
+        for s in ("mw", "ww-posix", "ww-list", "ww-coll"):
+            assert matrix[(s, False)].elapsed <= matrix[(s, True)].elapsed * 1.05
+
+
+class TestSyncSensitivity:
+    def test_ww_coll_insensitive_to_query_sync(self, matrix):
+        """Paper: "WW-Coll performance is about the same with or without
+        the sync option" (at most ~6%)."""
+        nosync = matrix[("ww-coll", False)].elapsed
+        sync = matrix[("ww-coll", True)].elapsed
+        assert abs(sync - nosync) / nosync < 0.10
+
+    def test_mw_insensitive_to_query_sync_at_base_speed(self, matrix):
+        """Paper: at most ~5% at base compute speed."""
+        nosync = matrix[("mw", False)].elapsed
+        sync = matrix[("mw", True)].elapsed
+        assert abs(sync - nosync) / nosync < 0.15
+
+    def test_ww_individual_pays_for_query_sync(self, matrix):
+        """WW-POSIX/WW-List get measurably slower under forced sync."""
+        for s in ("ww-posix", "ww-list"):
+            assert matrix[(s, True)].elapsed > matrix[(s, False)].elapsed
+
+
+class TestComputeSpeedScaling:
+    def test_mw_insensitive_to_compute_speed(self):
+        """Paper: 25.6x faster compute changes MW by <2% (we allow 15% at
+        the reduced test scale)."""
+        slow = run("mw", speed=1.0)
+        fast = run("mw", speed=25.6)
+        assert abs(slow.elapsed - fast.elapsed) / slow.elapsed < 0.15
+
+    def test_ww_list_benefits_from_compute_speed(self):
+        slow = run("ww-list", speed=1.0)
+        fast = run("ww-list", speed=25.6)
+        assert fast.elapsed < slow.elapsed * 0.8
+
+    def test_slow_compute_hurts_ww_coll_most(self):
+        """Large compute-time variance makes WW-Coll pay the biggest
+        synchronization penalty (paper Section 4, Figures 5-7)."""
+        coll = run("ww-coll", speed=0.1)
+        lst = run("ww-list", speed=0.1)
+        assert coll.elapsed > lst.elapsed
+
+
+class TestListVsPosix:
+    def test_list_io_beats_posix_io(self, matrix):
+        assert (
+            matrix[("ww-list", False)].elapsed
+            < matrix[("ww-posix", False)].elapsed
+        )
+
+    def test_list_io_issues_fewer_requests(self):
+        lst = run("ww-list")
+        posix = run("ww-posix")
+        assert lst.server_stats["requests"] < posix.server_stats["requests"]
+
+
+class TestScalingKnee:
+    def test_adding_processes_helps_then_saturates(self):
+        """Figure 2's shape: near-linear early gains, knee once I/O
+        dominates."""
+        t4 = run("ww-list", nprocs=4).elapsed
+        t12 = run("ww-list", nprocs=12).elapsed
+        t24 = run("ww-list", nprocs=24).elapsed
+        assert t12 < t4 / 1.8  # strong early speedup
+        early_gain = t4 / t12
+        late_gain = t12 / t24
+        assert late_gain < early_gain  # diminishing returns

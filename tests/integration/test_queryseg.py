@@ -1,0 +1,94 @@
+"""Query segmentation baseline (the intro's comparison point)."""
+
+import pytest
+
+from repro.core import (
+    Phase,
+    QuerySegS3aSim,
+    S3aSim,
+    SimulationConfig,
+    run_query_segmentation,
+    run_simulation,
+)
+
+MIB = 1024 * 1024
+
+
+def cfg(**kwargs):
+    defaults = dict(
+        nprocs=4, nqueries=6, nfragments=8, db_total_bytes=128 * MIB,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestCorrectness:
+    def test_output_complete(self):
+        result = run_query_segmentation(cfg())
+        assert result.file_stats.complete
+        assert result.strategy == "query-seg"
+
+    def test_output_identical_to_database_segmentation(self):
+        """Same deterministic search results, different parallelization —
+        the bytes in the output file must match exactly."""
+        config = cfg(store_data=True)
+        dbseg = S3aSim(config)
+        dbseg.run()
+        qseg = QuerySegS3aSim(config, worker_memory_B=64 * MIB)
+        result = qseg.run()
+        assert result.file_stats.complete
+        assert dbseg.fh.file.bytestore.content_equal(qseg.fh.file.bytestore)
+
+    def test_invalid_memory(self):
+        with pytest.raises(ValueError):
+            QuerySegS3aSim(cfg(), worker_memory_B=0)
+
+    def test_master_does_not_compute(self):
+        result = run_query_segmentation(cfg())
+        assert result.master[Phase.COMPUTE] == 0
+        assert result.worker_mean[Phase.COMPUTE] > 0
+
+
+class TestIntroClaims:
+    def test_repeated_io_when_database_exceeds_memory(self):
+        """"query segmentation suffers repeated I/O introduced by loading
+        sequence data back and forth".
+
+        A small result volume keeps output writes out of the I/O phase so
+        the comparison isolates the database re-reads.
+        """
+        from repro.workload import ResultModel
+
+        config = cfg(
+            nprocs=3, nqueries=8, db_total_bytes=256 * MIB,
+            result_model=ResultModel(min_count=40, max_count=80),
+        )
+        fits = run_query_segmentation(config, worker_memory_B=512 * MIB)
+        thrash = run_query_segmentation(config, worker_memory_B=32 * MIB)
+        assert (
+            thrash.worker_mean[Phase.IO] > fits.worker_mean[Phase.IO] * 1.3
+        )
+        assert thrash.elapsed >= fits.elapsed
+
+    def test_under_utilization_with_few_queries(self):
+        """"searching a query against the whole database ... will result
+        in resource under-utilization when the number of sequences is
+        relatively small compared to the number of processors" — extra
+        workers beyond nqueries buy nothing under query segmentation but
+        keep helping under database segmentation."""
+        base = dict(nqueries=3, nfragments=24, db_total_bytes=64 * MIB)
+        q_small = run_query_segmentation(cfg(nprocs=4, **base))
+        q_large = run_query_segmentation(cfg(nprocs=16, **base))
+        d_small = run_simulation(cfg(nprocs=4, **base))
+        d_large = run_simulation(cfg(nprocs=16, **base))
+        qseg_gain = q_small.elapsed / q_large.elapsed
+        dbseg_gain = d_small.elapsed / d_large.elapsed
+        assert dbseg_gain > qseg_gain * 1.5
+
+    def test_database_segmentation_wins_at_scale(self):
+        """The paper's bottom line for why database segmentation is "the
+        inevitable trend"."""
+        config = cfg(nprocs=8, nqueries=8, db_total_bytes=512 * MIB)
+        qseg = run_query_segmentation(config, worker_memory_B=64 * MIB)
+        dbseg = run_simulation(config)
+        assert dbseg.elapsed < qseg.elapsed

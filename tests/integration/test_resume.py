@@ -1,0 +1,73 @@
+"""Resuming a failed run at a write-group boundary.
+
+The paper motivates frequent result writes with exactly this capability:
+"More frequently writing out the results also allows users to resume a
+failed application run at the appropriate input query."
+"""
+
+import pytest
+
+from repro.core import S3aSim, SimulationConfig, run_simulation
+
+
+def cfg(**kwargs):
+    defaults = dict(
+        nprocs=4, strategy="ww-list", nqueries=6, nfragments=8,
+        store_data=True,
+    )
+    defaults.update(kwargs)
+    return SimulationConfig(**defaults)
+
+
+class TestValidation:
+    def test_resume_must_be_in_range(self):
+        with pytest.raises(ValueError):
+            cfg(resume_from_query=6)
+        with pytest.raises(ValueError):
+            cfg(resume_from_query=-1)
+
+    def test_resume_must_align_with_write_groups(self):
+        with pytest.raises(ValueError):
+            cfg(resume_from_query=3, write_every=2)
+        cfg(resume_from_query=4, write_every=2)  # aligned: fine
+
+    def test_resume_group_property(self):
+        assert cfg(resume_from_query=4, write_every=2).resume_group == 2
+        assert cfg().resume_group == 0
+
+
+class TestResumedRuns:
+    @pytest.mark.parametrize("strategy", ["mw", "ww-posix", "ww-list", "ww-coll"])
+    def test_resumed_run_writes_exactly_the_remainder(self, strategy):
+        full = S3aSim(cfg(strategy=strategy))
+        full.run()
+        full_store = full.fh.file.bytestore
+
+        resumed = S3aSim(cfg(strategy=strategy, resume_from_query=3))
+        result = resumed.run()
+        assert result.file_stats.complete
+        store = resumed.fh.file.bytestore
+
+        # The resumed run's bytes are exactly the tail of the full run.
+        (start, end) = store.extents()[0]
+        assert store.read(start, end - start) == full_store.read(
+            start, end - start
+        )
+        assert start == sum(
+            full.workload.results.query_total_bytes(q) for q in range(3)
+        )
+
+    def test_resumed_run_is_faster(self):
+        full = run_simulation(cfg())
+        resumed = run_simulation(cfg(resume_from_query=4))
+        assert resumed.elapsed < full.elapsed
+
+    def test_resume_with_query_sync(self):
+        result = run_simulation(cfg(resume_from_query=2, query_sync=True))
+        assert result.file_stats.complete
+
+    def test_resume_with_write_groups(self):
+        result = run_simulation(
+            cfg(resume_from_query=4, write_every=2, strategy="ww-coll")
+        )
+        assert result.file_stats.complete

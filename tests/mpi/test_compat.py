@@ -1,0 +1,157 @@
+"""The mpi4py-flavoured facade."""
+
+import pytest
+
+from repro.mpi import CompatComm, CompatFile, MpiWorld, NetworkConfig
+from repro.mpi.compat import MODE_CREATE, MODE_WRONLY
+from repro.pvfs import FileSystem, PVFSConfig
+
+MIB = 1024 * 1024
+
+
+def make_world(n=3):
+    return MpiWorld(nranks=n, network=NetworkConfig.myrinet2000())
+
+
+class TestPointToPoint:
+    def test_tutorial_send_recv(self):
+        """The mpi4py tutorial's first example, adapted."""
+        world = make_world(2)
+
+        def main(comm):
+            C = CompatComm(comm)
+            if C.Get_rank() == 0:
+                data = {"a": 7, "b": 3.14}
+                yield from C.send(data, dest=1, tag=11)
+            elif C.Get_rank() == 1:
+                data = yield from C.recv(source=0, tag=11)
+                return data
+
+        world.spawn_all(main)
+        assert world.run()[1] == {"a": 7, "b": 3.14}
+
+    def test_nonblocking_with_test_and_wait(self):
+        world = make_world(2)
+
+        def main(comm):
+            C = CompatComm(comm)
+            if C.rank == 0:
+                req = C.isend([1, 2, 3], dest=1, tag=5)
+                value = yield from req.Wait()
+                return value
+            req = C.irecv(source=0, tag=5)
+            while not req.Test():
+                yield comm.env.timeout(1e-6)
+            data = yield from req.Wait()
+            return data
+
+        world.spawn_all(main)
+        assert world.run()[1] == [1, 2, 3]
+
+    def test_payload_size_drives_timing(self):
+        durations = {}
+        for size in (10, 200_000):
+            world = make_world(2)
+
+            def main(comm, n=size):
+                C = CompatComm(comm)
+                if C.rank == 0:
+                    yield from C.send(list(range(n)), dest=1)
+                else:
+                    yield from C.recv(source=0)
+
+            world.spawn_all(main)
+            world.run()
+            durations[size] = world.env.now
+        assert durations[200_000] > durations[10] * 10
+
+
+class TestCollectives:
+    def test_bcast_gather_allreduce(self):
+        world = make_world(4)
+
+        def main(comm):
+            C = CompatComm(comm)
+            data = yield from C.bcast("seed" if C.rank == 0 else None, root=0)
+            assert data == "seed"
+            gathered = yield from C.gather(C.rank * 2, root=0)
+            if C.rank == 0:
+                assert gathered == [0, 2, 4, 6]
+            total = yield from C.allreduce(C.rank)
+            assert total == 6
+            yield from C.barrier()
+            return "done"
+
+        world.spawn_all(main)
+        assert all(v == "done" for v in world.run().values())
+
+    def test_scatter(self):
+        world = make_world(3)
+
+        def main(comm):
+            C = CompatComm(comm)
+            objs = ["a", "b", "c"] if C.rank == 0 else None
+            mine = yield from C.scatter(objs, root=0)
+            return mine
+
+        world.spawn_all(main)
+        assert world.run() == {0: "a", 1: "b", 2: "c"}
+
+
+class TestFile:
+    def test_collective_io_tutorial_pattern(self):
+        """The mpi4py MPI-IO tutorial: each rank writes its slab at
+        rank * nbytes via Write_at_all."""
+        world = make_world(4)
+        fs = FileSystem(
+            world.env,
+            PVFSConfig(
+                nservers=4,
+                network=NetworkConfig(latency_s=1e-6, bandwidth_Bps=1000 * MIB),
+                client_pipeline_Bps=1000 * MIB,
+                store_data=True,
+            ),
+        )
+
+        def main(comm):
+            C = CompatComm(comm)
+            fh = yield from CompatFile.Open(
+                C, fs, "./datafile.contig", MODE_WRONLY | MODE_CREATE
+            )
+            buffer = bytes([C.rank]) * 40
+            offset = C.rank * len(buffer)
+            yield from fh.Write_at_all(offset, buffer)
+            yield from fh.Sync()
+            yield from fh.Close()
+
+        world.spawn_all(main)
+        world.run()
+        store = fs.lookup("./datafile.contig").bytestore
+        assert store.is_dense(160)
+        assert store.read(40, 1) == bytes([1])
+
+    def test_independent_write_and_read(self):
+        world = make_world(2)
+        fs = FileSystem(
+            world.env,
+            PVFSConfig(
+                nservers=2,
+                network=NetworkConfig(latency_s=1e-6, bandwidth_Bps=1000 * MIB),
+                client_pipeline_Bps=1000 * MIB,
+                store_data=True,
+            ),
+        )
+
+        def main(comm):
+            C = CompatComm(comm)
+            fh = yield from CompatFile.Open(C, fs, "/f")
+            if C.rank == 0:
+                yield from fh.Write_at(0, b"hello-mpiio")
+            yield from C.barrier()
+            if C.rank == 1:
+                data = yield from fh.Read_at(0, 11)
+                return data
+            return None
+
+        world.spawn_all(main)
+        assert world.run()[1] == b"hello-mpiio"

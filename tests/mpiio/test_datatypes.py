@@ -1,0 +1,169 @@
+"""Derived datatypes and flattening (ROMIO's ADIOI_Flatten analogue)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpiio import Bytes, Contiguous, Hindexed, Struct, Vector, tile_view
+
+
+class TestBytes:
+    def test_flatten(self):
+        assert Bytes(10).flatten() == [(0, 10)]
+        assert Bytes(0).flatten() == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Bytes(-1)
+
+    def test_size_and_extent(self):
+        t = Bytes(7)
+        assert t.size == 7
+        assert t.extent == 7
+
+
+class TestContiguous:
+    def test_of_bytes_coalesces(self):
+        t = Contiguous(3, Bytes(4))
+        assert t.flatten() == [(0, 12)]
+        assert t.size == 12
+        assert t.extent == 12
+
+    def test_of_vector_keeps_holes(self):
+        inner = Vector(count=2, blocklength=1, stride=2, base=Bytes(1))
+        t = Contiguous(2, inner)
+        # inner: bytes at 0 and 2, extent 3 => second copy at 3 and 5.
+        assert t.flatten() == [(0, 1), (2, 2), (5, 1)]
+
+
+class TestVector:
+    def test_strided_blocks(self):
+        t = Vector(count=3, blocklength=2, stride=4, base=Bytes(1))
+        assert t.flatten() == [(0, 2), (4, 2), (8, 2)]
+        assert t.size == 6
+        assert t.extent == 10  # (3-1)*4 + 2
+
+    def test_unit_stride_coalesces(self):
+        t = Vector(count=4, blocklength=1, stride=1, base=Bytes(8))
+        assert t.flatten() == [(0, 32)]
+
+    def test_empty(self):
+        t = Vector(count=0, blocklength=2, stride=4, base=Bytes(1))
+        assert t.flatten() == []
+        assert t.extent == 0
+
+
+class TestHindexed:
+    def test_explicit_displacements(self):
+        t = Hindexed((2, 3), (10, 100), Bytes(1))
+        assert t.flatten() == [(10, 2), (100, 3)]
+        assert t.size == 5
+
+    def test_of_bytes_helper(self):
+        t = Hindexed.of_bytes([(0, 5), (20, 7)])
+        assert t.flatten() == [(0, 5), (20, 7)]
+
+    def test_misaligned_lists_rejected(self):
+        with pytest.raises(ValueError):
+            Hindexed((1, 2), (0,), Bytes(1))
+
+    def test_adjacent_blocks_coalesce(self):
+        t = Hindexed((4, 4), (0, 4), Bytes(1))
+        assert t.flatten() == [(0, 8)]
+
+
+class TestStruct:
+    def test_mixed_fields(self):
+        t = Struct(((0, Bytes(4)), (10, Vector(2, 1, 2, Bytes(1)))))
+        assert t.flatten() == [(0, 4), (10, 1), (12, 1)]
+        assert t.size == 6
+
+    def test_empty(self):
+        t = Struct(())
+        assert t.flatten() == []
+        assert t.extent == 0
+
+
+class TestTileView:
+    def test_contiguous_view(self):
+        regions = tile_view(Bytes(100), view_offset=50, nbytes=250)
+        assert regions == [(50, 250)]  # tiles coalesce into one run
+
+    def test_strided_view_tiles(self):
+        view = Vector(count=2, blocklength=10, stride=20, base=Bytes(1))
+        # Pattern: 10 bytes at 0, 10 at 20; extent 30.  The second tile's
+        # first block (at 30) is adjacent to the first tile's second block
+        # (at 20), so they coalesce.
+        regions = tile_view(view, view_offset=0, nbytes=40)
+        assert regions == [(0, 10), (20, 20), (50, 10)]
+
+    def test_partial_final_tile(self):
+        view = Vector(count=2, blocklength=10, stride=20, base=Bytes(1))
+        regions = tile_view(view, view_offset=0, nbytes=15)
+        assert regions == [(0, 10), (20, 5)]
+
+    def test_zero_bytes(self):
+        assert tile_view(Bytes(10), 0, 0) == []
+
+    def test_empty_view_with_data_rejected(self):
+        with pytest.raises(ValueError):
+            tile_view(Bytes(0), 0, 10)
+
+    def test_total_length_preserved(self):
+        view = Hindexed.of_bytes([(3, 7), (50, 2)])
+        regions = tile_view(view, view_offset=1000, nbytes=100)
+        assert sum(length for _, length in regions) == 100
+        assert all(offset >= 1000 for offset, _ in regions)
+
+
+# -- property tests --------------------------------------------------------
+
+region_lists = st.lists(
+    st.tuples(st.integers(0, 10_000), st.integers(1, 100)),
+    min_size=1,
+    max_size=10,
+)
+
+
+@given(regions=region_lists)
+@settings(max_examples=100, deadline=None)
+def test_property_hindexed_size_is_sum(regions):
+    t = Hindexed.of_bytes(regions)
+    assert t.size == sum(l for _, l in regions)
+
+
+@given(
+    count=st.integers(0, 20),
+    blocklength=st.integers(0, 10),
+    stride=st.integers(1, 30),
+    unit=st.integers(1, 8),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_vector_flatten_consistent(count, blocklength, stride, unit):
+    """Flattened regions are disjoint, ordered, and sum to `size` whenever
+    stride >= blocklength (the non-self-overlapping case)."""
+    if stride < blocklength:
+        stride = blocklength
+    t = Vector(count, blocklength, stride, Bytes(unit))
+    flat = t.flatten()
+    assert sum(l for _, l in flat) == t.size
+    for (o1, l1), (o2, l2) in zip(flat, flat[1:]):
+        assert o1 + l1 < o2 or (o1 + l1 <= o2)  # ordered, disjoint
+
+
+@given(
+    nbytes=st.integers(0, 500),
+    offset=st.integers(0, 1000),
+    count=st.integers(1, 5),
+    blocklength=st.integers(1, 10),
+    extra_stride=st.integers(0, 10),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_tile_view_writes_exactly_nbytes(
+    nbytes, offset, count, blocklength, extra_stride
+):
+    view = Vector(count, blocklength, blocklength + extra_stride, Bytes(1))
+    regions = tile_view(view, offset, nbytes)
+    assert sum(l for _, l in regions) == nbytes
+    # Regions are sorted and disjoint.
+    for (o1, l1), (o2, l2) in zip(regions, regions[1:]):
+        assert o1 + l1 <= o2

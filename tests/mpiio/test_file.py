@@ -1,0 +1,161 @@
+"""MPIIOFile: open semantics, method routing, sync-after-write, views."""
+
+import pytest
+
+from repro.mpi import MpiWorld, NetworkConfig
+from repro.mpiio import (
+    IND_LIST,
+    IND_POSIX,
+    IND_SIEVE,
+    Bytes,
+    MPIIOFile,
+    MPIIOHints,
+    Vector,
+)
+from repro.pvfs import FileSystem, PVFSConfig
+from repro.sim import Environment
+
+MIB = 1024 * 1024
+
+
+def fast_pvfs(**kwargs):
+    defaults = dict(
+        nservers=4,
+        network=NetworkConfig(latency_s=1e-6, bandwidth_Bps=1000 * MIB, cpu_overhead_s=0),
+        client_pipeline_Bps=1000 * MIB,
+        store_data=True,
+    )
+    defaults.update(kwargs)
+    return PVFSConfig(**defaults)
+
+
+class TestHints:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MPIIOHints(cb_nodes=0)
+        with pytest.raises(ValueError):
+            MPIIOHints(cb_buffer_size=0)
+        with pytest.raises(ValueError):
+            MPIIOHints(ind_wr_method="bogus")
+
+    def test_with_(self):
+        hints = MPIIOHints().with_(ind_wr_method=IND_POSIX)
+        assert hints.ind_wr_method == IND_POSIX
+        assert hints.sync_after_write  # unchanged
+
+    def test_effective_cb_nodes(self):
+        assert MPIIOHints().effective_cb_nodes(comm_size=8, nservers=16) == 8
+        assert MPIIOHints().effective_cb_nodes(comm_size=64, nservers=16) == 16
+        assert MPIIOHints(cb_nodes=4).effective_cb_nodes(64, 16) == 4
+        assert MPIIOHints(cb_nodes=100).effective_cb_nodes(8, 16) == 8
+
+
+class TestOpen:
+    def test_collective_open_shares_handle(self):
+        world = MpiWorld(nranks=3)
+        fs = FileSystem(world.env, fast_pvfs())
+
+        def main(comm):
+            fh = yield from MPIIOFile.open(comm, fs, "/shared")
+            return id(fh.file)
+
+        world.spawn_all(main)
+        out = world.run()
+        assert len(set(out.values())) == 1
+
+    def test_independent_open(self):
+        env = Environment()
+        fs = FileSystem(env, fast_pvfs())
+
+        def proc():
+            fh = yield from MPIIOFile.open_independent(0, fs, "/solo")
+            return fh
+
+        fh = env.run(env.process(proc()))
+        assert fh.file.name == "/solo"
+
+
+class TestIndependentWrites:
+    @pytest.mark.parametrize("method", [IND_POSIX, IND_LIST, IND_SIEVE])
+    def test_write_at_list_routes_by_hint(self, method):
+        env = Environment()
+        fs = FileSystem(env, fast_pvfs())
+
+        def proc():
+            fh = yield from MPIIOFile.open_independent(
+                0, fs, "/out", MPIIOHints(ind_wr_method=method, sync_after_write=False)
+            )
+            regions = [(i * 1000, 500) for i in range(10)]
+            datas = [b"z" * 500] * 10
+            yield from fh.write_at_list(0, regions, datas)
+            return fh
+
+        fh = env.run(env.process(proc()))
+        assert fh.file.bytestore.total_bytes() == 5000
+
+    def test_sync_after_write_flag(self):
+        for sync, expected in ((True, 4), (False, 0)):
+            env = Environment()
+            fs = FileSystem(env, fast_pvfs())
+
+            def proc(s=sync):
+                fh = yield from MPIIOFile.open_independent(
+                    0, fs, "/out", MPIIOHints(sync_after_write=s)
+                )
+                yield from fh.write_at(0, 0, 100, b"y" * 100)
+
+            env.run(env.process(proc()))
+            assert fs.total_syncs() == expected
+
+    def test_write_at_contiguous(self):
+        env = Environment()
+        fs = FileSystem(env, fast_pvfs())
+
+        def proc():
+            fh = yield from MPIIOFile.open_independent(0, fs, "/out")
+            yield from fh.write_at(0, 123, 8, b"abcdefgh")
+            return fh
+
+        fh = env.run(env.process(proc()))
+        assert fh.file.bytestore.read(123, 8) == b"abcdefgh"
+
+
+class TestViews:
+    def test_write_through_strided_view(self):
+        env = Environment()
+        fs = FileSystem(env, fast_pvfs())
+
+        def proc():
+            fh = yield from MPIIOFile.open_independent(
+                0, fs, "/out", MPIIOHints(sync_after_write=False)
+            )
+            # Pattern: 4 bytes at 0 and at 8 (extent 12), tiled twice.
+            view = Vector(count=2, blocklength=4, stride=8, base=Bytes(1))
+            yield from fh.write_view(0, view, 100, 16, b"AAAABBBBCCCCDDDD")
+            return fh
+
+        fh = env.run(env.process(proc()))
+        bs = fh.file.bytestore
+        assert bs.read(100, 4) == b"AAAA"
+        assert bs.read(108, 4) == b"BBBB"
+        assert bs.read(112, 4) == b"CCCC"  # second tile starts at 100+12
+        assert bs.read(120, 4) == b"DDDD"
+        assert bs.total_bytes() == 16
+
+
+class TestCollectiveViaFile:
+    def test_write_at_all_with_sync(self):
+        world = MpiWorld(nranks=4)
+        fs = FileSystem(world.env, fast_pvfs())
+
+        def main(comm):
+            fh = yield from MPIIOFile.open(comm, fs, "/out")
+            regions = [((i * comm.size + comm.rank) * 100, 100) for i in range(4)]
+            datas = [bytes([comm.rank]) * 100] * 4
+            yield from fh.write_at_all(comm, regions, datas)
+
+        world.spawn_all(main)
+        world.run()
+        f = fs.lookup("/out")
+        assert f.bytestore.is_dense(1600)
+        assert fs.total_syncs() > 0

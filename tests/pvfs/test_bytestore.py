@@ -1,0 +1,164 @@
+"""ByteStore: write-once sparse storage with gap/overlap detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pvfs import ByteStore, OverlapError
+
+
+class TestWrites:
+    def test_single_write(self):
+        bs = ByteStore()
+        bs.write(10, 5, b"hello")
+        assert bs.extents() == [(10, 15)]
+        assert bs.read(10, 5) == b"hello"
+        assert bs.total_bytes() == 5
+
+    def test_zero_length_is_noop(self):
+        bs = ByteStore()
+        bs.write(10, 0)
+        assert bs.extents() == []
+
+    def test_data_length_mismatch(self):
+        bs = ByteStore()
+        with pytest.raises(ValueError):
+            bs.write(0, 5, b"toolongdata")
+
+    def test_negative_inputs(self):
+        bs = ByteStore()
+        with pytest.raises(ValueError):
+            bs.write(-1, 5)
+        with pytest.raises(ValueError):
+            bs.write(0, -5)
+
+    def test_adjacent_writes_merge(self):
+        bs = ByteStore()
+        bs.write(0, 4, b"aaaa")
+        bs.write(4, 4, b"bbbb")
+        assert bs.extents() == [(0, 8)]
+        assert bs.read(0, 8) == b"aaaabbbb"
+
+    def test_merge_from_both_sides(self):
+        bs = ByteStore()
+        bs.write(0, 4, b"aaaa")
+        bs.write(8, 4, b"cccc")
+        bs.write(4, 4, b"bbbb")  # bridges the gap
+        assert bs.extents() == [(0, 12)]
+        assert bs.read(0, 12) == b"aaaabbbbcccc"
+
+    def test_out_of_order_writes(self):
+        bs = ByteStore()
+        bs.write(100, 10)
+        bs.write(0, 10)
+        bs.write(50, 10)
+        assert bs.extents() == [(0, 10), (50, 60), (100, 110)]
+
+    @pytest.mark.parametrize(
+        "first,second",
+        [
+            ((0, 10), (5, 10)),  # tail overlap
+            ((5, 10), (0, 10)),  # head overlap
+            ((0, 10), (2, 3)),   # contained
+            ((2, 3), (0, 10)),   # containing
+            ((0, 10), (0, 10)),  # identical
+        ],
+    )
+    def test_overlaps_rejected(self, first, second):
+        bs = ByteStore()
+        bs.write(*first)
+        with pytest.raises(OverlapError):
+            bs.write(*second)
+
+
+class TestReads:
+    def test_read_spanning_segments_and_holes(self):
+        bs = ByteStore()
+        bs.write(0, 4, b"aaaa")
+        bs.write(8, 4, b"bbbb")
+        assert bs.read(0, 12) == b"aaaa\x00\x00\x00\x00bbbb"
+
+    def test_read_without_stored_data_raises(self):
+        bs = ByteStore(store_data=False)
+        bs.write(0, 4)
+        with pytest.raises(RuntimeError):
+            bs.read(0, 4)
+
+
+class TestInspection:
+    def test_gaps(self):
+        bs = ByteStore()
+        bs.write(10, 10)
+        bs.write(30, 10)
+        assert bs.gaps() == [(0, 10), (20, 30)]
+
+    def test_is_dense(self):
+        bs = ByteStore()
+        assert bs.is_dense(0)
+        bs.write(0, 10)
+        assert bs.is_dense(10)
+        assert not bs.is_dense(11)
+        bs2 = ByteStore()
+        bs2.write(5, 10)
+        assert not bs2.is_dense()
+
+    def test_size(self):
+        bs = ByteStore()
+        assert bs.size() == 0
+        bs.write(100, 50)
+        assert bs.size() == 150
+
+    def test_content_equal(self):
+        a, b = ByteStore(), ByteStore()
+        a.write(0, 4, b"abcd")
+        b.write(0, 4, b"abcd")
+        assert a.content_equal(b)
+        c = ByteStore()
+        c.write(0, 4, b"abcz")
+        assert not a.content_equal(c)
+        d = ByteStore()
+        d.write(1, 4, b"abcd")
+        assert not a.content_equal(d)
+
+    def test_content_equal_extents_only_mode(self):
+        a, b = ByteStore(store_data=False), ByteStore(store_data=False)
+        a.write(0, 4)
+        b.write(0, 4)
+        assert a.content_equal(b)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2000), st.integers(1, 50)),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_property_disjoint_writes_reassemble(regions):
+    """Any set of disjoint writes: extents partition exactly the written
+    bytes and content reads back correctly regardless of write order."""
+    # Make regions disjoint by construction: lay them end to end with gaps.
+    laid = []
+    cursor = 0
+    for gap, length in regions:
+        start = cursor + gap
+        laid.append((start, length))
+        cursor = start + length
+
+    import random
+
+    rng = random.Random(42)
+    shuffled = laid[:]
+    rng.shuffle(shuffled)
+
+    bs = ByteStore()
+    for offset, length in shuffled:
+        bs.write(offset, length, bytes([offset % 251]) * length)
+
+    assert bs.total_bytes() == sum(l for _, l in laid)
+    for offset, length in laid:
+        assert bs.read(offset, length) == bytes([offset % 251]) * length
+    # Extents must be sorted, non-overlapping, non-adjacent.
+    extents = bs.extents()
+    for (s1, e1), (s2, e2) in zip(extents, extents[1:]):
+        assert e1 < s2

@@ -1,0 +1,93 @@
+"""Disk service-time model: overheads, seeks, streaming, head tracking."""
+
+import pytest
+
+from repro.pvfs import DiskModel
+
+MIB = 1024 * 1024
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DiskModel(bandwidth_Bps=0)
+        with pytest.raises(ValueError):
+            DiskModel(op_overhead_s=-1)
+        with pytest.raises(ValueError):
+            DiskModel(seek_free_gap_B=-1)
+
+    def test_negative_region_length(self):
+        disk = DiskModel()
+        with pytest.raises(ValueError):
+            disk.service_time([(0, -5)], head_position=0)
+
+
+class TestServiceTime:
+    def disk(self, **kwargs):
+        defaults = dict(
+            op_overhead_s=1e-3,
+            region_overhead_s=1e-4,
+            seek_penalty_s=5e-3,
+            bandwidth_Bps=100 * MIB,
+            sync_s=2e-3,
+            seek_free_gap_B=1024,
+        )
+        defaults.update(kwargs)
+        return DiskModel(**defaults)
+
+    def test_empty_request_costs_op_overhead(self):
+        seconds, head = self.disk().service_time([], head_position=42)
+        assert seconds == pytest.approx(1e-3)
+        assert head == 42
+
+    def test_sequential_region_from_head_has_no_seek(self):
+        disk = self.disk()
+        seconds, head = disk.service_time([(0, 100 * MIB)], head_position=0)
+        assert seconds == pytest.approx(1e-3 + 1e-4 + 1.0)
+        assert head == 100 * MIB
+
+    def test_small_forward_gap_is_seek_free(self):
+        disk = self.disk()
+        base, _ = disk.service_time([(500, 0)], head_position=0)
+        assert base == pytest.approx(1e-3 + 1e-4)  # gap 500 < 1024
+
+    def test_large_forward_gap_pays_seek(self):
+        disk = self.disk()
+        seconds, _ = disk.service_time([(10_000, 0)], head_position=0)
+        assert seconds == pytest.approx(1e-3 + 1e-4 + 5e-3)
+
+    def test_backward_gap_always_seeks(self):
+        disk = self.disk()
+        seconds, _ = disk.service_time([(0, 0)], head_position=10)
+        assert seconds == pytest.approx(1e-3 + 1e-4 + 5e-3)
+
+    def test_head_persists_across_requests(self):
+        disk = self.disk()
+        _, head = disk.service_time([(0, 1000)], head_position=0)
+        seconds, _ = disk.service_time([(1000, 1000)], head_position=head)
+        # Continues where the last request ended: no seek.
+        assert seconds == pytest.approx(1e-3 + 1e-4 + 1000 / (100 * MIB))
+
+    def test_interleaved_regions_pay_many_seeks(self):
+        """The contiguous-vs-noncontiguous asymmetry the paper leans on."""
+        disk = self.disk()
+        contiguous = [(i * 1000, 1000) for i in range(32)]
+        scattered = [(i * 100_000, 1000) for i in range(32)]
+        t_contig, _ = disk.service_time(contiguous, head_position=0)
+        t_scatter, _ = disk.service_time(scattered, head_position=0)
+        assert t_scatter > t_contig * 5
+
+    def test_amortization_multiregion_vs_separate(self):
+        """One list request beats N individual requests on op overhead."""
+        disk = self.disk()
+        regions = [(i * 100_000, 1000) for i in range(16)]
+        t_list, _ = disk.service_time(regions, head_position=0)
+        t_posix = 0.0
+        head = 0
+        for region in regions:
+            t, head = disk.service_time([region], head_position=head)
+            t_posix += t
+        assert t_posix == pytest.approx(t_list + 15 * 1e-3)
+
+    def test_sync_time(self):
+        assert self.disk().sync_time() == pytest.approx(2e-3)

@@ -1,0 +1,122 @@
+"""Striping layout: strip placement, extent mapping (with property tests)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pvfs import StripingLayout
+
+KIB = 1024
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StripingLayout(strip_size=0)
+        with pytest.raises(ValueError):
+            StripingLayout(nservers=0)
+
+    def test_paper_deployment_stripe(self):
+        layout = StripingLayout(strip_size=64 * KIB, nservers=16)
+        assert layout.stripe_size == 1024 * KIB  # "1-MByte stripe"
+
+    def test_round_robin_server_assignment(self):
+        layout = StripingLayout(strip_size=10, nservers=4)
+        assert [layout.server_of(i * 10) for i in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+    def test_physical_offsets_pack_densely(self):
+        layout = StripingLayout(strip_size=10, nservers=4)
+        # Strip 0 and strip 4 both live on server 0, back to back.
+        assert layout.physical_offset(0) == 0
+        assert layout.physical_offset(45) == 15
+        assert layout.server_of(45) == 0
+
+    def test_negative_offsets_rejected(self):
+        layout = StripingLayout(10, 4)
+        with pytest.raises(ValueError):
+            layout.server_of(-1)
+        with pytest.raises(ValueError):
+            layout.map_extent(-5, 10)
+        with pytest.raises(ValueError):
+            layout.map_extent(0, -1)
+
+
+class TestMapExtent:
+    def test_within_one_strip(self):
+        layout = StripingLayout(strip_size=100, nservers=4)
+        pieces = layout.map_extent(10, 50)
+        assert len(pieces) == 1
+        assert pieces[0].server == 0
+        assert pieces[0].physical_offset == 10
+        assert pieces[0].length == 50
+
+    def test_spanning_strips(self):
+        layout = StripingLayout(strip_size=100, nservers=2)
+        pieces = layout.map_extent(50, 200)
+        assert [(p.server, p.physical_offset, p.length) for p in pieces] == [
+            (0, 50, 50),   # rest of strip 0
+            (1, 0, 100),   # strip 1
+            (0, 100, 50),  # start of strip 2 (second strip on server 0)
+        ]
+
+    def test_empty_extent(self):
+        layout = StripingLayout(100, 2)
+        assert layout.map_extent(10, 0) == []
+
+    def test_map_regions_groups_by_server(self):
+        layout = StripingLayout(strip_size=100, nservers=2)
+        by_server = layout.map_regions([(0, 100), (100, 100), (200, 100)])
+        assert sorted(by_server) == [0, 1]
+        assert sum(p.length for p in by_server[0]) == 200
+        assert sum(p.length for p in by_server[1]) == 100
+
+    def test_servers_touched(self):
+        layout = StripingLayout(strip_size=100, nservers=8)
+        assert layout.servers_touched([(0, 100)]) == [0]
+        assert layout.servers_touched([(0, 250)]) == [0, 1, 2]
+        assert layout.servers_touched([(700, 150)]) == [0, 7]
+
+
+@given(
+    strip_size=st.integers(1, 1 << 16),
+    nservers=st.integers(1, 64),
+    offset=st.integers(0, 1 << 30),
+    length=st.integers(0, 1 << 22),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_extent_mapping_is_a_partition(strip_size, nservers, offset, length):
+    """Pieces cover the extent exactly, in order, without overlap, and each
+    piece stays inside one strip of one server."""
+    layout = StripingLayout(strip_size=strip_size, nservers=nservers)
+    pieces = layout.map_extent(offset, length)
+
+    assert sum(p.length for p in pieces) == length
+    cursor = offset
+    for piece in pieces:
+        assert piece.logical_offset == cursor
+        assert 0 <= piece.server < nservers
+        assert piece.length <= strip_size
+        # Consistency of the coordinate transforms at both ends.
+        assert layout.server_of(piece.logical_offset) == piece.server
+        assert layout.physical_offset(piece.logical_offset) == piece.physical_offset
+        last = piece.logical_offset + piece.length - 1
+        assert layout.server_of(last) == piece.server
+        cursor += piece.length
+    assert cursor == offset + length
+
+
+@given(
+    strip_size=st.integers(1, 4096),
+    nservers=st.integers(1, 16),
+    offsets=st.lists(st.integers(0, 1 << 20), min_size=1, max_size=20),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_physical_offsets_unique_per_server(strip_size, nservers, offsets):
+    """Distinct logical bytes never collide on (server, physical offset)."""
+    layout = StripingLayout(strip_size=strip_size, nservers=nservers)
+    seen = {}
+    for logical in set(offsets):
+        key = (layout.server_of(logical), layout.physical_offset(logical))
+        assert key not in seen, f"{logical} collides with {seen[key]}"
+        seen[key] = logical

@@ -1,0 +1,110 @@
+"""Environment edge cases: scheduling, stepping, introspection."""
+
+import pytest
+
+from repro.sim import EmptySchedule, Environment, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestScheduling:
+    def test_initial_time(self):
+        env = Environment(initial_time=5.0)
+        assert env.now == 5.0
+        env.timeout(1)
+        env.run()
+        assert env.now == 6.0
+
+    def test_schedule_in_the_past_rejected(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            env.schedule(event, delay=-1)
+
+    def test_step_on_empty_queue(self, env):
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_queue_size(self, env):
+        assert env.queue_size == 0
+        env.timeout(1)
+        env.timeout(2)
+        assert env.queue_size == 2
+        env.run()
+        assert env.queue_size == 0
+
+    def test_manual_stepping(self, env):
+        seen = []
+        for delay in (3, 1, 2):
+            env.timeout(delay, value=delay).callbacks.append(
+                lambda e: seen.append(e.value)
+            )
+        env.step()
+        assert seen == [1]
+        assert env.now == 1
+        env.step()
+        env.step()
+        assert seen == [1, 2, 3]
+
+    def test_repr(self, env):
+        env.timeout(1)
+        text = repr(env)
+        assert "Environment" in text and "queued=1" in text
+
+
+class TestSameTimeOrdering:
+    def test_priority_beats_insertion(self, env):
+        """URGENT events at a timestamp run before NORMAL ones regardless
+        of insertion order (process initialisation relies on this)."""
+        from repro.sim.events import NORMAL, URGENT
+
+        order = []
+        normal = env.event()
+        normal._ok, normal._value = True, "normal"
+        urgent = env.event()
+        urgent._ok, urgent._value = True, "urgent"
+        env.schedule(normal, priority=NORMAL)
+        env.schedule(urgent, priority=URGENT)
+        normal.callbacks.append(lambda e: order.append(e.value))
+        urgent.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_fifo_within_priority(self, env):
+        order = []
+        for name in ("a", "b", "c"):
+            t = env.timeout(1, value=name)
+            t.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestRunReturnValues:
+    def test_run_returns_event_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return {"answer": 42}
+
+        assert env.run(env.process(proc(env))) == {"answer": 42}
+
+    def test_run_until_float_accepts_int(self, env):
+        env.timeout(10)
+        env.run(until=5)
+        assert env.now == 5.0
+
+    def test_nested_processes_chain_values(self, env):
+        def leaf(env):
+            yield env.timeout(1)
+            return 1
+
+        def middle(env):
+            value = yield env.process(leaf(env))
+            return value + 1
+
+        def root(env):
+            value = yield env.process(middle(env))
+            return value + 1
+
+        assert env.run(env.process(root(env))) == 3

@@ -1,0 +1,233 @@
+"""Unit tests for the DES event layer."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    SimulationError,
+    Timeout,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestEventLifecycle:
+    def test_fresh_event_is_untriggered(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+        with pytest.raises(SimulationError):
+            _ = ev.ok
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_succeed_twice_raises(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_then_succeed_raises(self, env):
+        ev = env.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_callbacks_invoked_on_processing(self, env):
+        ev = env.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("hello")
+        env.run()
+        assert seen == ["hello"]
+        assert ev.processed
+
+    def test_unhandled_failure_crashes_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("nobody caught me"))
+        with pytest.raises(ValueError, match="nobody caught me"):
+            env.run()
+
+    def test_trigger_copies_state(self, env):
+        src = env.event()
+        dst = env.event()
+        src.succeed(7)
+        dst.trigger(src)
+        env.run()
+        assert dst.value == 7
+
+
+class TestTimeout:
+    def test_timeout_advances_clock(self, env):
+        env.timeout(5.0)
+        env.run()
+        assert env.now == pytest.approx(5.0)
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_timeout_value_passed_through(self, env):
+        def proc(env):
+            got = yield env.timeout(1, value="payload")
+            return got
+
+        assert env.run(env.process(proc(env))) == "payload"
+
+    def test_zero_delay_fires_at_current_time(self, env):
+        t = env.timeout(0)
+        env.run()
+        assert t.processed
+        assert env.now == 0.0
+
+    def test_timeouts_fire_in_order(self, env):
+        order = []
+        for d in (3, 1, 2):
+            t = Timeout(env, d, value=d)
+            t.callbacks.append(lambda e: order.append(e.value))
+        env.run()
+        assert order == [1, 2, 3]
+
+
+class TestConditions:
+    def test_allof_waits_for_every_event(self, env):
+        t1, t2 = env.timeout(1, value="a"), env.timeout(2, value="b")
+
+        def proc(env):
+            result = yield env.all_of([t1, t2])
+            return (env.now, result.values())
+
+        now, values = env.run(env.process(proc(env)))
+        assert now == pytest.approx(2.0)
+        assert values == ["a", "b"]
+
+    def test_anyof_fires_on_first(self, env):
+        t1, t2 = env.timeout(5), env.timeout(1, value="fast")
+
+        def proc(env):
+            result = yield env.any_of([t1, t2])
+            return (env.now, t2 in result)
+
+        now, has_fast = env.run(env.process(proc(env)))
+        assert now == pytest.approx(1.0)
+        assert has_fast
+
+    def test_and_operator(self, env):
+        def proc(env):
+            yield env.timeout(1) & env.timeout(2)
+            return env.now
+
+        assert env.run(env.process(proc(env))) == pytest.approx(2.0)
+
+    def test_or_operator(self, env):
+        def proc(env):
+            yield env.timeout(1) | env.timeout(10)
+            return env.now
+
+        assert env.run(env.process(proc(env))) == pytest.approx(1.0)
+
+    def test_empty_anyof_fires_immediately(self, env):
+        def proc(env):
+            yield AnyOf(env, [])
+            return env.now
+
+        assert env.run(env.process(proc(env))) == 0.0
+
+    def test_empty_allof_fires_immediately(self, env):
+        def proc(env):
+            yield AllOf(env, [])
+            return env.now
+
+        assert env.run(env.process(proc(env))) == 0.0
+
+    def test_condition_propagates_failure(self, env):
+        bad = env.event()
+
+        def failer(env):
+            yield env.timeout(1)
+            bad.fail(RuntimeError("inner"))
+
+        def waiter(env):
+            with pytest.raises(RuntimeError, match="inner"):
+                yield env.all_of([bad, env.timeout(5)])
+            return "handled"
+
+        env.process(failer(env))
+        assert env.run(env.process(waiter(env))) == "handled"
+
+    def test_condition_value_mapping(self, env):
+        t1 = env.timeout(1, value=10)
+        t2 = env.timeout(2, value=20)
+
+        def proc(env):
+            result = yield env.all_of([t1, t2])
+            return result[t1], result[t2]
+
+        assert env.run(env.process(proc(env))) == (10, 20)
+
+    def test_mixed_environment_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            AllOf(env, [env.timeout(1), other.timeout(1)])
+
+
+class TestRunSemantics:
+    def test_run_until_time(self, env):
+        ticks = []
+
+        def clock(env):
+            while True:
+                yield env.timeout(1)
+                ticks.append(env.now)
+
+        env.process(clock(env))
+        env.run(until=3.5)
+        assert ticks == [1, 2, 3]
+        assert env.now == pytest.approx(3.5)
+
+    def test_run_until_past_time_rejected(self, env):
+        env.timeout(10)
+        env.run()
+        with pytest.raises(ValueError):
+            env.run(until=5)
+
+    def test_run_empty_returns_none(self, env):
+        assert env.run() is None
+
+    def test_run_until_never_triggered_event_raises(self, env):
+        ev = env.event()
+        env.timeout(1)
+        with pytest.raises(SimulationError):
+            env.run(until=ev)
+
+    def test_run_until_already_processed_event(self, env):
+        ev = env.event()
+        ev.succeed("early")
+        env.run()
+        assert env.run(until=ev) == "early"
+
+    def test_peek(self, env):
+        assert env.peek() == float("inf")
+        env.timeout(4.2)
+        assert env.peek() == pytest.approx(4.2)

@@ -1,0 +1,202 @@
+"""Unit tests for process semantics: waiting, returning, interrupting."""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, SimulationError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestProcessBasics:
+    def test_return_value(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            return 99
+
+        assert env.run(env.process(proc(env))) == 99
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_process_waits_on_process(self, env):
+        def child(env):
+            yield env.timeout(3)
+            return "child-result"
+
+        def parent(env):
+            value = yield env.process(child(env))
+            return (env.now, value)
+
+        assert env.run(env.process(parent(env))) == (3.0, "child-result")
+
+    def test_yield_none_is_noop_scheduling_point(self, env):
+        def proc(env):
+            yield None
+            return env.now
+
+        assert env.run(env.process(proc(env))) == 0.0
+
+    def test_yield_non_event_raises(self, env):
+        def proc(env):
+            yield 42
+
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run(env.process(proc(env)))
+
+    def test_exception_in_process_propagates(self, env):
+        def proc(env):
+            yield env.timeout(1)
+            raise KeyError("inner failure")
+
+        with pytest.raises(KeyError):
+            env.run(env.process(proc(env)))
+
+    def test_exception_propagates_to_waiting_parent(self, env):
+        def child(env):
+            yield env.timeout(1)
+            raise RuntimeError("child blew up")
+
+        def parent(env):
+            try:
+                yield env.process(child(env))
+            except RuntimeError as exc:
+                return f"caught: {exc}"
+
+        assert env.run(env.process(parent(env))) == "caught: child blew up"
+
+    def test_is_alive(self, env):
+        def proc(env):
+            yield env.timeout(2)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_active_process_tracking(self, env):
+        observed = []
+
+        def proc(env):
+            observed.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert observed == [p]
+        assert env.active_process is None
+
+    def test_processes_interleave_by_time(self, env):
+        trace = []
+
+        def ticker(env, name, period):
+            for _ in range(3):
+                yield env.timeout(period)
+                trace.append((env.now, name))
+
+        env.process(ticker(env, "a", 2))
+        env.process(ticker(env, "b", 3))
+        env.run()
+        # At t=6 both fire; "b" scheduled its timeout earlier (at t=3)
+        # than "a" did (at t=4), so FIFO insertion order puts "b" first.
+        assert trace == [
+            (2, "a"),
+            (3, "b"),
+            (4, "a"),
+            (6, "b"),
+            (6, "a"),
+            (9, "b"),
+        ]
+
+    def test_name_defaults_to_generator_name(self, env):
+        def my_actor(env):
+            yield env.timeout(1)
+
+        p = env.process(my_actor(env))
+        assert p.name == "my_actor"
+        p2 = env.process(my_actor(env), name="explicit")
+        assert p2.name == "explicit"
+
+
+class TestInterrupts:
+    def test_interrupt_delivers_cause(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return (env.now, interrupt.cause)
+
+        def attacker(env, victim_proc):
+            yield env.timeout(5)
+            victim_proc.interrupt("stop it")
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        assert env.run(v) == (5.0, "stop it")
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(1)
+            return env.now
+
+        def attacker(env, v):
+            yield env.timeout(2)
+            v.interrupt()
+
+        v = env.process(victim(env))
+        env.process(attacker(env, v))
+        assert env.run(v) == 3.0
+
+    def test_interrupt_dead_process_raises(self, env):
+        def quick(env):
+            yield env.timeout(1)
+
+        def late(env, target):
+            yield env.timeout(5)
+            with pytest.raises(SimulationError):
+                target.interrupt()
+
+        q = env.process(quick(env))
+        env.process(late(env, q))
+        env.run()
+
+    def test_self_interrupt_rejected(self, env):
+        def proc(env):
+            with pytest.raises(SimulationError):
+                env.active_process.interrupt()
+            yield env.timeout(1)
+
+        env.run(env.process(proc(env)))
+
+    def test_interrupt_does_not_consume_target_event(self, env):
+        """The interrupted wait's event still fires for other waiters."""
+        shared = env.timeout(10, value="shared")
+        results = []
+
+        def waiter_a(env):
+            try:
+                yield shared
+            except Interrupt:
+                results.append(("a-interrupted", env.now))
+
+        def waiter_b(env):
+            value = yield shared
+            results.append((value, env.now))
+
+        def attacker(env, a):
+            yield env.timeout(1)
+            a.interrupt()
+
+        a = env.process(waiter_a(env))
+        env.process(waiter_b(env))
+        env.process(attacker(env, a))
+        env.run()
+        assert ("a-interrupted", 1.0) in results
+        assert ("shared", 10.0) in results

@@ -1,0 +1,417 @@
+"""Unit tests for Resource / PriorityResource / Container / Store."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_mutual_exclusion(self, env):
+        res = Resource(env, capacity=1)
+        trace = []
+
+        def user(env, name, hold):
+            with res.request() as req:
+                yield req
+                trace.append((env.now, name, "acquired"))
+                yield env.timeout(hold)
+            trace.append((env.now, name, "released"))
+
+        env.process(user(env, "a", 2))
+        env.process(user(env, "b", 2))
+        env.run()
+        assert trace == [
+            (0, "a", "acquired"),
+            (2, "a", "released"),
+            (2, "b", "acquired"),
+            (4, "b", "released"),
+        ]
+
+    def test_capacity_two_allows_two_concurrent(self, env):
+        res = Resource(env, capacity=2)
+        acquired_at = []
+
+        def user(env):
+            with res.request() as req:
+                yield req
+                acquired_at.append(env.now)
+                yield env.timeout(1)
+
+        for _ in range(3):
+            env.process(user(env))
+        env.run()
+        assert acquired_at == [0, 0, 1]
+
+    def test_fifo_ordering(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, name, arrive):
+            yield env.timeout(arrive)
+            with res.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(10)
+
+        for i, name in enumerate(["first", "second", "third"]):
+            env.process(user(env, name, i * 0.1))
+        env.run()
+        assert order == ["first", "second", "third"]
+
+    def test_counts(self, env):
+        res = Resource(env, capacity=2)
+
+        def holder(env):
+            req = res.request()
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+
+        env.process(holder(env))
+        env.process(holder(env))
+        env.process(holder(env))
+        env.run(until=1)
+        assert res.in_use == 2
+        assert res.available == 0
+        assert len(res.queue) == 1
+        env.run()
+        assert res.in_use == 0
+
+    def test_release_unfulfilled_request_cancels(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            req = res.request()
+            yield req
+            yield env.timeout(10)
+            res.release(req)
+
+        def impatient(env):
+            req = res.request()
+            result = yield req | env.timeout(1)
+            if req not in result:
+                res.release(req)  # give up the queued claim
+                return "gave-up"
+            return "got-it"
+
+        env.process(holder(env))
+        p = env.process(impatient(env))
+        assert env.run(p) == "gave-up"
+        assert res.queue == []
+
+
+class TestPriorityResource:
+    def test_priority_overrides_fifo(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, name, prio, arrive):
+            yield env.timeout(arrive)
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(10)
+
+        env.process(user(env, "holder", 0, 0))
+        env.process(user(env, "low", 5, 1))
+        env.process(user(env, "high", 1, 2))
+        env.run()
+        assert order == ["holder", "high", "low"]
+
+    def test_equal_priority_is_fifo(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(env, name, arrive):
+            yield env.timeout(arrive)
+            with res.request(priority=3) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(5)
+
+        env.process(user(env, "a", 0))
+        env.process(user(env, "b", 1))
+        env.process(user(env, "c", 2))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestContainer:
+    def test_init_validation(self, env):
+        with pytest.raises(ValueError):
+            Container(env, capacity=0)
+        with pytest.raises(ValueError):
+            Container(env, capacity=10, init=11)
+
+    def test_get_blocks_until_put(self, env):
+        tank = Container(env, capacity=100, init=0)
+        got_at = []
+
+        def consumer(env):
+            yield tank.get(10)
+            got_at.append(env.now)
+
+        def producer(env):
+            yield env.timeout(4)
+            yield tank.put(10)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got_at == [4]
+        assert tank.level == 0
+
+    def test_put_blocks_at_capacity(self, env):
+        tank = Container(env, capacity=10, init=10)
+        done_at = []
+
+        def producer(env):
+            yield tank.put(5)
+            done_at.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(2)
+            yield tank.get(5)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert done_at == [2]
+        assert tank.level == 10
+
+    def test_invalid_amounts(self, env):
+        tank = Container(env, capacity=10, init=5)
+        with pytest.raises(ValueError):
+            tank.get(0)
+        with pytest.raises(ValueError):
+            tank.put(-1)
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+
+        def proc(env):
+            yield store.put("item")
+            value = yield store.get()
+            return value
+
+        assert env.run(env.process(proc(env))) == "item"
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get()
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(3)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(3, "late")]
+
+    def test_fifo_items(self, env):
+        store = Store(env)
+
+        def proc(env):
+            for i in range(3):
+                yield store.put(i)
+            out = []
+            for _ in range(3):
+                out.append((yield store.get()))
+            return out
+
+        assert env.run(env.process(proc(env))) == [0, 1, 2]
+
+    def test_filter_get(self, env):
+        store = Store(env)
+
+        def proc(env):
+            for tag in ("red", "green", "blue"):
+                yield store.put(tag)
+            green = yield store.get(lambda item: item == "green")
+            rest = [(yield store.get()), (yield store.get())]
+            return green, rest
+
+        green, rest = env.run(env.process(proc(env)))
+        assert green == "green"
+        assert rest == ["red", "blue"]
+
+    def test_filter_get_blocks_until_match(self, env):
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get(lambda i: i % 2 == 0)
+            got.append((env.now, item))
+
+        def producer(env):
+            yield env.timeout(1)
+            yield store.put(1)
+            yield env.timeout(1)
+            yield store.put(4)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [(2, 4)]
+        assert store.items == [1]
+
+    def test_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        done = []
+
+        def producer(env):
+            yield store.put("a")
+            yield store.put("b")
+            done.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert done == [5]
+
+    def test_peek_is_nondestructive(self, env):
+        store = Store(env)
+
+        def proc(env):
+            yield store.put(10)
+            yield store.put(20)
+            assert store.peek() == 10
+            assert store.peek(lambda i: i > 15) == 20
+            assert store.peek(lambda i: i > 99) is None
+            assert len(store) == 2
+            yield env.timeout(0)
+
+        env.run(env.process(proc(env)))
+
+    def test_two_getters_one_item(self, env):
+        store = Store(env)
+        winners = []
+
+        def consumer(env, name):
+            item = yield store.get()
+            winners.append((name, item))
+
+        env.process(consumer(env, "first"))
+        env.process(consumer(env, "second"))
+
+        def producer(env):
+            yield env.timeout(1)
+            yield store.put("only")
+
+        env.process(producer(env))
+        env.run(until=10)
+        assert winners == [("first", "only")]
+
+
+class TestPriorityResourceCancellation:
+    def test_cancel_queued_priority_request(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder(env):
+            with res.request(priority=0) as req:
+                yield req
+                yield env.timeout(5)
+
+        def quitter(env):
+            req = res.request(priority=1)
+            yield env.timeout(1)
+            req.cancel()
+            order.append("quit")
+
+        def patient(env):
+            yield env.timeout(0.5)
+            with res.request(priority=2) as req:
+                yield req
+                order.append(("patient", env.now))
+
+        env.process(holder(env))
+        env.process(quitter(env))
+        env.process(patient(env))
+        env.run()
+        # The cancelled priority-1 request never runs; priority-2 gets the
+        # slot when the holder releases at t=5.
+        assert ("patient", 5.0) in order
+        assert "quit" in order
+
+    def test_release_grants_highest_priority_waiter(self, env):
+        res = PriorityResource(env, capacity=1)
+        got = []
+
+        def user(env, name, prio, arrive):
+            yield env.timeout(arrive)
+            with res.request(priority=prio) as req:
+                yield req
+                got.append(name)
+                yield env.timeout(1)
+
+        env.process(user(env, "holder", 0, 0))
+        env.process(user(env, "low1", 9, 0.1))
+        env.process(user(env, "low2", 9, 0.2))
+        env.process(user(env, "high", 1, 0.3))
+        env.run()
+        assert got == ["holder", "high", "low1", "low2"]
+
+
+class TestContainerOrdering:
+    def test_fifo_get_waiters(self, env):
+        tank = Container(env, capacity=100, init=0)
+        served = []
+
+        def consumer(env, name, amount):
+            yield tank.get(amount)
+            served.append(name)
+
+        def producer(env):
+            yield env.timeout(1)
+            yield tank.put(30)
+
+        env.process(consumer(env, "first", 10))
+        env.process(consumer(env, "second", 10))
+        env.process(producer(env))
+        env.run()
+        assert served == ["first", "second"]
+
+    def test_big_get_blocks_later_small_get(self, env):
+        """Strict FIFO: a large waiting get holds back smaller ones."""
+        tank = Container(env, capacity=100, init=5)
+        served = []
+
+        def big(env):
+            yield tank.get(50)
+            served.append("big")
+
+        def small(env):
+            yield env.timeout(0.1)
+            yield tank.get(1)
+            served.append("small")
+
+        def producer(env):
+            yield env.timeout(1)
+            yield tank.put(50)
+
+        env.process(big(env))
+        env.process(small(env))
+        env.process(producer(env))
+        env.run(until=5)
+        assert served == ["big", "small"]

@@ -1,0 +1,118 @@
+"""Trace recorder, JSON round-trip, and ASCII timeline rendering."""
+
+import io
+
+import pytest
+
+from repro.trace import (
+    Interval,
+    TraceRecorder,
+    export_json,
+    load_json,
+    render_timeline,
+)
+
+
+class TestInterval:
+    def test_duration(self):
+        interval = Interval(0, "compute", 1.0, 3.5)
+        assert interval.duration == pytest.approx(2.5)
+
+    def test_backwards_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(0, "compute", 3.0, 1.0)
+
+
+class TestRecorder:
+    def test_record_and_query(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "compute", 0.0, 1.0)
+        recorder.record(0, "io", 1.0, 1.5)
+        recorder.record(1, "compute", 0.0, 2.0)
+        assert recorder.ranks() == [0, 1]
+        assert recorder.states() == ["compute", "io"]
+        assert recorder.total_time(0, "compute") == pytest.approx(1.0)
+        assert recorder.total_time(1, "compute") == pytest.approx(2.0)
+        assert recorder.span() == (0.0, 2.0)
+        assert len(recorder.for_rank(0)) == 2
+
+    def test_begin_end_pairs(self):
+        recorder = TraceRecorder()
+        recorder.begin(0, "io", 1.0)
+        recorder.end(0, "io", 2.0)
+        assert recorder.total_time(0, "io") == pytest.approx(1.0)
+
+    def test_double_begin_rejected(self):
+        recorder = TraceRecorder()
+        recorder.begin(0, "io", 1.0)
+        with pytest.raises(ValueError):
+            recorder.begin(0, "io", 2.0)
+
+    def test_end_without_begin_rejected(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError):
+            recorder.end(0, "io", 2.0)
+
+    def test_empty_span(self):
+        assert TraceRecorder().span() == (0.0, 0.0)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "compute", 0.0, 1.0)
+        recorder.record(2, "sync", 0.5, 0.75)
+        buffer = io.StringIO()
+        export_json(recorder, buffer)
+        buffer.seek(0)
+        loaded = load_json(buffer)
+        assert loaded.ranks() == [0, 2]
+        assert loaded.total_time(2, "sync") == pytest.approx(0.25)
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            load_json(io.StringIO('{"format": "something-else"}'))
+
+
+class TestTimeline:
+    def make_recorder(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "compute", 0.0, 5.0)
+        recorder.record(0, "io", 5.0, 10.0)
+        recorder.record(1, "data_distribution", 0.0, 10.0)
+        return recorder
+
+    def test_render_shape(self):
+        text = render_timeline(self.make_recorder(), width=20)
+        lines = text.splitlines()
+        assert lines[0].startswith("rank   0")
+        assert lines[1].startswith("rank   1")
+        assert "legend:" in lines[-1]
+
+    def test_glyphs_reflect_states(self):
+        text = render_timeline(self.make_recorder(), width=20)
+        row0 = text.splitlines()[0]
+        assert "C" in row0 and "W" in row0
+        row1 = text.splitlines()[1]
+        assert "d" in row1
+
+    def test_majority_state_wins_column(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "compute", 0.0, 0.9)
+        recorder.record(0, "io", 0.9, 1.0)
+        text = render_timeline(recorder, width=10)
+        row = text.splitlines()[0]
+        assert row.count("C") >= 8
+
+    def test_empty_trace(self):
+        assert render_timeline(TraceRecorder()) == "(empty trace)"
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            render_timeline(self.make_recorder(), width=0)
+
+    def test_unknown_state_gets_uppercase_initial(self):
+        recorder = TraceRecorder()
+        recorder.record(0, "zzz-custom", 0.0, 1.0)
+        text = render_timeline(recorder, width=5)
+        assert "Z" in text.splitlines()[0]

@@ -1,0 +1,84 @@
+"""Compute-time model: the paper's startup + linear-in-result-size law."""
+
+import numpy as np
+import pytest
+
+from repro.workload import ComputeModel, MergeModel, ResultBatch
+
+
+def batch_of(total_bytes, count=4):
+    sizes = np.full(count, total_bytes // count, dtype=np.int64)
+    sizes[0] += total_bytes - sizes.sum()
+    scores = np.sort(np.random.default_rng(0).random(count))[::-1]
+    return ResultBatch(0, 0, sizes, scores)
+
+
+class TestComputeModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeModel(startup_s=-1)
+        with pytest.raises(ValueError):
+            ComputeModel(speed=0)
+        with pytest.raises(ValueError):
+            ComputeModel().task_time(-1)
+
+    def test_linear_in_result_bytes(self):
+        model = ComputeModel(startup_s=0.01, rate_s_per_byte=1e-6, speed=1.0)
+        t1 = model.task_time(1_000_000)
+        t2 = model.task_time(2_000_000)
+        assert t2 - t1 == pytest.approx(1.0)
+
+    def test_startup_cost_floor(self):
+        model = ComputeModel(startup_s=0.02, rate_s_per_byte=1e-6)
+        assert model.task_time(0) == pytest.approx(0.02)
+
+    def test_speed_scales_linear_term_only(self):
+        """The default: startup does not shrink with compute speed, which
+        is why the paper sees ~0.8 s of compute at speed 25.6 where a pure
+        1/speed law would predict ~0.2 s."""
+        model = ComputeModel(startup_s=0.01, rate_s_per_byte=1e-6)
+        slow = model.with_speed(1.0).task_time(10_000_000)
+        fast = model.with_speed(10.0).task_time(10_000_000)
+        assert slow == pytest.approx(0.01 + 10.0)
+        assert fast == pytest.approx(0.01 + 1.0)
+
+    def test_startup_scales_option(self):
+        model = ComputeModel(
+            startup_s=0.01, rate_s_per_byte=0.0, startup_scales=True, speed=10.0
+        )
+        assert model.task_time(0) == pytest.approx(0.001)
+
+    def test_batch_time_uses_total_bytes(self):
+        model = ComputeModel(startup_s=0.0, rate_s_per_byte=1e-6)
+        batch = batch_of(500_000)
+        assert model.batch_time(batch) == pytest.approx(0.5)
+
+    def test_paper_calibration_64_procs(self):
+        """At 64 processes (2560 tasks / 63 workers) the paper reports a
+        ~54 s mean worker compute phase at speed 0.1 and ~0.8 s at 25.6.
+        Check the default calibration is the right order of magnitude."""
+        model = ComputeModel()
+        tasks_per_worker = 2560 / 63
+        mean_task_bytes = 208e6 / 2560  # ~208 MB over 2560 tasks
+        slow = model.with_speed(0.1).task_time(int(mean_task_bytes))
+        fast = model.with_speed(25.6).task_time(int(mean_task_bytes))
+        assert 25 < slow * tasks_per_worker < 90
+        assert 0.3 < fast * tasks_per_worker < 2.0
+
+
+class TestMergeModel:
+    def test_costs_scale(self):
+        merge = MergeModel(per_item_s=1e-6, per_byte_s=1e-9)
+        assert merge.merge_time(1000, 0) == pytest.approx(1e-3)
+        assert merge.merge_time(0, 1_000_000) == pytest.approx(1e-3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MergeModel().merge_time(-1, 0)
+
+    def test_merge_is_cheap_next_to_compute(self):
+        """Sanity: merging is a minor phase (as the paper's figures show)."""
+        merge = MergeModel()
+        compute = ComputeModel()
+        nbytes = 100_000
+        assert merge.merge_time(20, nbytes) < compute.task_time(nbytes) / 10

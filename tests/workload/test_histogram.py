@@ -1,0 +1,128 @@
+"""Box histograms: validation, sampling, statistics, truncation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import RandomStreams
+from repro.workload import NT_HISTOGRAM, NT_QUERY_HISTOGRAM, BoxHistogram
+from repro.workload.nt import (
+    NT_MAX_SEQUENCE_B,
+    NT_MEAN_SEQUENCE_B,
+    NT_MIN_SEQUENCE_B,
+)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BoxHistogram(())
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            BoxHistogram(((10, 5, 1.0),))
+        with pytest.raises(ValueError):
+            BoxHistogram(((-1, 5, 1.0),))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            BoxHistogram(((0, 5, -1.0),))
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            BoxHistogram(((0, 5, 0.0),))
+
+    def test_single_and_constant(self):
+        h = BoxHistogram.single(10, 20)
+        assert h.min_size == 10 and h.max_size == 20
+        c = BoxHistogram.constant(7)
+        rng = np.random.default_rng(0)
+        assert set(c.sample(rng, 50).tolist()) == {7}
+
+
+class TestSampling:
+    def test_samples_within_bounds(self):
+        h = BoxHistogram.from_boxes([(10, 20, 1.0), (100, 200, 1.0)])
+        rng = np.random.default_rng(1)
+        samples = h.sample(rng, 5000)
+        assert samples.min() >= 10
+        assert samples.max() <= 200
+        assert not np.any((samples > 20) & (samples < 100))
+
+    def test_weights_respected(self):
+        h = BoxHistogram.from_boxes([(0, 9, 0.9), (100, 109, 0.1)])
+        rng = np.random.default_rng(2)
+        samples = h.sample(rng, 20_000)
+        small_frac = np.mean(samples < 50)
+        assert 0.88 < small_frac < 0.92
+
+    def test_count_zero(self):
+        h = BoxHistogram.single(1, 2)
+        assert len(h.sample(np.random.default_rng(0), 0)) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BoxHistogram.single(1, 2).sample(np.random.default_rng(0), -1)
+
+    def test_mean_close_to_empirical(self):
+        rng = np.random.default_rng(3)
+        samples = NT_HISTOGRAM.sample(rng, 300_000)
+        assert samples.mean() == pytest.approx(NT_HISTOGRAM.mean(), rel=0.15)
+
+
+class TestTruncation:
+    def test_boxes_clipped(self):
+        h = BoxHistogram.from_boxes([(0, 10, 1.0), (20, 100, 1.0)])
+        t = h.truncated(50)
+        assert t.max_size == 50
+        rng = np.random.default_rng(4)
+        assert t.sample(rng, 2000).max() <= 50
+
+    def test_whole_boxes_dropped(self):
+        h = BoxHistogram.from_boxes([(0, 10, 1.0), (20, 100, 1.0)])
+        t = h.truncated(15)
+        assert t.max_size == 10
+
+    def test_truncating_everything_rejected(self):
+        h = BoxHistogram.from_boxes([(10, 20, 1.0)])
+        with pytest.raises(ValueError):
+            h.truncated(5)
+
+
+class TestNTPreset:
+    def test_paper_extremes(self):
+        """Min 6 bytes, max slightly over 43 MB (paper Section 3.3)."""
+        assert NT_HISTOGRAM.min_size == NT_MIN_SEQUENCE_B == 6
+        assert NT_HISTOGRAM.max_size == NT_MAX_SEQUENCE_B >= 43 * 1024 * 1024
+
+    def test_paper_mean(self):
+        """Mean sequence length ~4401 bytes."""
+        assert NT_HISTOGRAM.mean() == pytest.approx(NT_MEAN_SEQUENCE_B, rel=0.25)
+
+    def test_query_histogram_truncated(self):
+        assert NT_QUERY_HISTOGRAM.max_size <= 16 * 1024
+        assert NT_QUERY_HISTOGRAM.min_size == 6
+
+    def test_twenty_queries_are_tens_of_kib(self):
+        """The paper's 20-query set totals 'roughly 86 KBytes'."""
+        rng = RandomStreams(2006).stream("check")
+        total = NT_QUERY_HISTOGRAM.sample(rng, 20).sum()
+        assert 10 * 1024 < total < 200 * 1024
+
+
+@given(
+    boxes=st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(0, 1000), st.floats(0.01, 10)),
+        min_size=1,
+        max_size=6,
+    ),
+    seed=st.integers(0, 2**20),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_samples_in_declared_range(boxes, seed):
+    normalized = [(min(l, h), max(l, h), w) for l, h, w in boxes]
+    hist = BoxHistogram.from_boxes(normalized)
+    rng = np.random.default_rng(seed)
+    samples = hist.sample(rng, 100)
+    assert samples.min() >= hist.min_size
+    assert samples.max() <= hist.max_size

@@ -1,0 +1,79 @@
+"""Workload-description round trips (JSON save/load)."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import SimulationConfig
+from repro.workload import (
+    BoxHistogram,
+    ComputeModel,
+    ResultModel,
+    histogram_from_dict,
+    histogram_to_dict,
+    load_workload_kwargs,
+    save_workload,
+    workload_kwargs_from_dict,
+    workload_to_dict,
+)
+
+
+class TestHistogramRoundTrip:
+    def test_round_trip_preserves_boxes(self):
+        histogram = BoxHistogram.from_boxes(
+            [(6, 100, 0.5), (100, 4000, 0.5)]
+        )
+        doc = histogram_to_dict(histogram)
+        back = histogram_from_dict(doc)
+        assert back == histogram
+
+    def test_document_is_json_safe(self):
+        doc = histogram_to_dict(BoxHistogram.single(1, 10))
+        json.dumps(doc)  # must not raise
+
+
+class TestWorkloadRoundTrip:
+    def make_config(self):
+        return SimulationConfig(
+            nprocs=8,
+            nqueries=7,
+            nfragments=11,
+            seed=123,
+            db_total_bytes=5 * 1024**2,
+            query_histogram=BoxHistogram.single(10, 500),
+            db_histogram=BoxHistogram.from_boxes([(6, 99, 1.0), (99, 999, 2.0)]),
+            result_model=ResultModel(min_count=5, max_count=9, min_result_size=64,
+                                     max_match_B=4096),
+            compute=ComputeModel(startup_s=0.001, rate_s_per_byte=1e-7, speed=2.0),
+        )
+
+    def test_round_trip_preserves_workload(self):
+        config = self.make_config()
+        buffer = io.StringIO()
+        save_workload(config, buffer)
+        buffer.seek(0)
+        kwargs = load_workload_kwargs(buffer)
+        rebuilt = SimulationConfig(nprocs=8, **kwargs)
+        assert rebuilt.nqueries == config.nqueries
+        assert rebuilt.seed == config.seed
+        assert rebuilt.query_histogram == config.query_histogram
+        assert rebuilt.db_histogram == config.db_histogram
+        assert rebuilt.result_model == config.result_model
+        assert rebuilt.compute == config.compute
+
+    def test_round_trip_generates_identical_workload(self):
+        """The reproducibility contract: same document, same results."""
+        config = self.make_config()
+        doc = workload_to_dict(config)
+        rebuilt = SimulationConfig(nprocs=8, **workload_kwargs_from_dict(doc))
+        a = config.build_workload()
+        b = rebuilt.build_workload()
+        assert a.results.run_total_bytes() == b.results.run_total_bytes()
+        batch_a = a.results.batch(0, 0)
+        batch_b = b.results.batch(0, 0)
+        assert batch_a.total_bytes == batch_b.total_bytes
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError):
+            workload_kwargs_from_dict({"format": "something-else"})
