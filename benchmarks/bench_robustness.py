@@ -1,0 +1,87 @@
+"""Robustness under injected faults — per-strategy recovery costs.
+
+Not a paper figure: the paper motivates frequent result writing with
+restartability ("More frequently writing out the results also allows users
+to resume a failed application run"), but never measures what a failure
+*costs* each strategy.  This bench injects the canned scenario (one worker
+crash mid-search plus one degraded I/O server window) into every strategy
+and reports completion-time inflation and recovered-vs-lost work.
+
+Expected shape: every strategy finishes with a complete output file (zero
+lost result bytes).  MW recovers cheapest per crash (the master holds all
+payloads, so only unscored tasks recompute); WW-* additionally lose the
+crashed worker's stored batches and may need out-of-band repairs for
+offsets issued but never written.
+"""
+
+import pytest
+
+from repro.core import S3aSim, SimulationConfig
+from repro.faults import FaultPlan
+
+from conftest import write_output
+
+#: Scaled so the crash lands mid-search and the slowdown spans real I/O.
+CFG = SimulationConfig(nprocs=8, nqueries=8, nfragments=24)
+PLAN = FaultPlan.standard(
+    crash_rank=1,
+    crash_time=8.0,
+    downtime_s=2.0,
+    server_id=0,
+    slow_start=3.0,
+    slow_duration=6.0,
+    slow_factor=4.0,
+)
+
+STRATEGIES = ("mw", "ww-posix", "ww-list", "ww-coll")
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_robustness_recovery(benchmark):
+    def sweep():
+        rows = []
+        for strategy in STRATEGIES:
+            clean = S3aSim(CFG.with_(strategy=strategy)).run()
+            faulted = S3aSim(CFG.with_(strategy=strategy, fault_plan=PLAN)).run()
+            stats = faulted.fault_stats
+            rows.append(
+                {
+                    "strategy": strategy,
+                    "clean_s": clean.elapsed,
+                    "faulted_s": faulted.elapsed,
+                    "inflation_pct": 100.0 * (faulted.elapsed / clean.elapsed - 1.0),
+                    "reassigned": stats.get("tasks_reassigned", 0.0),
+                    "batches_lost": stats.get("batches_lost", 0.0),
+                    "repairs": stats.get("repairs_issued", 0.0),
+                    "retries": stats.get("retries", 0.0),
+                    "complete": faulted.file_stats.complete,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    header = (
+        f"{'strategy':10s} {'clean s':>9s} {'faulted s':>9s} {'infl %':>7s} "
+        f"{'reassign':>8s} {'lost':>5s} {'repairs':>7s} {'fs retries':>10s} "
+        f"{'complete':>8s}"
+    )
+    lines = [header]
+    for r in rows:
+        lines.append(
+            f"{r['strategy']:10s} {r['clean_s']:>9.3f} {r['faulted_s']:>9.3f} "
+            f"{r['inflation_pct']:>6.1f}% {r['reassigned']:>8g} "
+            f"{r['batches_lost']:>5g} {r['repairs']:>7g} {r['retries']:>10g} "
+            f"{str(r['complete']):>8s}"
+        )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_output("robustness.txt", text)
+
+    # Zero lost result bytes: every strategy must finish the file.
+    assert all(r["complete"] for r in rows)
+    # A crash plus a degraded server should not make a run meaningfully
+    # faster.  (A reassignment can perturb the dynamic schedule into a
+    # *slightly* better packing, so allow a small tolerance.)
+    assert all(r["faulted_s"] >= 0.98 * r["clean_s"] for r in rows)
+    # The crash forces at least one reassignment everywhere.
+    assert all(r["reassigned"] >= 1 for r in rows)

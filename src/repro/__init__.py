@@ -18,7 +18,16 @@ Quickstart::
 """
 
 from .core import RunResult, S3aSim, SimulationConfig, run_simulation
+from .faults import FaultPlan, FaultToleranceConfig
 
 __version__ = "1.0.0"
 
-__all__ = ["RunResult", "S3aSim", "SimulationConfig", "run_simulation", "__version__"]
+__all__ = [
+    "FaultPlan",
+    "FaultToleranceConfig",
+    "RunResult",
+    "S3aSim",
+    "SimulationConfig",
+    "run_simulation",
+    "__version__",
+]

@@ -37,6 +37,7 @@ from .analysis import (
 from .cluster.presets import get_preset
 from .core import HybridS3aSim, S3aSim, SimulationConfig
 from .core.scenarios import SCENARIOS, get_scenario
+from .faults import FaultPlan, load_fault_plan
 from .core.phases import Phase
 from .core.strategies import STRATEGIES
 from .trace import TraceRecorder, export_json, render_timeline
@@ -72,6 +73,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         choices=sorted(SCENARIOS),
         help="apply a named historical scenario (mpiblast-1.2, pioblast, ...)",
     )
+    parser.add_argument(
+        "--fault-plan",
+        help="inject faults from a FaultPlan JSON file (see repro.faults)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> SimulationConfig:
@@ -102,6 +107,8 @@ def _config_from(args: argparse.Namespace) -> SimulationConfig:
             startup_scales=loaded["compute"].startup_scales,
         )
         kwargs.update(loaded)
+    if getattr(args, "fault_plan", None):
+        kwargs["fault_plan"] = load_fault_plan(args.fault_plan)
     config = SimulationConfig(**kwargs)
     if getattr(args, "scenario", None):
         config = get_scenario(args.scenario, config)
@@ -129,7 +136,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"output file: {fstat.total_bytes} bytes in {fstat.nextents} extent(s), "
         f"expected {fstat.expected_bytes}, complete={fstat.complete}"
     )
+    if result.fault_stats:
+        print()
+        print("faults/recovery:")
+        for name in sorted(result.fault_stats):
+            value = result.fault_stats[name]
+            if value:
+                print(f"  {name:24s} {value:g}")
     return 0 if fstat.complete else 1
+
+
+def _cmd_fault_sweep(args: argparse.Namespace) -> int:
+    """Per-strategy robustness comparison under one canned fault scenario."""
+    cfg = _config_from(args)
+    plan = FaultPlan.standard(
+        crash_rank=args.crash_rank,
+        crash_time=args.crash_time,
+        downtime_s=args.downtime,
+        server_id=args.slow_server,
+        slow_start=args.slow_start,
+        slow_duration=args.slow_duration,
+        slow_factor=args.slow_factor,
+    )
+    if getattr(args, "fault_plan", None):
+        plan = load_fault_plan(args.fault_plan)
+    print(
+        f"{'strategy':10s} {'clean s':>10s} {'faulted s':>10s} {'inflation':>10s} "
+        f"{'reassigned':>10s} {'repairs':>8s} {'complete':>8s}"
+    )
+    status = 0
+    for strategy in sorted(STRATEGIES):
+        clean = S3aSim(cfg.with_(strategy=strategy, fault_plan=FaultPlan.none())).run()
+        faulted = S3aSim(cfg.with_(strategy=strategy, fault_plan=plan)).run()
+        inflation = 100.0 * (faulted.elapsed / clean.elapsed - 1.0)
+        complete = faulted.file_stats.complete
+        status |= 0 if complete else 1
+        print(
+            f"{strategy:10s} {clean.elapsed:>10.3f} {faulted.elapsed:>10.3f} "
+            f"{inflation:>9.1f}% "
+            f"{faulted.fault_stats.get('tasks_reassigned', 0):>10g} "
+            f"{faulted.fault_stats.get('repairs_issued', 0):>8g} "
+            f"{str(complete):>8s}"
+        )
+    print("FAULT SWEEP", "PASSED" if status == 0 else "FAILED")
+    return status
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -255,6 +305,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(p_val)
     p_val.set_defaults(func=_cmd_validate)
+
+    p_faults = sub.add_parser(
+        "fault-sweep",
+        help="compare per-strategy resilience under a canned fault scenario",
+    )
+    _add_common(p_faults)
+    p_faults.add_argument("--crash-rank", type=int, default=1)
+    p_faults.add_argument("--crash-time", type=float, default=8.0)
+    p_faults.add_argument("--downtime", type=float, default=2.0)
+    p_faults.add_argument("--slow-server", type=int, default=0)
+    p_faults.add_argument("--slow-start", type=float, default=3.0)
+    p_faults.add_argument("--slow-duration", type=float, default=6.0)
+    p_faults.add_argument("--slow-factor", type=float, default=4.0)
+    p_faults.set_defaults(func=_cmd_fault_sweep)
 
     p_hybrid = sub.add_parser(
         "hybrid",

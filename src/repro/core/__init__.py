@@ -18,10 +18,13 @@ from .queryseg import (
 )
 from .protocol import (
     MASTER_RANK,
+    Heartbeat,
     OffsetEntry,
     OffsetMessage,
+    Rejoin,
     ScoreMessage,
     TaskAssignment,
+    WriteAck,
     WrittenNotice,
 )
 from .report import FileStats, RunResult
@@ -40,6 +43,7 @@ from .worker import Worker
 
 __all__ = [
     "FileStats",
+    "Heartbeat",
     "HybridResult",
     "HybridS3aSim",
     "IOStrategy",
@@ -55,6 +59,7 @@ __all__ = [
     "PhaseReport",
     "PhaseTimer",
     "QuerySegS3aSim",
+    "Rejoin",
     "RunResult",
     "SCENARIOS",
     "S3aSim",
@@ -67,6 +72,7 @@ __all__ = [
     "WORKER_LIST",
     "WORKER_POSIX",
     "Worker",
+    "WriteAck",
     "Workload",
     "WrittenNotice",
     "build_reference_bytestore",

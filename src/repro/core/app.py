@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..faults.injector import FaultInjector
 from ..mpi.world import MpiWorld
 from ..mpiio.file import MPIIOFile
 from ..pvfs.filesystem import FileSystem, PVFSFile
@@ -66,6 +67,17 @@ class S3aSim:
         )
         self.world.spawn(0, lambda _view, m=master: m.run())
         workers = []
+        injector = None
+        if not cfg.fault_plan.empty:
+            injector = FaultInjector(
+                self.world.env,
+                cfg.fault_plan,
+                cfg.effective_fault_tolerance(),
+                network=self.world.network,
+                fs=self.fs,
+                streams=cfg.streams(),
+                recorder=self.recorder,
+            )
         for rank in range(1, cfg.nprocs):
             worker = Worker(
                 self.world.comm.view(rank),
@@ -76,7 +88,11 @@ class S3aSim:
                 recorder=self.recorder,
             )
             workers.append(worker)
-            self.world.spawn(rank, lambda _view, w=worker: w.run())
+            process = self.world.spawn(rank, lambda _view, w=worker: w.run())
+            if injector is not None:
+                injector.register_worker(rank, worker, process)
+        if injector is not None:
+            injector.start()
 
         reports = self.world.run()
         elapsed = self.world.env.now
@@ -106,6 +122,27 @@ class S3aSim:
             "mean_busy_s": sum(s.stats.busy_s for s in self.fs.servers)
             / len(self.fs.servers),
         }
+        fault_stats: dict = {}
+        fault_events: list = []
+        if injector is not None or master.fault_counters or any(
+            w.fault_counters for w in workers
+        ):
+            for name, value in master.fault_counters.items():
+                fault_stats[name] = fault_stats.get(name, 0.0) + float(value)
+            for worker in workers:
+                for name, value in worker.fault_counters.items():
+                    fault_stats[name] = fault_stats.get(name, 0.0) + float(value)
+            for name, value in self.fs.fault_stats.items():
+                if value:
+                    fault_stats[name] = fault_stats.get(name, 0.0) + float(value)
+            if self.world.network.faults is not None:
+                link = self.world.network.faults.stats
+                fault_stats["messages_dropped"] = float(link.drops)
+                fault_stats["retransmits"] = float(link.retransmits)
+                fault_stats["link_failures"] = float(link.link_failures)
+            if injector is not None:
+                fault_stats.update(injector.stats())
+                fault_events = list(injector.events)
         return RunResult(
             strategy=cfg.strategy,
             query_sync=cfg.query_sync,
@@ -116,6 +153,8 @@ class S3aSim:
             workers=[reports[r] for r in range(1, cfg.nprocs)],
             file_stats=file_stats,
             server_stats=server_stats,
+            fault_stats=fault_stats,
+            fault_events=fault_events,
         )
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..faults.plan import FaultPlan, FaultToleranceConfig
 from ..mpi.network import NetworkConfig
 from ..pvfs.filesystem import PVFSConfig
 from ..sim.rng import RandomStreams
@@ -77,6 +78,14 @@ class SimulationConfig:
     store_data: bool = False
     output_path: str = "/s3asim/results.out"
 
+    #: The run's failure schedule.  The default (empty) plan injects
+    #: nothing and keeps the simulation bit-identical to a fault-free
+    #: build — the tolerance machinery only activates when needed.
+    fault_plan: FaultPlan = field(default_factory=FaultPlan.none)
+    #: Recovery-protocol knobs; ``None`` means "enable automatically with
+    #: defaults iff the plan contains worker crashes".
+    fault_tolerance: Optional[FaultToleranceConfig] = None
+
     def __post_init__(self) -> None:
         if self.nprocs < 2:
             raise ValueError("need at least 2 processes (1 master + 1 worker)")
@@ -94,6 +103,18 @@ class SimulationConfig:
                 f"(multiple of write_every={self.write_every})"
             )
         get_strategy(self.strategy)  # validates the name
+        for crash in self.fault_plan.worker_crashes:
+            if not 1 <= crash.rank < self.nprocs:
+                raise ValueError(
+                    f"crash rank {crash.rank} outside worker range "
+                    f"[1, {self.nprocs})"
+                )
+        for spec in self.fault_plan.server_outages + self.fault_plan.server_slowdowns:
+            if not 0 <= spec.server_id < self.pvfs.nservers:
+                raise ValueError(
+                    f"fault server_id {spec.server_id} outside "
+                    f"[0, {self.pvfs.nservers})"
+                )
 
     # -- derived objects ------------------------------------------------------
     @property
@@ -124,6 +145,23 @@ class SimulationConfig:
 
     def io_strategy(self) -> IOStrategy:
         return get_strategy(self.strategy)
+
+    def fault_tolerance_active(self) -> bool:
+        """Whether heartbeats/reassignment run in this configuration.
+
+        Active when explicitly configured or when the plan contains worker
+        crashes.  Server/link faults alone don't need it (they are handled
+        transparently below the application protocol), and keeping it off
+        preserves bit-identical no-fault timing.
+        """
+        return self.fault_tolerance is not None or self.fault_plan.needs_tolerance
+
+    def effective_fault_tolerance(self) -> FaultToleranceConfig:
+        return (
+            self.fault_tolerance
+            if self.fault_tolerance is not None
+            else FaultToleranceConfig()
+        )
 
     def streams(self) -> RandomStreams:
         return RandomStreams(self.seed)

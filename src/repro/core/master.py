@@ -8,12 +8,38 @@ itself or answers workers with file-offset lists.
 Completed write groups are dispatched strictly in query order because a
 query's block base is only known once all earlier queries' sizes are in
 (see :class:`~repro.core.offsets.OffsetLedger`).
+
+Fault tolerance (active only when the run's
+:class:`~repro.faults.plan.FaultPlan` contains worker crashes, or when
+:class:`~repro.faults.plan.FaultToleranceConfig` is set explicitly) adds an
+mpiBLAST-style recovery layer:
+
+* a watchdog side-process receives worker heartbeats and declares a worker
+  dead after ``detection_timeout_s`` of silence (or immediately on an
+  explicit rejoin notice — whichever arrives first triggers recovery
+  exactly once per crash);
+* a dead worker's assigned-but-unscored tasks are requeued at the front of
+  the task queue; its delivered-but-undispatched batches are invalidated
+  (the recompute regenerates identical scores, so the eventual group merge
+  is unchanged); its dispatched-but-unacknowledged offsets are moved to a
+  reissue table and repaired out-of-band once a recompute arrives — the
+  stored offsets are reused verbatim, never re-derived, because
+  :meth:`OffsetLedger.base_for` is strictly once-per-query;
+* workers acknowledge worker-writing disk writes (``WriteAck``), and the
+  master refuses to terminate any worker while unacknowledged or
+  reissueable bytes remain, which closes the crash-after-"no more work"
+  window.
+
+With fault tolerance off, the event sequence is bit-identical to the
+pre-fault implementation.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 from .. import mpi
 from ..mpiio.file import MPIIOFile
@@ -27,13 +53,28 @@ from .protocol import (
     OffsetMessage,
     ScoreMessage,
     TAG_ASSIGN,
+    TAG_HEARTBEAT,
     TAG_OFFSETS,
+    TAG_REJOIN,
     TAG_REQUEST,
     TAG_SCORES,
+    TAG_WRITE_ACK,
     TAG_WRITTEN,
     TaskAssignment,
+    WriteAck,
     WrittenNotice,
 )
+
+
+class _Issued:
+    """Offsets sent to a worker, awaiting its on-disk acknowledgement."""
+
+    __slots__ = ("worker", "offsets", "group")
+
+    def __init__(self, worker: int, offsets, group: int) -> None:
+        self.worker = worker
+        self.offsets = offsets
+        self.group = group
 
 
 class Master:
@@ -83,8 +124,33 @@ class Master:
                 self.ledger.base_for(q, size)
         self.groups_dispatched = cfg.resume_group
         self.pending_requests: deque = deque()
-        self.done_workers = 0
+        self.done_set: Set[int] = set()
         self.pending_sends: List = []
+
+        # -- fault tolerance ------------------------------------------------
+        self.ft_active = cfg.fault_tolerance_active()
+        self.fault_counters: Dict[str, int] = {}
+        self.dead: Set[int] = set()
+        #: Work requests that arrived from a worker while it was presumed
+        #: dead; served once it rejoins (or turns out alive after all).
+        self.dead_requests: Set[int] = set()
+        #: Latest incarnation (reboot count) heard from each worker; score
+        #: messages from older incarnations are stale and dropped.
+        self.incarnations: Dict[int, int] = {}
+        #: (q, f) -> _Issued: offsets sent, write not yet acknowledged.
+        self.issued: Dict[Tuple[int, int], _Issued] = {}
+        #: (q, f) -> _Issued: owner died before acking; awaiting recompute.
+        self.reissue: Dict[Tuple[int, int], _Issued] = {}
+        self.last_heard: Dict[int, float] = {}
+        self._wake = None
+        self._watchdog_stop = False
+
+    @property
+    def done_workers(self) -> int:
+        return len(self.done_set)
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.fault_counters[name] = self.fault_counters.get(name, 0) + n
 
     # -- assignability ----------------------------------------------------
     def _task_assignable(self) -> bool:
@@ -98,6 +164,37 @@ class Master:
 
     def _tasks_exhausted(self) -> bool:
         return self.next_task >= len(self.tasks)
+
+    def _release_ok(self) -> bool:
+        """May a worker be told "no more work"?
+
+        Without fault tolerance: always (the exhaustion check suffices).
+        With it: only once nothing can ever create work again — all groups
+        dispatched, every issued write acknowledged, nothing awaiting
+        reissue.  Past this point any crash loses zero bytes, so a
+        released worker never needs recalling.
+        """
+        if not self.ft_active:
+            return True
+        return (
+            self.groups_dispatched >= self.cfg.ngroups
+            and not self.issued
+            and not self.reissue
+        )
+
+    def _finished(self) -> bool:
+        base = (
+            self.groups_dispatched >= self.cfg.ngroups
+            and self.done_workers >= self.cfg.nworkers
+        )
+        if not self.ft_active:
+            return base
+        return (
+            base
+            and not self.issued
+            and not self.reissue
+            and self._tasks_exhausted()
+        )
 
     def _group_complete(self, group: int) -> bool:
         for q in self.cfg.queries_in_group(group):
@@ -119,16 +216,26 @@ class Master:
 
         request_recv = comm.irecv(tag=TAG_REQUEST)
         score_recv = comm.irecv(tag=TAG_SCORES)
+        ack_recv = None
+        if self.ft_active:
+            ack_recv = comm.irecv(tag=TAG_WRITE_ACK)
+            comm.env.process(self._watchdog(), name="master-watchdog")
 
-        while self.groups_dispatched < cfg.ngroups or self.done_workers < cfg.nworkers:
+        while not self._finished():
             yield from self._make_progress()
 
-            if self.groups_dispatched >= cfg.ngroups and self.done_workers >= cfg.nworkers:
+            if self._finished():
                 break
 
-            # Wait for the next worker message (request or scores).
+            # Wait for the next worker message (request or scores; plus
+            # write acks and watchdog wake-ups under fault tolerance).
+            events = [request_recv.done_event, score_recv.done_event]
+            if self.ft_active:
+                events.append(ack_recv.done_event)
+                self._wake = comm.env.event()
+                events.append(self._wake)
             start = comm.env.now
-            yield request_recv.done_event | score_recv.done_event
+            yield comm.env.any_of(events)
             timer.add_span(Phase.DATA_DISTRIBUTION, start)
 
             if request_recv.completed:
@@ -141,6 +248,12 @@ class Master:
                 score_recv = comm.irecv(tag=TAG_SCORES)
                 yield from self._handle_scores(message)
 
+            if ack_recv is not None and ack_recv.completed:
+                ack: WriteAck = ack_recv.done_event.value
+                ack_recv = comm.irecv(tag=TAG_WRITE_ACK)
+                self._handle_ack(ack)
+
+        self._watchdog_stop = True
         # Drain any in-flight offset/notice sends before the final barrier.
         for send in self.pending_sends:
             yield from timer.measure(Phase.GATHER, send.wait())
@@ -166,21 +279,34 @@ class Master:
             while self.pending_requests and self._task_assignable():
                 yield from self._respond(self.pending_requests.popleft())
                 moved = True
-            # Terminate waiting workers once no tasks remain.
-            while self.pending_requests and self._tasks_exhausted():
+            # Terminate waiting workers once no tasks remain (and, under
+            # fault tolerance, once no crash could ever create new work).
+            while (
+                self.pending_requests
+                and self._tasks_exhausted()
+                and self._release_ok()
+            ):
                 yield from self._send_no_more_work(self.pending_requests.popleft())
                 moved = True
 
     # -- request handling -----------------------------------------------------------
     def _handle_request(self, worker: int):
+        if self.ft_active and worker in self.dead:
+            # Request from a worker we presume dead.  Don't assign (the
+            # response would be lost) and don't drop (the worker may be a
+            # false positive that is very much alive and waiting): stash
+            # it and serve it on revival.
+            self.dead_requests.add(worker)
+            self._count("requests_stashed")
+            return
         if self._task_assignable():
             yield from self._respond(worker)
-        elif self._tasks_exhausted():
+        elif self._tasks_exhausted() and self._release_ok():
             yield from self._send_no_more_work(worker)
-        else:
-            # WW-Coll gating: park the request until the group advances.
+        elif worker not in self.pending_requests:
+            # WW-Coll gating (or fault-tolerant release hold): park the
+            # request until the group advances / release becomes safe.
             self.pending_requests.append(worker)
-            return
 
     def _respond(self, worker: int):
         task = self.tasks[self.next_task]
@@ -192,7 +318,7 @@ class Master:
         )
 
     def _send_no_more_work(self, worker: int):
-        self.done_workers += 1
+        self.done_set.add(worker)
         yield from self.timer.measure(
             Phase.DATA_DISTRIBUTION,
             self.comm.send(worker, TAG_ASSIGN, ASSIGN_BYTES, None),
@@ -200,19 +326,105 @@ class Master:
 
     # -- score handling ---------------------------------------------------------------
     def _handle_scores(self, message: ScoreMessage):
+        key = (message.query_id, message.fragment_id)
+        if self.ft_active and message.worker in self.dead:
+            # In-flight scores from a crashed worker; its task was already
+            # requeued, so accepting would double-count.
+            self._count("stale_scores_dropped")
+            return
+        if self.ft_active and message.incarnation < self.incarnations.get(
+            message.worker, 0
+        ):
+            # Sent before a crash we already recovered from (the rejoin
+            # overtook this message): the payload behind these scores died
+            # with the old incarnation.
+            self._count("stale_scores_dropped")
+            return
+        if self.ft_active and key in self.reissue:
+            # Recompute of a batch whose offsets were issued before the
+            # original owner died: repair out-of-band with the *original*
+            # offsets (the ledger hands a query's base out exactly once).
+            rec = self.reissue.pop(key)
+            self.task_owner[key] = message.worker
+            repair = OffsetMessage(
+                group=rec.group,
+                entries=(
+                    OffsetEntry(
+                        query_id=key[0], fragment_id=key[1], offsets=rec.offsets
+                    ),
+                ),
+                repair=True,
+            )
+            self.issued[key] = _Issued(message.worker, rec.offsets, rec.group)
+            self.pending_sends.append(
+                self.comm.isend(
+                    message.worker, TAG_OFFSETS, repair.wire_bytes(), repair
+                )
+            )
+            self._count("repairs_issued")
+            cost = self.cfg.merge.merge_time(len(message.scores), 16 * len(message.scores))
+            yield from self.timer.sleep(Phase.GATHER, cost)
+            return
+        existing = self.received.get(message.query_id, {}).get(message.fragment_id)
+        if existing is not None:
+            # Duplicate delivery (e.g. a requeued task whose original
+            # assignment was matched from the reborn worker's mailbox).
+            # Drop it; under worker-writing also tell the sender to discard
+            # its stranded stored batch so its termination condition can
+            # still be met — unless the sender IS the accepted owner (a
+            # worker can compute the same task twice), whose single stored
+            # copy must survive for the group write.
+            self._count("duplicate_scores_dropped")
+            if (
+                self.ft_active
+                and self.strategy.parallel_io
+                and self.task_owner.get(key) != message.worker
+            ):
+                discard = OffsetMessage(
+                    group=-1,
+                    entries=(
+                        OffsetEntry(
+                            query_id=key[0],
+                            fragment_id=key[1],
+                            offsets=np.empty(0, dtype=np.int64),
+                        ),
+                    ),
+                    discard=True,
+                )
+                self.pending_sends.append(
+                    self.comm.isend(
+                        message.worker, TAG_OFFSETS, discard.wire_bytes(), discard
+                    )
+                )
+                self._count("discards_issued")
+            return
         meta = ScoredBatchMeta(
             query_id=message.query_id,
             fragment_id=message.fragment_id,
             scores=message.scores,
             sizes=message.sizes,
         )
-        key = (message.query_id, message.fragment_id)
         self.received.setdefault(message.query_id, {})[message.fragment_id] = meta
         if message.payloads is not None:
             self.payloads[key] = message.payloads
+        if self.ft_active:
+            self.task_owner[key] = message.worker
         # The master merges the ordered scores with its own ordered list.
         cost = self.cfg.merge.merge_time(meta.count, 16 * meta.count)
         yield from self.timer.sleep(Phase.GATHER, cost)
+
+    def _handle_ack(self, ack: WriteAck) -> None:
+        for key in ack.keys:
+            key = tuple(key)
+            if self.issued.pop(key, None) is not None:
+                self._count("writes_acked")
+            if self.reissue.pop(key, None) is not None:
+                # The write raced its sender's death detection: the bytes
+                # are on disk after all, so cancel the planned reissue (and
+                # the recompute, if it hasn't been assigned yet — if it
+                # has, the duplicate-score path discards its output).
+                self._count("reissues_cancelled")
+                self._unqueue(key)
 
     # -- group dispatch ----------------------------------------------------------------
     def _dispatch_group(self, group: int):
@@ -247,9 +459,13 @@ class Master:
             range(1, self.cfg.nprocs) if broadcast else sorted(per_worker.keys())
         )
         for worker in targets:
-            message = OffsetMessage(
-                group=group, entries=tuple(per_worker.get(worker, ()))
-            )
+            entries = tuple(per_worker.get(worker, ()))
+            if self.ft_active:
+                for entry in entries:
+                    self.issued[(entry.query_id, entry.fragment_id)] = _Issued(
+                        worker, entry.offsets, group
+                    )
+            message = OffsetMessage(group=group, entries=entries)
             self.pending_sends.append(
                 self.comm.isend(worker, TAG_OFFSETS, message.wire_bytes(), message)
             )
@@ -296,3 +512,141 @@ class Master:
             )
         if False:  # pragma: no cover - keeps this a generator
             yield None
+
+    # -- fault tolerance: detection and recovery --------------------------------
+    def _watchdog(self):
+        """Side process: heartbeat bookkeeping and death/rejoin handling."""
+        comm = self.comm
+        env = comm.env
+        ftc = self.cfg.effective_fault_tolerance()
+        hb_recv = comm.irecv(tag=TAG_HEARTBEAT)
+        rejoin_recv = comm.irecv(tag=TAG_REJOIN)
+        self.last_heard = {w: env.now for w in range(1, self.cfg.nprocs)}
+
+        while not self._watchdog_stop:
+            tick = env.timeout(ftc.heartbeat_interval_s)
+            yield env.any_of(
+                [hb_recv.done_event, rejoin_recv.done_event, tick]
+            )
+            if self._watchdog_stop:
+                return
+            if hb_recv.completed:
+                beat = hb_recv.done_event.value
+                hb_recv = comm.irecv(tag=TAG_HEARTBEAT)
+                self.last_heard[beat.worker] = env.now
+                self.incarnations[beat.worker] = max(
+                    self.incarnations.get(beat.worker, 0), beat.incarnation
+                )
+                if beat.worker in self.dead:
+                    # Either a false-positive detection (the worker was
+                    # alive all along) or its rejoin notice is lagging;
+                    # recovery already ran at detection, so just revive.
+                    self._on_worker_rejoin(beat.worker)
+            if rejoin_recv.completed:
+                rejoin = rejoin_recv.done_event.value
+                rejoin_recv = comm.irecv(tag=TAG_REJOIN)
+                self.last_heard[rejoin.worker] = env.now
+                self.incarnations[rejoin.worker] = max(
+                    self.incarnations.get(rejoin.worker, 0), rejoin.incarnation
+                )
+                self._on_worker_rejoin(rejoin.worker)
+            for worker, heard in self.last_heard.items():
+                if (
+                    worker not in self.dead
+                    and worker not in self.done_set
+                    and env.now - heard > ftc.detection_timeout_s
+                ):
+                    self._on_worker_death(worker)
+
+    def _on_worker_death(self, worker: int) -> None:
+        self.dead.add(worker)
+        self._count("failures_detected")
+        self._recover_lost_state(worker)
+        self._wakeup()
+
+    def _on_worker_rejoin(self, worker: int) -> None:
+        self._count("rejoins")
+        if worker in self.dead:
+            # Recovery already ran at timeout detection; just revive.
+            self.dead.discard(worker)
+            if worker in self.dead_requests:
+                self.dead_requests.discard(worker)
+                if worker not in self.pending_requests:
+                    self.pending_requests.append(worker)
+        else:
+            # The crash went unnoticed (reboot beat the timeout): the
+            # worker's volatile state is gone all the same — recover now.
+            self._recover_lost_state(worker)
+        self._wakeup()
+
+    def _recover_lost_state(self, worker: int) -> None:
+        """Requeue/invalidate/reissue everything the dead worker held."""
+        try:
+            self.pending_requests.remove(worker)
+        except ValueError:
+            pass
+        # NOTE: a released worker stays released — by the release gate, all
+        # of its bytes were safe before the "no more work" went out, and it
+        # will never request again, so pulling it out of ``done_set`` would
+        # deadlock the termination condition.
+        requeued = 0
+        for key, owner in list(self.task_owner.items()):
+            if owner != worker:
+                continue
+            q, f = key
+            if key in self.reissue:
+                # The reassigned recompute died too; queue it again (the
+                # original offsets stay parked in the reissue table).
+                requeued += self._requeue(key)
+                continue
+            rec = self.issued.get(key)
+            if rec is not None:
+                # Offsets sent, write never acknowledged: park the offsets
+                # and recompute the batch.
+                self.issued.pop(key)
+                self.reissue[key] = rec
+                requeued += self._requeue(key)
+                continue
+            meta = self.received.get(q, {}).get(f)
+            if meta is None:
+                # Assigned but no scores delivered: plain reassignment.
+                requeued += self._requeue(key)
+                continue
+            if (
+                self.strategy.parallel_io
+                and self.cfg.group_of(q) >= self.groups_dispatched
+            ):
+                # Scores delivered but the payload (the worker's stored
+                # batch) died with it before the group went out: invalidate
+                # the entry so the group completes only after a recompute.
+                del self.received[q][f]
+                requeued += self._requeue(key)
+            # Otherwise the bytes are safe: master-buffered (MW) or
+            # written-and-acknowledged (WW).
+        if requeued:
+            self._count("tasks_reassigned", requeued)
+
+    def _requeue(self, key: Tuple[int, int]) -> int:
+        """Insert (q, f) at the head of the unassigned queue (idempotent)."""
+        q, f = key
+        for task in self.tasks[self.next_task :]:
+            if task.query_id == q and task.fragment_id == f:
+                return 0
+        # Front insertion keeps the recompute inside the currently-gated
+        # write group — appending would deadlock WW-Coll, whose gate never
+        # opens past a group with a missing batch.
+        self.tasks.insert(self.next_task, TaskAssignment(q, f))
+        return 1
+
+    def _unqueue(self, key: Tuple[int, int]) -> None:
+        """Drop a not-yet-assigned requeued task again."""
+        q, f = key
+        for i in range(self.next_task, len(self.tasks)):
+            task = self.tasks[i]
+            if task.query_id == q and task.fragment_id == f:
+                del self.tasks[i]
+                return
+
+    def _wakeup(self) -> None:
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()

@@ -20,10 +20,14 @@ TAG_ASSIGN = 2  # master -> worker: TaskAssignment or NoMoreWork (None)
 TAG_SCORES = 3  # worker -> master: ScoreMessage
 TAG_OFFSETS = 4  # master -> worker: OffsetMessage (parallel-I/O modes)
 TAG_WRITTEN = 5  # master -> worker: WrittenNotice (MW + query sync)
+TAG_HEARTBEAT = 6  # worker -> master: Heartbeat (fault tolerance only)
+TAG_REJOIN = 7  # worker -> master: Rejoin after a crash reboot
+TAG_WRITE_ACK = 8  # worker -> master: WriteAck (WW results on disk)
 
 REQUEST_BYTES = 16
 ASSIGN_BYTES = 16
 NOTICE_BYTES = 16
+HEARTBEAT_BYTES = 16
 _HEADER_BYTES = 32
 
 
@@ -51,6 +55,9 @@ class ScoreMessage:
     sizes: np.ndarray
     payload_bytes: int = 0
     payloads: Optional[List[bytes]] = None
+    #: Sender's reboot count (fault-tolerant runs); lets the master drop
+    #: messages that raced a crash the sender already recovered from.
+    incarnation: int = 0
 
     @property
     def count(self) -> int:
@@ -73,10 +80,18 @@ class OffsetEntry:
 class OffsetMessage:
     """Master → worker: where to write the worker's results of one write
     group.  ``entries`` may be empty — the worker still needs the message
-    as a group boundary for collective writes and query-sync barriers."""
+    as a group boundary for collective writes and query-sync barriers.
+
+    Two out-of-band variants exist only under fault tolerance:
+    ``repair=True`` carries previously-issued offsets for a recomputed
+    batch (written individually, never part of a group collective);
+    ``discard=True`` tells the worker to drop stranded stored batches
+    whose (query, fragment) was already delivered by another worker."""
 
     group: int
     entries: Tuple[OffsetEntry, ...]
+    repair: bool = False
+    discard: bool = False
 
     def wire_bytes(self) -> int:
         return _HEADER_BYTES + sum(16 + 8 * len(e.offsets) for e in self.entries)
@@ -91,3 +106,37 @@ class WrittenNotice:
     """Master → worker: group's results are on disk (MW + query sync)."""
 
     group: int
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Worker → master liveness ping (fault-tolerant runs only)."""
+
+    worker: int
+    incarnation: int
+
+
+@dataclass(frozen=True)
+class Rejoin:
+    """Worker → master: "I crashed, lost my state, and am back".
+
+    ``incarnation`` counts reboots; the master uses the rejoin (or a
+    heartbeat timeout, whichever comes first) to trigger recovery of the
+    worker's lost work exactly once per crash."""
+
+    worker: int
+    incarnation: int
+
+
+@dataclass(frozen=True)
+class WriteAck:
+    """Worker → master: these (query, fragment) batches are on disk.
+
+    Only sent under fault tolerance in worker-writing strategies; the
+    master holds a batch's offsets as reissueable until the ack lands."""
+
+    worker: int
+    keys: Tuple[Tuple[int, int], ...]
+
+    def wire_bytes(self) -> int:
+        return _HEADER_BYTES + 8 * len(self.keys)

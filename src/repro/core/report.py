@@ -40,6 +40,11 @@ class RunResult:
     workers: List[PhaseReport]
     file_stats: FileStats
     server_stats: Dict[str, float] = field(default_factory=dict)
+    #: Aggregated fault/recovery counters (empty on fault-free runs):
+    #: crashes, tasks_reassigned, repairs_issued, retransmits, retries, ...
+    fault_stats: Dict[str, float] = field(default_factory=dict)
+    #: Chronological injector log (worker-crash / server windows / ...).
+    fault_events: List[dict] = field(default_factory=list)
 
     @property
     def worker_mean(self) -> PhaseReport:
@@ -75,4 +80,5 @@ class RunResult:
                 "dense": self.file_stats.dense,
             },
             "servers": self.server_stats,
+            "faults": self.fault_stats,
         }

@@ -8,6 +8,16 @@ processing new tasks while offset lists are in flight ("while workers wait
 for the location list from the master, they can process additional
 queries"); under WW-Coll every worker must enter the per-group collective
 write.
+
+Fault tolerance adds a crash/reboot loop around the main protocol: a
+:class:`~repro.faults.injector.WorkerCrashFault` interrupt wipes the
+worker's volatile state (stored result batches, in-flight bookkeeping),
+the worker sleeps through its downtime, announces itself with a ``Rejoin``
+(incarnation bumped), and re-enters the protocol from a clean slate.  A
+heartbeat side-process lets the master detect the silence.  Writes and
+their acknowledgements happen inside crash-critical sections, so a batch
+is either provably unwritten (and safely recomputed) or acknowledged on
+disk — never half-written.
 """
 
 from __future__ import annotations
@@ -15,21 +25,30 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from .. import mpi
+from ..faults.injector import WorkerCrashFault
 from ..mpiio.file import MPIIOFile
+from ..sim.errors import Interrupt
 from ..workload.results import ResultBatch, result_payload
 from .config import SimulationConfig, Workload
 from .phases import Phase, PhaseTimer
 from .protocol import (
+    HEARTBEAT_BYTES,
+    Heartbeat,
     MASTER_RANK,
     OffsetMessage,
     REQUEST_BYTES,
+    Rejoin,
     ScoreMessage,
     TAG_ASSIGN,
+    TAG_HEARTBEAT,
     TAG_OFFSETS,
+    TAG_REJOIN,
     TAG_REQUEST,
     TAG_SCORES,
+    TAG_WRITE_ACK,
     TAG_WRITTEN,
     TaskAssignment,
+    WriteAck,
     WrittenNotice,
 )
 
@@ -64,6 +83,32 @@ class Worker:
 
         self.offset_recv = None
         self.notice_recv = None
+        self.assign_recv = None
+
+        # -- fault tolerance ------------------------------------------------
+        self.ft_active = cfg.fault_tolerance_active()
+        self.fault_counters: Dict[str, int] = {}
+        self.incarnation = 0
+        self.crashed = False
+        self._critical = 0
+        self._hb_stop = False
+
+    @property
+    def in_critical_section(self) -> bool:
+        """True while a crash must be deferred (see the injector)."""
+        return self._critical > 0
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.fault_counters[name] = self.fault_counters.get(name, 0) + n
+
+    def _critically(self, frag):
+        """Run a process fragment with crash injection masked."""
+        self._critical += 1
+        try:
+            result = yield from frag
+        finally:
+            self._critical -= 1
+        return result
 
     # -- lifecycle ------------------------------------------------------------
     def run(self):
@@ -71,13 +116,52 @@ class Worker:
         comm, cfg, timer = self.comm, self.cfg, self.timer
 
         # Setup: receive input variables from the master (step 1).
-        yield from timer.measure(Phase.SETUP, mpi.bcast(comm, 0, 256, None))
+        yield from self._critically(
+            timer.measure(Phase.SETUP, mpi.bcast(comm, 0, 256, None))
+        )
 
         if self.strategy.parallel_io:
             self.offset_recv = comm.irecv(source=MASTER_RANK, tag=TAG_OFFSETS)
         elif cfg.query_sync:
             self.notice_recv = comm.irecv(source=MASTER_RANK, tag=TAG_WRITTEN)
 
+        if self.ft_active:
+            comm.env.process(
+                self._heartbeat_loop(), name=f"worker-{comm.rank}-heartbeat"
+            )
+
+        pending_downtime: Optional[float] = None
+        while True:
+            try:
+                if pending_downtime is not None:
+                    # Reboot: sit out the downtime, then rejoin the run.
+                    yield comm.env.timeout(pending_downtime)
+                    pending_downtime = None
+                    self._rejoin()
+                yield from self._main_loop()
+                break
+            except Interrupt as exc:
+                if not self.ft_active or not isinstance(
+                    exc.cause, WorkerCrashFault
+                ):
+                    self._hb_stop = True
+                    raise
+                pending_downtime = self._crash_cleanup(exc.cause)
+
+        self._hb_stop = True
+        # Make sure all score sends reached the master (step 15).
+        self._critical += 1
+        try:
+            for send in self.pending_sends:
+                yield from timer.measure(Phase.GATHER, send.wait())
+            yield from timer.measure(Phase.SYNC, mpi.barrier(comm))
+        finally:
+            self._critical -= 1
+        timer.finish()
+        return timer.report()
+
+    def _main_loop(self):
+        comm, timer = self.comm, self.timer
         while True:
             yield from self._drain_io()
 
@@ -85,35 +169,67 @@ class Worker:
                 yield from self._request_and_work()
             else:
                 if self._io_finished():
-                    break
+                    return
                 # Only offset lists / notices remain; wait for the next one.
                 events = self._io_events()
                 start = comm.env.now
                 yield comm.env.any_of(events)
                 timer.add_span(Phase.DATA_DISTRIBUTION, start)
 
-        # Make sure all score sends reached the master (step 15).
-        for send in self.pending_sends:
-            yield from timer.measure(Phase.GATHER, send.wait())
-        yield from timer.measure(Phase.SYNC, mpi.barrier(comm))
-        timer.finish()
-        return timer.report()
+    # -- crash / reboot ---------------------------------------------------------
+    def _crash_cleanup(self, fault: WorkerCrashFault) -> float:
+        """Model the loss of all volatile state; returns the downtime."""
+        self.crashed = True
+        self.incarnation += 1
+        self._count("crashes")
+        if self.stored:
+            self._count("batches_lost", len(self.stored))
+            self.stored.clear()
+        # In-flight sends survive (the NIC already has the bytes) but we
+        # stop tracking them; an unserved assignment is dropped on the
+        # floor — the master's recovery requeues whatever it had assigned.
+        self.pending_sends = []
+        if self.assign_recv is not None:
+            if not self.assign_recv.matched:
+                self.assign_recv.cancel()
+            self.assign_recv = None
+        return fault.downtime_s
+
+    def _rejoin(self) -> None:
+        self.crashed = False
+        note = Rejoin(worker=self.comm.rank, incarnation=self.incarnation)
+        self.comm.isend(MASTER_RANK, TAG_REJOIN, HEARTBEAT_BYTES, note, oob=True)
+
+    def _heartbeat_loop(self):
+        env = self.comm.env
+        ftc = self.cfg.effective_fault_tolerance()
+        while not self._hb_stop:
+            yield env.timeout(ftc.heartbeat_interval_s)
+            if self._hb_stop:
+                return
+            if self.crashed:
+                continue
+            beat = Heartbeat(worker=self.comm.rank, incarnation=self.incarnation)
+            self.comm.isend(
+                MASTER_RANK, TAG_HEARTBEAT, HEARTBEAT_BYTES, beat, oob=True
+            )
 
     # -- task cycle --------------------------------------------------------------
     def _request_and_work(self):
         comm, timer = self.comm, self.timer
 
         request = comm.isend(MASTER_RANK, TAG_REQUEST, REQUEST_BYTES, comm.rank)
-        assign_recv = comm.irecv(source=MASTER_RANK, tag=TAG_ASSIGN)
+        self.assign_recv = comm.irecv(source=MASTER_RANK, tag=TAG_ASSIGN)
 
-        while not assign_recv.completed:
-            events = [assign_recv.done_event] + self._io_events()
+        while not self.assign_recv.completed:
+            events = [self.assign_recv.done_event] + self._io_events()
             start = comm.env.now
             yield comm.env.any_of(events)
             timer.add_span(Phase.DATA_DISTRIBUTION, start)
             yield from self._drain_io()
 
-        assignment: Optional[TaskAssignment] = assign_recv.done_event.value
+        assignment: Optional[TaskAssignment] = self.assign_recv.done_event.value
+        self.assign_recv = None
         if assignment is None:
             self.no_more_work = True
             return
@@ -154,6 +270,7 @@ class Worker:
             sizes=batch.sizes,
             payload_bytes=payload_bytes,
             payloads=payloads,
+            incarnation=self.incarnation,
         )
         # Nonblocking send of scores (and results if MW) — step 10.
         send = self.comm.isend(
@@ -181,14 +298,14 @@ class Worker:
                 self.offset_recv = self.comm.irecv(
                     source=MASTER_RANK, tag=TAG_OFFSETS
                 )
-                yield from self._handle_offsets(message)
+                yield from self._critically(self._handle_offsets(message))
                 progressed = True
             if self.notice_recv is not None and self.notice_recv.completed:
                 notice: WrittenNotice = self.notice_recv.done_event.value
                 self.notice_recv = self.comm.irecv(
                     source=MASTER_RANK, tag=TAG_WRITTEN
                 )
-                yield from self._handle_notice(notice)
+                yield from self._critically(self._handle_notice(notice))
                 progressed = True
             if not progressed:
                 return
@@ -196,10 +313,26 @@ class Worker:
     def _handle_offsets(self, message: OffsetMessage):
         """Write the group's results (step 18) and sync if requested."""
         cfg, timer = self.cfg, self.timer
+        if message.discard:
+            self._handle_discard(message)
+            return
+        if message.repair:
+            yield from self._write_repair(message)
+            return
         regions: List[Tuple[int, int]] = []
         datas: Optional[List[Optional[bytes]]] = [] if cfg.store_data else None
+        written: List[Tuple[int, int]] = []
         for entry in message.entries:
-            batch = self.stored.pop((entry.query_id, entry.fragment_id))
+            key = (entry.query_id, entry.fragment_id)
+            batch = self.stored.pop(key, None)
+            if batch is None:
+                if not self.ft_active:
+                    raise KeyError(key)
+                # The batch died in a crash after the master merged its
+                # scores; the recovery protocol repairs it out-of-band.
+                self._count("entries_skipped")
+                continue
+            written.append(key)
             for i, (offset, size) in enumerate(zip(entry.offsets, batch.sizes)):
                 regions.append((int(offset), int(size)))
                 if datas is not None:
@@ -219,16 +352,68 @@ class Worker:
                 Phase.IO,
                 self.fh.write_at_list(self.comm.global_rank, regions, datas),
             )
-        self.groups_handled = message.group + 1
+        self.groups_handled = max(self.groups_handled, message.group + 1)
+        if self.ft_active and written:
+            self._send_ack(written)
 
         if cfg.query_sync:
             yield from timer.measure(Phase.SYNC, mpi.barrier(self.wcomm))
-            self.groups_synced = message.group + 1
+            self.groups_synced = max(self.groups_synced, message.group + 1)
+
+    def _handle_discard(self, message: OffsetMessage) -> None:
+        """Drop stranded batches another worker already delivered."""
+        for entry in message.entries:
+            key = (entry.query_id, entry.fragment_id)
+            if self.stored.pop(key, None) is not None:
+                self._count("batches_discarded")
+
+    def _write_repair(self, message: OffsetMessage):
+        """Write a recomputed batch at its originally-issued offsets.
+
+        Repairs are always individual writes (even under WW-Coll — the
+        surviving group collective already happened without these bytes)
+        and never advance the group counters.
+        """
+        cfg, timer = self.cfg, self.timer
+        regions: List[Tuple[int, int]] = []
+        datas: Optional[List[Optional[bytes]]] = [] if cfg.store_data else None
+        written: List[Tuple[int, int]] = []
+        for entry in message.entries:
+            key = (entry.query_id, entry.fragment_id)
+            batch = self.stored.pop(key, None)
+            if batch is None:
+                # Crashed again between the recompute and this repair; the
+                # master will reissue to the next recompute.
+                self._count("entries_skipped")
+                continue
+            written.append(key)
+            for i, (offset, size) in enumerate(zip(entry.offsets, batch.sizes)):
+                regions.append((int(offset), int(size)))
+                if datas is not None:
+                    datas.append(
+                        result_payload(
+                            batch.query_id, batch.fragment_id, i, int(size)
+                        )
+                    )
+        if regions:
+            yield from timer.measure(
+                Phase.IO,
+                self.fh.write_at_list(self.comm.global_rank, regions, datas),
+            )
+        if written:
+            self._count("repairs_written", len(written))
+            self._send_ack(written)
+
+    def _send_ack(self, keys: List[Tuple[int, int]]) -> None:
+        # OOB: an ack stuck behind bulk data could outlive its sender's
+        # death detection and trigger a spurious (overlapping!) reissue.
+        ack = WriteAck(worker=self.comm.rank, keys=tuple(keys))
+        self.comm.isend(MASTER_RANK, TAG_WRITE_ACK, ack.wire_bytes(), ack, oob=True)
 
     def _handle_notice(self, notice: WrittenNotice):
         """MW + query sync: barrier once the master wrote the group."""
         yield from self.timer.measure(Phase.SYNC, mpi.barrier(self.wcomm))
-        self.groups_synced = notice.group + 1
+        self.groups_synced = max(self.groups_synced, notice.group + 1)
 
     # -- termination -------------------------------------------------------------------
     def _io_finished(self) -> bool:

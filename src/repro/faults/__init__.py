@@ -1,0 +1,31 @@
+"""Deterministic fault injection and the recovery protocol's configuration.
+
+``plan`` declares *what* fails (pure data, JSON-serializable);
+``injector`` makes it happen inside the DES.  The tolerance mechanisms
+themselves live where the affected state lives: heartbeat/reassignment in
+``repro.core.master``/``worker``, drop/ARQ in ``repro.mpi.network``, and
+outage retry in ``repro.pvfs.filesystem``.
+"""
+
+from .injector import FaultInjector, WorkerCrashFault
+from .plan import (
+    FaultPlan,
+    FaultToleranceConfig,
+    MessageLoss,
+    ServerOutage,
+    ServerSlowdown,
+    WorkerCrash,
+    load_fault_plan,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultToleranceConfig",
+    "MessageLoss",
+    "ServerOutage",
+    "ServerSlowdown",
+    "WorkerCrash",
+    "WorkerCrashFault",
+    "load_fault_plan",
+]

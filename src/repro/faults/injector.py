@@ -1,0 +1,175 @@
+"""Turns a :class:`~repro.faults.plan.FaultPlan` into simulated events.
+
+The injector owns one small process per planned fault:
+
+* worker crashes interrupt the worker's rank process via
+  :meth:`~repro.sim.process.Process.interrupt` — deferred while the worker
+  is inside a protocol-critical section (setup broadcast, collective
+  write, final drain/barrier), because a crash mid-collective would
+  desynchronize the reserved-tag sequence that makes simulated collectives
+  match up;
+* server slowdowns degrade one I/O server's disk for a window and restore
+  it exactly afterwards;
+* server outages mark a server down (clients back off and retry until it
+  returns);
+* message loss installs a drop/ARQ model on the network (see
+  :class:`~repro.mpi.network.LinkFaults`).
+
+Every delivered fault is appended to :attr:`FaultInjector.events` and, when
+a trace recorder is attached, also becomes a timeline interval (state
+``crashed`` on the worker's rank row; server windows on synthetic negative
+ranks ``-(server_id + 1)``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..sim import Environment, RandomStreams
+from .plan import (
+    FaultPlan,
+    FaultToleranceConfig,
+    ServerOutage,
+    ServerSlowdown,
+    WorkerCrash,
+)
+
+
+class WorkerCrashFault:
+    """The ``Interrupt.cause`` delivered to a crashing worker."""
+
+    __slots__ = ("rank", "downtime_s")
+
+    def __init__(self, rank: int, downtime_s: float) -> None:
+        self.rank = rank
+        self.downtime_s = downtime_s
+
+    def __repr__(self) -> str:
+        return f"WorkerCrashFault(rank={self.rank}, downtime_s={self.downtime_s})"
+
+
+class FaultInjector:
+    """Schedules one run's planned faults into the simulation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        plan: FaultPlan,
+        tolerance: FaultToleranceConfig,
+        network=None,
+        fs=None,
+        streams: Optional[RandomStreams] = None,
+        recorder=None,
+    ) -> None:
+        self.env = env
+        self.plan = plan
+        self.tolerance = tolerance
+        self.network = network
+        self.fs = fs
+        self.streams = streams
+        self.recorder = recorder
+        self.events: List[Dict[str, Any]] = []
+        self._workers: Dict[int, Tuple[Any, Any]] = {}
+        self.crashes_delivered = 0
+        self.crashes_skipped = 0
+
+    # -- wiring ---------------------------------------------------------------
+    def register_worker(self, rank: int, worker, process) -> None:
+        """Associate a world rank with its state machine and DES process."""
+        self._workers[rank] = (worker, process)
+
+    def start(self) -> None:
+        """Install link faults and spawn one process per planned fault."""
+        if self.plan.message_loss and self.network is not None:
+            from ..mpi.network import LinkFaults
+
+            rng = (
+                self.streams.stream("link")
+                if self.streams is not None
+                else RandomStreams(0).stream("link")
+            )
+            self.network.install_faults(LinkFaults(self.plan.message_loss, rng))
+            self._log("link-faults-installed", windows=len(self.plan.message_loss))
+        for crash in self.plan.worker_crashes:
+            self.env.process(self._run_crash(crash), name=f"fault-crash-r{crash.rank}")
+        for slow in self.plan.server_slowdowns:
+            self.env.process(
+                self._run_slowdown(slow), name=f"fault-slow-s{slow.server_id}"
+            )
+        for outage in self.plan.server_outages:
+            self.env.process(
+                self._run_outage(outage), name=f"fault-outage-s{outage.server_id}"
+            )
+
+    # -- fault processes ------------------------------------------------------
+    def _run_crash(self, spec: WorkerCrash):
+        yield self.env.timeout(spec.at_time)
+        entry = self._workers.get(spec.rank)
+        if entry is None:
+            self.crashes_skipped += 1
+            self._log("crash-skipped", rank=spec.rank, reason="no such worker")
+            return
+        worker, process = entry
+        # Defer past critical sections (collectives, setup, final drain)
+        # and past an earlier crash's downtime window.
+        while process.is_alive and (
+            getattr(worker, "in_critical_section", False)
+            or getattr(worker, "crashed", False)
+        ):
+            yield self.env.timeout(self.tolerance.poll_interval_s)
+        if not process.is_alive:
+            self.crashes_skipped += 1
+            self._log("crash-skipped", rank=spec.rank, reason="worker already finished")
+            return
+        now = self.env.now
+        self.crashes_delivered += 1
+        self._log("worker-crash", rank=spec.rank, downtime_s=spec.downtime_s)
+        if self.recorder is not None:
+            self.recorder.record(spec.rank, "crashed", now, now + spec.downtime_s)
+        process.interrupt(WorkerCrashFault(spec.rank, spec.downtime_s))
+
+    def _run_slowdown(self, spec: ServerSlowdown):
+        yield self.env.timeout(spec.start)
+        if self.fs is None:
+            return
+        self.fs.set_degraded(spec.server_id, spec.factor)
+        self._log("server-degraded", server=spec.server_id, factor=spec.factor)
+        if self.recorder is not None:
+            self.recorder.record(
+                -(spec.server_id + 1),
+                "server_degraded",
+                self.env.now,
+                self.env.now + spec.duration,
+            )
+        yield self.env.timeout(spec.duration)
+        self.fs.clear_degraded(spec.server_id)
+        self._log("server-restored", server=spec.server_id)
+
+    def _run_outage(self, spec: ServerOutage):
+        yield self.env.timeout(spec.start)
+        if self.fs is None:
+            return
+        self.fs.fail_server(spec.server_id)
+        self._log("server-outage", server=spec.server_id)
+        if self.recorder is not None:
+            self.recorder.record(
+                -(spec.server_id + 1),
+                "server_outage",
+                self.env.now,
+                self.env.now + spec.duration,
+            )
+        yield self.env.timeout(spec.duration)
+        self.fs.restore_server(spec.server_id)
+        self._log("server-back", server=spec.server_id)
+
+    # -- observability --------------------------------------------------------
+    def _log(self, kind: str, **fields) -> None:
+        self.events.append({"time": self.env.now, "kind": kind, **fields})
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "crashes_delivered": float(self.crashes_delivered),
+            "crashes_skipped": float(self.crashes_skipped),
+            "slowdown_windows": float(len(self.plan.server_slowdowns)),
+            "outage_windows": float(len(self.plan.server_outages)),
+        }

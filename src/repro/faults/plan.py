@@ -1,0 +1,262 @@
+"""Declarative fault plans: what breaks, when, and for how long.
+
+A :class:`FaultPlan` is an immutable description of the failures one run
+should experience — worker crashes, I/O-server outages, degraded-bandwidth
+windows, and message-loss windows.  Plans are pure data: the
+:class:`~repro.faults.injector.FaultInjector` turns them into simulated
+events, and any randomness (message drops) draws from the run's seeded
+:class:`~repro.sim.rng.RandomStreams`, so the same (seed, plan) pair always
+produces the same timeline.
+
+The crash model is *transient fail-stop*: a worker dies at an instant,
+loses all in-memory state (stored result batches, in-flight task), stays
+down for ``downtime_s``, then reboots and rejoins the computation.  Master
+(rank 0) crashes and permanent worker losses are out of scope — the
+WW-Coll strategy's collective writes cannot shrink their membership, which
+mirrors real MPI-2 era deployments where a lost rank killed the job unless
+it came back.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import asdict, dataclass, field
+from typing import IO, Tuple, Union
+
+_INF = float("inf")
+
+
+def _require_finite(name: str, value: float, positive: bool = False) -> None:
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value!r}")
+    if positive and value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    if not positive and value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """One transient worker failure.
+
+    ``rank`` is the world rank (>= 1; rank 0 is the master).  At
+    ``at_time`` the worker process is interrupted, loses its volatile
+    state, sleeps ``downtime_s``, and rejoins.
+    """
+
+    rank: int
+    at_time: float
+    downtime_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.rank < 1:
+            raise ValueError(f"crash rank must be >= 1 (rank 0 is the master), got {self.rank}")
+        _require_finite("at_time", self.at_time)
+        _require_finite("downtime_s", self.downtime_s, positive=True)
+
+
+@dataclass(frozen=True)
+class ServerOutage:
+    """An I/O server is unreachable during [start, start + duration)."""
+
+    server_id: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise ValueError(f"server_id must be >= 0, got {self.server_id}")
+        _require_finite("start", self.start)
+        _require_finite("duration", self.duration, positive=True)
+
+
+@dataclass(frozen=True)
+class ServerSlowdown:
+    """An I/O server services requests ``factor``× slower in a window."""
+
+    server_id: int
+    start: float
+    duration: float
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise ValueError(f"server_id must be >= 0, got {self.server_id}")
+        _require_finite("start", self.start)
+        _require_finite("duration", self.duration, positive=True)
+        if not math.isfinite(self.factor) or self.factor <= 0:
+            raise ValueError(f"factor must be positive and finite, got {self.factor!r}")
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Messages crossing the wire are dropped with ``drop_prob`` in a window.
+
+    Dropped messages are recovered by the network layer's retransmission
+    protocol (timeout + exponential backoff); ``max_retries`` bounds the
+    retransmissions before the transfer errors out.
+    """
+
+    drop_prob: float
+    start: float = 0.0
+    end: float = _INF
+    retransmit_timeout_s: float = 2e-3
+    backoff: float = 2.0
+    max_retries: int = 12
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_prob < 1.0:
+            raise ValueError(f"drop_prob must be in [0, 1), got {self.drop_prob!r}")
+        _require_finite("start", self.start)
+        if self.end < self.start:
+            raise ValueError("end must be >= start")
+        _require_finite("retransmit_timeout_s", self.retransmit_timeout_s, positive=True)
+        if not math.isfinite(self.backoff) or self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff!r}")
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be >= 1")
+
+
+FaultSpec = Union[WorkerCrash, ServerOutage, ServerSlowdown, MessageLoss]
+
+
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Knobs of the recovery protocol (master heartbeat/timeout detection).
+
+    ``heartbeat_interval_s``: how often a live worker pings the master.
+    ``detection_timeout_s``: silence after which the master declares a
+    worker dead and reassigns its uncompleted work.
+    ``poll_interval_s``: how often the injector re-checks a worker that is
+    inside a critical section (collective, final drain) before delivering
+    a crash — crashes are deferred past protocol-atomic regions.
+    """
+
+    heartbeat_interval_s: float = 0.25
+    detection_timeout_s: float = 1.5
+    poll_interval_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        _require_finite("heartbeat_interval_s", self.heartbeat_interval_s, positive=True)
+        _require_finite("detection_timeout_s", self.detection_timeout_s, positive=True)
+        _require_finite("poll_interval_s", self.poll_interval_s, positive=True)
+        if self.detection_timeout_s <= self.heartbeat_interval_s:
+            raise ValueError(
+                "detection_timeout_s must exceed heartbeat_interval_s "
+                "(otherwise every worker is declared dead between beats)"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The complete failure schedule of one run."""
+
+    worker_crashes: Tuple[WorkerCrash, ...] = ()
+    server_outages: Tuple[ServerOutage, ...] = ()
+    server_slowdowns: Tuple[ServerSlowdown, ...] = ()
+    message_loss: Tuple[MessageLoss, ...] = ()
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan — runs must be bit-identical to a fault-free build."""
+        return cls()
+
+    @property
+    def empty(self) -> bool:
+        return not (
+            self.worker_crashes
+            or self.server_outages
+            or self.server_slowdowns
+            or self.message_loss
+        )
+
+    @property
+    def needs_tolerance(self) -> bool:
+        """Whether the plan requires the master's recovery protocol.
+
+        Server and link faults are transparent to the application protocol
+        (clients retry); only worker crashes need heartbeats/reassignment.
+        """
+        return bool(self.worker_crashes)
+
+    # -- canned scenario -----------------------------------------------------
+    @classmethod
+    def standard(
+        cls,
+        crash_rank: int = 1,
+        crash_time: float = 8.0,
+        downtime_s: float = 2.0,
+        server_id: int = 0,
+        slow_start: float = 3.0,
+        slow_duration: float = 6.0,
+        slow_factor: float = 4.0,
+    ) -> "FaultPlan":
+        """The benchmark scenario: one worker crash mid-search plus one
+        degraded I/O-server window."""
+        return cls(
+            worker_crashes=(WorkerCrash(crash_rank, crash_time, downtime_s),),
+            server_slowdowns=(
+                ServerSlowdown(server_id, slow_start, slow_duration, slow_factor),
+            ),
+        )
+
+    # -- (de)serialization ---------------------------------------------------
+    def to_dict(self) -> dict:
+        def clean(spec):
+            d = asdict(spec)
+            # JSON has no Infinity literal in strict parsers; use null.
+            if d.get("end") == _INF:
+                d["end"] = None
+            return d
+
+        return {
+            "worker_crashes": [clean(c) for c in self.worker_crashes],
+            "server_outages": [clean(o) for o in self.server_outages],
+            "server_slowdowns": [clean(s) for s in self.server_slowdowns],
+            "message_loss": [clean(m) for m in self.message_loss],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "FaultPlan":
+        known = {
+            "worker_crashes",
+            "server_outages",
+            "server_slowdowns",
+            "message_loss",
+        }
+        extra = set(doc) - known
+        if extra:
+            raise ValueError(f"unknown fault plan keys: {sorted(extra)}")
+
+        def loss(d: dict) -> MessageLoss:
+            d = dict(d)
+            if d.get("end") is None:
+                d["end"] = _INF
+            return MessageLoss(**d)
+
+        return cls(
+            worker_crashes=tuple(
+                WorkerCrash(**c) for c in doc.get("worker_crashes", [])
+            ),
+            server_outages=tuple(
+                ServerOutage(**o) for o in doc.get("server_outages", [])
+            ),
+            server_slowdowns=tuple(
+                ServerSlowdown(**s) for s in doc.get("server_slowdowns", [])
+            ),
+            message_loss=tuple(loss(m) for m in doc.get("message_loss", [])),
+        )
+
+    def to_json(self, stream: IO[str]) -> None:
+        json.dump(self.to_dict(), stream, indent=1)
+
+    @classmethod
+    def from_json(cls, stream: IO[str]) -> "FaultPlan":
+        return cls.from_dict(json.load(stream))
+
+
+def load_fault_plan(path: str) -> FaultPlan:
+    """Read a :class:`FaultPlan` from a JSON file (CLI ``--fault-plan``)."""
+    with open(path) as fh:
+        return FaultPlan.from_json(fh)

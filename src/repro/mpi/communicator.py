@@ -74,7 +74,8 @@ class Communicator:
 
     # -- protocol processes --------------------------------------------------
     def _start_send(
-        self, src: int, dst: int, tag: int, nbytes: int, payload: Any
+        self, src: int, dst: int, tag: int, nbytes: int, payload: Any,
+        oob: bool = False,
     ) -> SendRequest:
         if not 0 <= dst < self.size:
             raise ValueError(f"destination rank {dst} out of range [0, {self.size})")
@@ -87,7 +88,12 @@ class Communicator:
         self._send_seq += 1
         seq = self._send_seq
 
-        if src == dst:
+        if oob and src != dst:
+            self.env.process(
+                self._oob(src, dst, tag, nbytes, payload, seq, request),
+                name=f"oob-{src}->{dst}",
+            )
+        elif src == dst:
             self.env.process(
                 self._loopback(src, dst, tag, nbytes, payload, seq, request),
                 name=f"loopback-{src}",
@@ -111,13 +117,27 @@ class Communicator:
             Envelope(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload, seq=seq)
         )
 
+    def _oob(self, src, dst, tag, nbytes, payload, seq, request):
+        # Out-of-band control channel (management network): pays the wire
+        # latency but never competes with bulk data for NIC bandwidth and
+        # is exempt from injected link faults.  Used for liveness traffic
+        # (heartbeats, rejoin notices, write acks) — a cluster's fault
+        # detector must not suffocate under the very congestion it watches.
+        yield from self.network.wire_latency()
+        request._complete()
+        self.mailboxes[dst].deliver(
+            Envelope(
+                src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload,
+                kind=EAGER, seq=seq,
+            )
+        )
+
     def _eager(self, src, dst, tag, nbytes, payload, seq, request):
         # Sender serializes onto the wire; once the bytes leave the host the
         # send is locally complete (buffered at the receiver).
         yield from self.network.occupy_tx(self.ranks[src], nbytes)
         request._complete()
-        yield from self.network.wire_latency()
-        yield from self.network.occupy_rx(self.ranks[dst], nbytes)
+        yield from self.network.deliver(self.ranks[src], self.ranks[dst], nbytes)
         self.mailboxes[dst].deliver(
             Envelope(
                 src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload,
@@ -134,8 +154,9 @@ class Communicator:
         )
         # RTS header to the receiver.
         yield from self.network.occupy_tx(self.ranks[src], HEADER_BYTES)
-        yield from self.network.wire_latency()
-        yield from self.network.occupy_rx(self.ranks[dst], HEADER_BYTES)
+        yield from self.network.deliver(
+            self.ranks[src], self.ranks[dst], HEADER_BYTES
+        )
         self.mailboxes[dst].deliver(header)
         # Wait for the matching receive (CTS), pay the CTS flight time,
         # then stream the payload.
@@ -180,10 +201,15 @@ class RankComm:
 
     # -- nonblocking p2p -----------------------------------------------------
     def isend(
-        self, dst: int, tag: int, nbytes: int, payload: Any = None
+        self, dst: int, tag: int, nbytes: int, payload: Any = None,
+        oob: bool = False,
     ) -> SendRequest:
-        """Start a nonblocking send of ``nbytes`` (``payload`` rides along)."""
-        return self._comm._start_send(self.rank, dst, tag, nbytes, payload)
+        """Start a nonblocking send of ``nbytes`` (``payload`` rides along).
+
+        ``oob=True`` routes the message over the out-of-band management
+        channel (wire latency only — no NIC contention, no link faults);
+        reserved for tiny liveness/control messages."""
+        return self._comm._start_send(self.rank, dst, tag, nbytes, payload, oob=oob)
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> RecvRequest:
         """Post a nonblocking receive."""

@@ -20,12 +20,16 @@ Defaults correspond to the Feynman cluster's Myrinet-2000 interconnect.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
-from ..sim import Environment, Resource
+from ..sim import Environment, Resource, SimulationError
 
 KIB = 1024
 MIB = 1024 * 1024
+
+
+class LinkFailure(SimulationError):
+    """A message exhausted its retransmission budget (link declared dead)."""
 
 
 @dataclass(frozen=True)
@@ -95,6 +99,56 @@ class NetworkConfig:
 
 
 @dataclass
+class LinkFaultStats:
+    """Counters of the drop/ARQ model (observability and tests)."""
+
+    drops: int = 0
+    retransmits: int = 0
+    link_failures: int = 0
+
+
+class LinkFaults:
+    """Message-loss model with timeout/exponential-backoff retransmission.
+
+    ``specs`` are the plan's :class:`~repro.faults.plan.MessageLoss`
+    windows; a message crossing the wire while a window is active is
+    dropped with that window's probability, and the sender retransmits
+    after a timeout that doubles (``backoff``) per attempt, up to
+    ``max_retries`` before the transfer fails with :class:`LinkFailure`.
+
+    Drops draw from a single seeded stream *in event order*, so a fixed
+    (seed, plan) pair yields the same loss pattern every run.
+    """
+
+    def __init__(self, specs: Sequence, rng) -> None:
+        if not specs:
+            raise ValueError("LinkFaults needs at least one MessageLoss window")
+        self.specs = tuple(specs)
+        self.rng = rng
+        self.stats = LinkFaultStats()
+
+    def _active_spec(self, now: float):
+        for spec in self.specs:
+            if spec.drop_prob > 0 and spec.start <= now < spec.end:
+                return spec
+        return None
+
+    def drop_spec(self, now: float):
+        """The window that drops this message, or None to deliver it."""
+        spec = self._active_spec(now)
+        if spec is None:
+            return None
+        if float(self.rng.random()) < spec.drop_prob:
+            return spec
+        return None
+
+    @staticmethod
+    def retransmit_delay(spec, attempt: int) -> float:
+        """Backoff before retransmission ``attempt`` (1-based)."""
+        return spec.retransmit_timeout_s * spec.backoff ** (attempt - 1)
+
+
+@dataclass
 class NicStats:
     """Byte/message counters for one rank's NIC (observability hooks)."""
 
@@ -138,6 +192,11 @@ class Network:
             if config.fabric_capacity is not None
             else None
         )
+        self.faults: Optional[LinkFaults] = None
+
+    def install_faults(self, faults: LinkFaults) -> None:
+        """Attach a message-loss model (None of these costs exist without it)."""
+        self.faults = faults
 
     def nic(self, rank: int) -> Nic:
         if not 0 <= rank < self.nranks:
@@ -170,13 +229,47 @@ class Network:
         """Process fragment: one-way propagation delay."""
         yield self.env.timeout(self.config.latency_s)
 
+    def deliver(self, src: int, dst: int, nbytes: int):
+        """Process fragment: propagate and land ``nbytes`` at ``dst``.
+
+        This is the lossy half of a transfer — the sender has already paid
+        TX serialization.  With no :class:`LinkFaults` installed the cost
+        is exactly ``wire_latency + occupy_rx`` (the fault-free fast path
+        adds zero events).  With faults, a dropped message costs the wire
+        latency, a retransmission timeout with exponential backoff, and a
+        fresh TX serialization per retry.
+        """
+        attempt = 0
+        while True:
+            yield from self.wire_latency()
+            faults = self.faults
+            if faults is not None:
+                spec = faults.drop_spec(self.env.now)
+                if spec is not None:
+                    faults.stats.drops += 1
+                    attempt += 1
+                    if attempt > spec.max_retries:
+                        faults.stats.link_failures += 1
+                        raise LinkFailure(
+                            f"message {src}->{dst} ({nbytes} B) lost "
+                            f"{attempt} times; giving up"
+                        )
+                    yield self.env.timeout(
+                        LinkFaults.retransmit_delay(spec, attempt)
+                    )
+                    faults.stats.retransmits += 1
+                    yield from self.occupy_tx(src, nbytes)
+                    continue
+            yield from self.occupy_rx(dst, nbytes)
+            return
+
     def transfer(self, src: int, dst: int, nbytes: int):
         """Process fragment: full point-to-point transfer src → dst.
 
         TX serialization, optional fabric slot, propagation, RX
         serialization.  Loopback and node-local transfers (same NIC) only
         pay a memcpy-like cost — MPI moves intra-node traffic through
-        shared memory, never the wire.
+        shared memory, never the wire (and never the loss model).
         """
         if src == dst or self.nic(src) is self.nic(dst):
             yield self.env.timeout(
@@ -187,9 +280,7 @@ class Network:
             with self.fabric.request() as slot:
                 yield slot
                 yield from self.occupy_tx(src, nbytes)
-                yield from self.wire_latency()
-                yield from self.occupy_rx(dst, nbytes)
+                yield from self.deliver(src, dst, nbytes)
         else:
             yield from self.occupy_tx(src, nbytes)
-            yield from self.wire_latency()
-            yield from self.occupy_rx(dst, nbytes)
+            yield from self.deliver(src, dst, nbytes)

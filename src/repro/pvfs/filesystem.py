@@ -19,6 +19,7 @@ PVFS2 characteristics modelled faithfully:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -51,8 +52,20 @@ class PVFSConfig:
     #: to the servers' limits.
     client_pipeline_Bps: float = 3 * MIB
     store_data: bool = False
+    #: Client retry policy when an I/O server is unreachable: first wait,
+    #: multiplicative backoff, and the cap the backoff saturates at.
+    #: PVFS2 clients of the era polled the BMI layer much the same way.
+    retry_initial_s: float = 0.05
+    retry_backoff: float = 2.0
+    retry_cap_s: float = 1.0
 
     def __post_init__(self) -> None:
+        if not math.isfinite(self.retry_initial_s) or self.retry_initial_s <= 0:
+            raise ValueError("retry_initial_s must be positive and finite")
+        if not math.isfinite(self.retry_backoff) or self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1 and finite")
+        if not math.isfinite(self.retry_cap_s) or self.retry_cap_s <= 0:
+            raise ValueError("retry_cap_s must be positive and finite")
         if self.nservers <= 0:
             raise ValueError("nservers must be positive")
         if self.strip_size <= 0:
@@ -117,6 +130,10 @@ class FileSystem:
         # client pipeline is a host-wide bottleneck, so concurrent
         # subrequests from one client must not each get full rate.
         self._client_locks: Dict[int, "Resource"] = {}
+        # Pristine disk models, kept so a degradation window can be lifted
+        # exactly (degrade_server compounds and is permanent by design).
+        self._pristine_disks: List[DiskModel] = [s.disk for s in self.servers]
+        self.fault_stats: Dict[str, float] = {"retries": 0.0, "retry_wait_s": 0.0}
 
     def __repr__(self) -> str:
         return f"<FileSystem servers={len(self.servers)} files={len(self.files)}>"
@@ -127,10 +144,16 @@ class FileSystem:
 
         Every striped request touches most servers, so a single straggler
         throttles the whole volume — a classic parallel-file-system
-        failure mode.  ``factor`` scales service times (>1 = slower).
+        failure mode.  ``factor`` scales service times (>1 = slower) and
+        compounds across calls; use :meth:`set_degraded` /
+        :meth:`clear_degraded` for a revertible window instead.
         """
+        if not isinstance(factor, (int, float)) or isinstance(factor, bool):
+            raise ValueError(f"factor must be a number, got {factor!r}")
+        if not math.isfinite(factor):
+            raise ValueError(f"factor must be finite, got {factor!r}")
         if factor <= 0:
-            raise ValueError("factor must be positive")
+            raise ValueError(f"factor must be positive, got {factor!r}")
         server = self.servers[server_id]
         disk = server.disk
         server.disk = replace(
@@ -141,6 +164,23 @@ class FileSystem:
             bandwidth_Bps=disk.bandwidth_Bps / factor,
             sync_s=disk.sync_s * factor,
         )
+
+    def set_degraded(self, server_id: int, factor: float) -> None:
+        """Enter a degraded window: ``factor``× slower relative to pristine."""
+        self.servers[server_id].disk = self._pristine_disks[server_id]
+        self.degrade_server(server_id, factor)
+
+    def clear_degraded(self, server_id: int) -> None:
+        """Leave a degraded window: restore the pristine disk model exactly."""
+        self.servers[server_id].disk = self._pristine_disks[server_id]
+
+    def fail_server(self, server_id: int) -> None:
+        """Begin an outage: clients back off and retry until restore."""
+        self.servers[server_id].fail()
+
+    def restore_server(self, server_id: int) -> None:
+        """End an outage."""
+        self.servers[server_id].restore()
 
     # -- namespace ------------------------------------------------------------
     def open(self, client: int, path: str, create: bool = True):
@@ -299,6 +339,8 @@ class FileSystem:
         nbytes = sum(length for _, length in phys_regions)
         header = self.config.request_header_B + 16 * len(phys_regions)
 
+        if not server.up:
+            yield from self._await_server(server)
         if is_read:
             # Request out (header only), data back.
             yield from self._client_tx(client, header)
@@ -318,8 +360,24 @@ class FileSystem:
             yield from server.service_write(phys_regions, is_read=False)
             yield self.env.timeout(net.latency_s)
 
+    def _await_server(self, server: IOServer):
+        """Process fragment: back off exponentially until ``server`` is up.
+
+        Zero-cost in healthy runs — callers guard with ``if not server.up``
+        so no extra events enter the schedule unless an outage is active.
+        """
+        cfg = self.config
+        delay = cfg.retry_initial_s
+        while not server.up:
+            self.fault_stats["retries"] += 1.0
+            self.fault_stats["retry_wait_s"] += delay
+            yield self.env.timeout(delay)
+            delay = min(delay * cfg.retry_backoff, cfg.retry_cap_s)
+
     def _sync_one(self, client: int, server: IOServer):
         net = self.config.network
+        if not server.up:
+            yield from self._await_server(server)
         yield from self._client_tx(client, self.config.request_header_B)
         yield self.env.timeout(net.latency_s)
         yield from server.service_sync()

@@ -26,6 +26,7 @@ class ServerStats:
     bytes_read: int = 0
     syncs: int = 0
     busy_s: float = 0.0
+    outages: int = 0
 
 
 class IOServer:
@@ -39,12 +40,28 @@ class IOServer:
         self.disk_res = Resource(env, capacity=1)
         self.head_position = 0
         self.stats = ServerStats()
+        #: Reachability flag — clients poll it and back off while False.
+        #: Requests already past ``net_in`` when the server fails still
+        #: complete (the daemon finishes in-flight work before dying in
+        #: this model; a stricter model would replay them).
+        self.up = True
 
     def __repr__(self) -> str:
+        state = "" if self.up else " DOWN"
         return (
-            f"<IOServer {self.server_id} queue={len(self.disk_res.queue)} "
+            f"<IOServer {self.server_id}{state} queue={len(self.disk_res.queue)} "
             f"head={self.head_position}>"
         )
+
+    def fail(self) -> None:
+        """Mark the server unreachable (an outage window begins)."""
+        self.up = False
+        self.stats.outages += 1
+
+    def restore(self) -> None:
+        """Bring the server back; the disk head rehomes after the restart."""
+        self.up = True
+        self.head_position = 0
 
     def service_write(self, regions: List[Tuple[int, int]], is_read: bool = False):
         """Process fragment: acquire the disk and service ``regions``.

@@ -34,6 +34,12 @@ class Interrupt(Exception):
     def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
 
+    def __repr__(self) -> str:
+        return f"Interrupt({self.cause!r})"
+
+    def __str__(self) -> str:
+        return repr(self)
+
     @property
     def cause(self) -> Any:
         return self.args[0]

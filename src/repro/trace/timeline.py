@@ -22,6 +22,11 @@ DEFAULT_GLYPHS: Dict[str, str] = {
     "io": "W",
     "sync": "=",
     "other": ".",
+    # Fault-injection states ("crashed" on worker rows; server windows on
+    # synthetic negative ranks, one per I/O server).
+    "crashed": "X",
+    "server_degraded": "!",
+    "server_outage": "#",
 }
 
 

@@ -167,3 +167,105 @@ class TestOffsetTrafficPolicy:
         finally:
             Master._send_offsets = original
         assert all(n == 3 for n in sent)  # every worker, every group
+
+
+def _bare_world(cfg):
+    """A real env/communicator but no running ranks — handler-level tests."""
+    from repro.mpi import Communicator
+    from repro.mpi.network import Network, NetworkConfig
+    from repro.sim import Environment
+
+    env = Environment()
+    network = Network(env, cfg.nprocs, NetworkConfig())
+    return env, Communicator(env, network)
+
+
+def _drive(env, frag):
+    """Run one process fragment to completion inside the bare world."""
+    out = {}
+
+    def runner(env):
+        yield from frag
+        out["done"] = True
+
+    env.process(runner(env))
+    env.run()
+    assert out.get("done"), "handler fragment did not finish"
+
+
+def _score_message(query_id, fragment_id, worker, count=4):
+    import numpy as np
+
+    from repro.core.protocol import ScoreMessage
+
+    return ScoreMessage(
+        query_id=query_id,
+        fragment_id=fragment_id,
+        worker=worker,
+        scores=np.arange(count, dtype=np.float64),
+        sizes=np.full(count, 128, dtype=np.int64),
+    )
+
+
+class TestProtocolEdgeCases:
+    """Handler-level tests of the master/worker message protocol."""
+
+    def _master(self, cfg):
+        from repro.core.master import Master
+
+        env, comm = _bare_world(cfg)
+        return env, Master(comm.view(0), cfg, fh=None)
+
+    def test_request_after_exhaustion_releases_idempotently(self):
+        env, master = self._master(small())
+        master.next_task = len(master.tasks)
+        _drive(env, master._handle_request(1))
+        assert master.done_set == {1}
+        # The same worker asking again is released again, not double-counted.
+        _drive(env, master._handle_request(1))
+        assert master.done_set == {1}
+        assert master.done_workers == 1
+
+    def test_duplicate_score_message_dropped(self):
+        env, master = self._master(small())
+        _drive(env, master._handle_scores(_score_message(0, 0, worker=1)))
+        assert len(master.received[0]) == 1
+        first = master.received[0][0]
+        _drive(env, master._handle_scores(_score_message(0, 0, worker=2)))
+        assert master.received[0][0] is first
+        assert master.fault_counters["duplicate_scores_dropped"] == 1
+
+    def test_duplicate_from_owner_keeps_its_batch(self):
+        """Regression: a worker that computes the same task twice (requeue
+        raced its reborn mailbox) must NOT be told to discard — its single
+        stored copy is the one the group dispatch will write."""
+        from repro.faults import FaultToleranceConfig
+
+        cfg = small(fault_tolerance=FaultToleranceConfig())
+        env, master = self._master(cfg)
+        _drive(env, master._handle_scores(_score_message(0, 0, worker=1)))
+        assert master.task_owner[(0, 0)] == 1
+        sends_before = len(master.pending_sends)
+        _drive(env, master._handle_scores(_score_message(0, 0, worker=1)))
+        assert "discards_issued" not in master.fault_counters
+        assert len(master.pending_sends) == sends_before
+        # A duplicate from a *different* worker is stranded: discard it.
+        _drive(env, master._handle_scores(_score_message(0, 0, worker=2)))
+        assert master.fault_counters["discards_issued"] == 1
+        assert len(master.pending_sends) == sends_before + 1
+
+    def test_out_of_order_written_notice_keeps_sync_monotonic(self):
+        from repro.core.protocol import WrittenNotice
+        from repro.core.worker import Worker
+
+        cfg = small("mw", query_sync=True)
+        env, comm = _bare_world(cfg)
+        wcomm = comm.sub([1])
+        worker = Worker(
+            comm.view(1), wcomm.view(0), cfg, workload=None, fh=None
+        )
+        _drive(env, worker._handle_notice(WrittenNotice(group=2)))
+        assert worker.groups_synced == 3
+        # A notice for an earlier group arriving late never rewinds.
+        _drive(env, worker._handle_notice(WrittenNotice(group=0)))
+        assert worker.groups_synced == 3

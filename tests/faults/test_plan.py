@@ -1,0 +1,135 @@
+"""Unit tests for the declarative fault plan (validation + JSON I/O)."""
+
+import io
+import math
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultToleranceConfig,
+    MessageLoss,
+    ServerOutage,
+    ServerSlowdown,
+    WorkerCrash,
+    load_fault_plan,
+)
+
+
+class TestSpecValidation:
+    def test_crash_rank_zero_rejected(self):
+        with pytest.raises(ValueError, match="rank 0 is the master"):
+            WorkerCrash(rank=0, at_time=1.0)
+
+    def test_crash_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerCrash(rank=1, at_time=-1.0)
+
+    def test_crash_zero_downtime_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerCrash(rank=1, at_time=1.0, downtime_s=0.0)
+
+    def test_outage_negative_server_rejected(self):
+        with pytest.raises(ValueError):
+            ServerOutage(server_id=-1, start=0.0, duration=1.0)
+
+    def test_outage_zero_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ServerOutage(server_id=0, start=0.0, duration=0.0)
+
+    @pytest.mark.parametrize(
+        "factor", [0.0, -2.0, float("nan"), float("inf")]
+    )
+    def test_slowdown_bad_factor_rejected(self, factor):
+        with pytest.raises(ValueError, match="factor"):
+            ServerSlowdown(server_id=0, start=0.0, duration=1.0, factor=factor)
+
+    @pytest.mark.parametrize("prob", [-0.1, 1.0, 1.5])
+    def test_loss_bad_probability_rejected(self, prob):
+        with pytest.raises(ValueError, match="drop_prob"):
+            MessageLoss(drop_prob=prob)
+
+    def test_loss_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="end"):
+            MessageLoss(drop_prob=0.1, start=5.0, end=1.0)
+
+    def test_loss_backoff_below_one_rejected(self):
+        with pytest.raises(ValueError, match="backoff"):
+            MessageLoss(drop_prob=0.1, backoff=0.5)
+
+    def test_loss_zero_retries_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            MessageLoss(drop_prob=0.1, max_retries=0)
+
+
+class TestToleranceConfig:
+    def test_defaults_valid(self):
+        ftc = FaultToleranceConfig()
+        assert ftc.detection_timeout_s > ftc.heartbeat_interval_s
+
+    def test_timeout_must_exceed_heartbeat(self):
+        with pytest.raises(ValueError, match="detection_timeout_s"):
+            FaultToleranceConfig(
+                heartbeat_interval_s=1.0, detection_timeout_s=0.5
+            )
+
+    def test_nonpositive_interval_rejected(self):
+        with pytest.raises(ValueError):
+            FaultToleranceConfig(heartbeat_interval_s=0.0)
+
+
+class TestPlanProperties:
+    def test_none_is_empty(self):
+        plan = FaultPlan.none()
+        assert plan.empty
+        assert not plan.needs_tolerance
+
+    def test_standard_has_crash_and_slowdown(self):
+        plan = FaultPlan.standard()
+        assert not plan.empty
+        assert plan.needs_tolerance
+        assert len(plan.worker_crashes) == 1
+        assert len(plan.server_slowdowns) == 1
+
+    def test_server_faults_alone_need_no_tolerance(self):
+        plan = FaultPlan(
+            server_outages=(ServerOutage(server_id=0, start=1.0, duration=2.0),)
+        )
+        assert not plan.empty
+        assert not plan.needs_tolerance
+
+
+class TestJson:
+    def test_round_trip_standard(self):
+        plan = FaultPlan.standard(crash_rank=3, crash_time=4.5)
+        buf = io.StringIO()
+        plan.to_json(buf)
+        buf.seek(0)
+        assert FaultPlan.from_json(buf) == plan
+
+    def test_round_trip_infinite_loss_window(self):
+        plan = FaultPlan(message_loss=(MessageLoss(drop_prob=0.25),))
+        buf = io.StringIO()
+        plan.to_json(buf)
+        text = buf.getvalue()
+        # Strict JSON: no Infinity literal on the wire.
+        assert "Infinity" not in text
+        restored = FaultPlan.from_json(io.StringIO(text))
+        assert restored == plan
+        assert math.isinf(restored.message_loss[0].end)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan keys"):
+            FaultPlan.from_dict({"master_crashes": []})
+
+    def test_invalid_spec_inside_json_rejected(self):
+        doc = '{"worker_crashes": [{"rank": 0, "at_time": 1.0}]}'
+        with pytest.raises(ValueError, match="rank 0 is the master"):
+            FaultPlan.from_json(io.StringIO(doc))
+
+    def test_load_from_file(self, tmp_path):
+        plan = FaultPlan.standard()
+        path = tmp_path / "plan.json"
+        with open(path, "w") as fh:
+            plan.to_json(fh)
+        assert load_fault_plan(str(path)) == plan

@@ -200,3 +200,40 @@ class TestInterrupts:
         env.run()
         assert ("a-interrupted", 1.0) in results
         assert ("shared", 10.0) in results
+
+
+class TestInterruptErgonomics:
+    def test_cause_rides_on_args(self):
+        exc = Interrupt("why")
+        assert exc.cause == "why"
+        assert Interrupt().cause is None
+
+    def test_repr_shows_the_cause(self):
+        exc = Interrupt({"rank": 3})
+        assert repr(exc) == "Interrupt({'rank': 3})"
+        assert str(exc) == repr(exc)
+
+    def test_cause_object_survives_the_throw(self):
+        env = Environment()
+        seen = []
+
+        class Fault:
+            pass
+
+        fault = Fault()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as exc:
+                seen.append(exc.cause)
+
+        victim = env.process(sleeper(env))
+
+        def killer(env):
+            yield env.timeout(1)
+            victim.interrupt(fault)
+
+        env.process(killer(env))
+        env.run()
+        assert seen == [fault]

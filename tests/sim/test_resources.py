@@ -415,3 +415,79 @@ class TestContainerOrdering:
         env.process(producer(env))
         env.run(until=5)
         assert served == ["big", "small"]
+
+
+class TestInterruptSafety:
+    """Interrupting a process must never leak resource slots or queue spots."""
+
+    def test_interrupted_waiter_leaves_the_queue(self, env):
+        from repro.sim import Interrupt
+
+        res = Resource(env, capacity=1)
+        acquired = []
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def impatient(env):
+            try:
+                with res.request() as req:
+                    yield req
+                    acquired.append("impatient")
+            except Interrupt:
+                pass
+
+        def late(env):
+            yield env.timeout(2)
+            with res.request() as req:
+                yield req
+                acquired.append(("late", env.now))
+
+        env.process(holder(env))
+        victim = env.process(impatient(env))
+        env.process(late(env))
+
+        def killer(env):
+            yield env.timeout(1)
+            victim.interrupt("changed my mind")
+
+        env.process(killer(env))
+        env.run()
+        # The interrupted waiter's ghost request must not block the line:
+        # "late" gets the slot the moment the holder releases.
+        assert acquired == [("late", 10)]
+        assert res.in_use == 0
+        assert len(res.queue) == 0
+
+    def test_interrupted_holder_releases_on_exit(self, env):
+        from repro.sim import Interrupt
+
+        res = Resource(env, capacity=1)
+        times = []
+
+        def holder(env):
+            try:
+                with res.request() as req:
+                    yield req
+                    yield env.timeout(100)
+            except Interrupt as exc:
+                times.append(("interrupted", env.now, exc.cause))
+
+        def waiter(env):
+            with res.request() as req:
+                yield req
+                times.append(("acquired", env.now))
+
+        victim = env.process(holder(env))
+        env.process(waiter(env))
+
+        def killer(env):
+            yield env.timeout(3)
+            victim.interrupt("preempted")
+
+        env.process(killer(env))
+        env.run()
+        assert times == [("interrupted", 3, "preempted"), ("acquired", 3)]
+        assert res.in_use == 0
