@@ -13,6 +13,13 @@ Scale control
                                  axes.  The shapes (orderings, knees,
                                  ratios) are preserved; see EXPERIMENTS.md.
 
+Parallel fan-out
+----------------
+``--jobs N`` (or ``S3ASIM_BENCH_JOBS=N``) fans the sweep points of the
+session-cached figure sweeps out over N worker processes via the
+``repro.exec`` engine.  Results are bit-identical to serial execution;
+only the wall clock changes.
+
 Each bench writes its regenerated series to ``benchmarks/output/*.txt`` so
 the data survives pytest's output capture.
 """
@@ -26,8 +33,24 @@ import pytest
 
 from repro.analysis import compute_speed_sweep, process_scaling_sweep
 from repro.core import SimulationConfig
+from repro.exec import ProgressReporter
 
 FULL = os.environ.get("S3ASIM_BENCH_SCALE", "reduced") == "full"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=int(os.environ.get("S3ASIM_BENCH_JOBS", "1")),
+        help="worker processes for the figure sweeps (default: "
+        "S3ASIM_BENCH_JOBS or 1)",
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_jobs(request):
+    return request.config.getoption("--jobs")
 
 # Full-scale and reduced-scale snapshots live side by side so a reduced
 # re-run never clobbers paper-scale figure data.
@@ -52,12 +75,23 @@ def write_output(name: str, text: str) -> None:
 
 
 @pytest.fixture(scope="session")
-def process_sweep():
+def process_sweep(sweep_jobs):
     """The Figure 2/3/4 experiment: all strategies over process counts."""
-    return process_scaling_sweep(BASE, process_counts=PROCESS_COUNTS)
+    return process_scaling_sweep(
+        BASE,
+        process_counts=PROCESS_COUNTS,
+        jobs=sweep_jobs,
+        reporter=ProgressReporter(total=len(PROCESS_COUNTS) * 8, label="fig2-4"),
+    )
 
 
 @pytest.fixture(scope="session")
-def speed_sweep():
+def speed_sweep(sweep_jobs):
     """The Figure 5/6/7 experiment: all strategies over compute speeds."""
-    return compute_speed_sweep(BASE, speeds=SPEEDS, nprocs=SPEED_NPROCS)
+    return compute_speed_sweep(
+        BASE,
+        speeds=SPEEDS,
+        nprocs=SPEED_NPROCS,
+        jobs=sweep_jobs,
+        reporter=ProgressReporter(total=len(SPEEDS) * 8, label="fig5-7"),
+    )

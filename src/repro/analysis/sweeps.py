@@ -11,9 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..core.app import run_simulation
 from ..core.config import SimulationConfig
 from ..core.report import RunResult
+from ..exec.engine import (
+    PointOutcome,
+    PointSpec,
+    SweepExecutionError,
+    run_points,
+)
 
 #: The paper's process-count axis (Section 3.3: "One suite of tests used 2
 #: to 96 processors", figures show 2,4,8,16,32,48,64,96).
@@ -47,11 +52,18 @@ class SweepResult:
         self.points.append(point)
 
     def series(self, strategy: str, query_sync: bool) -> List[Tuple[float, RunResult]]:
-        """The (x, result) series of one strategy/sync combination."""
+        """The (x, result) series of one strategy/sync combination.
+
+        Sorted by x only (stable): two points may share an x (replicated
+        runs, fault sweeps), and ``RunResult`` objects are not orderable.
+        """
         return sorted(
-            (p.x, p.result)
-            for p in self.points
-            if p.strategy == strategy and p.query_sync == query_sync
+            (
+                (p.x, p.result)
+                for p in self.points
+                if p.strategy == strategy and p.query_sync == query_sync
+            ),
+            key=lambda pair: pair[0],
         )
 
     def lookup(self, strategy: str, query_sync: bool, x: float) -> RunResult:
@@ -73,6 +85,56 @@ class SweepResult:
 
 ProgressHook = Optional[Callable[[SweepPoint], None]]
 
+#: Engine-level hook: sees every completed point, including failures
+#: (e.g. :class:`repro.exec.ProgressReporter` for ETA lines).
+OutcomeHook = Optional[Callable[[PointOutcome], None]]
+
+
+def _execute_sweep(
+    axis_name: str,
+    specs: Sequence[PointSpec],
+    jobs: int,
+    progress: ProgressHook,
+    reporter: OutcomeHook,
+) -> SweepResult:
+    """Run the point specs through the engine and collect a SweepResult.
+
+    Points land in the SweepResult in spec (submission) order whatever the
+    parallel completion order was; ``progress`` fires per successful point
+    in *completion* order.  If any point failed, the survivors still run to
+    completion and a :class:`SweepExecutionError` aggregating the failures
+    is raised at the end.
+    """
+
+    def on_complete(outcome: PointOutcome) -> None:
+        if outcome.ok and progress is not None:
+            strategy, query_sync, x = outcome.key
+            progress(
+                SweepPoint(
+                    strategy=strategy,
+                    query_sync=query_sync,
+                    x=x,
+                    result=outcome.result,
+                )
+            )
+        if reporter is not None:
+            reporter(outcome)
+
+    outcomes = run_points(specs, jobs=jobs, progress=on_complete)
+    failures = [o.failure for o in outcomes if o.failure is not None]
+    if failures:
+        raise SweepExecutionError(failures)
+
+    sweep = SweepResult(axis_name=axis_name)
+    for outcome in outcomes:
+        strategy, query_sync, x = outcome.key
+        sweep.add(
+            SweepPoint(
+                strategy=strategy, query_sync=query_sync, x=x, result=outcome.result
+            )
+        )
+    return sweep
+
 
 def process_scaling_sweep(
     base: SimulationConfig,
@@ -80,25 +142,28 @@ def process_scaling_sweep(
     strategies: Sequence[str] = ALL_STRATEGIES,
     sync_options: Sequence[bool] = (False, True),
     progress: ProgressHook = None,
+    jobs: int = 1,
+    reporter: OutcomeHook = None,
 ) -> SweepResult:
-    """Figure 2's experiment: overall time vs process count."""
-    sweep = SweepResult(axis_name="processes")
-    for nprocs in process_counts:
-        for query_sync in sync_options:
-            for strategy in strategies:
-                cfg = base.with_(
-                    nprocs=nprocs, strategy=strategy, query_sync=query_sync
-                )
-                point = SweepPoint(
-                    strategy=strategy,
-                    query_sync=query_sync,
-                    x=float(nprocs),
-                    result=run_simulation(cfg),
-                )
-                sweep.add(point)
-                if progress:
-                    progress(point)
-    return sweep
+    """Figure 2's experiment: overall time vs process count.
+
+    ``jobs > 1`` fans the points out across a process pool; every point
+    carries the same workload seed (strategies must compare on identical
+    inputs) and rebuilds its random streams from its own config, so the
+    result is bit-identical to ``jobs=1``.
+    """
+    specs = [
+        PointSpec(
+            key=(strategy, query_sync, float(nprocs)),
+            config=base.with_(
+                nprocs=nprocs, strategy=strategy, query_sync=query_sync
+            ),
+        )
+        for nprocs in process_counts
+        for query_sync in sync_options
+        for strategy in strategies
+    ]
+    return _execute_sweep("processes", specs, jobs, progress, reporter)
 
 
 def compute_speed_sweep(
@@ -108,26 +173,22 @@ def compute_speed_sweep(
     sync_options: Sequence[bool] = (False, True),
     nprocs: int = 64,
     progress: ProgressHook = None,
+    jobs: int = 1,
+    reporter: OutcomeHook = None,
 ) -> SweepResult:
     """Figure 5's experiment: overall time vs compute speed at 64 procs."""
-    sweep = SweepResult(axis_name="compute_speed")
-    for speed in speeds:
-        compute = replace(base.compute, speed=speed)
-        for query_sync in sync_options:
-            for strategy in strategies:
-                cfg = base.with_(
-                    nprocs=nprocs,
-                    strategy=strategy,
-                    query_sync=query_sync,
-                    compute=compute,
-                )
-                point = SweepPoint(
-                    strategy=strategy,
-                    query_sync=query_sync,
-                    x=float(speed),
-                    result=run_simulation(cfg),
-                )
-                sweep.add(point)
-                if progress:
-                    progress(point)
-    return sweep
+    specs = [
+        PointSpec(
+            key=(strategy, query_sync, float(speed)),
+            config=base.with_(
+                nprocs=nprocs,
+                strategy=strategy,
+                query_sync=query_sync,
+                compute=replace(base.compute, speed=speed),
+            ),
+        )
+        for speed in speeds
+        for query_sync in sync_options
+        for strategy in strategies
+    ]
+    return _execute_sweep("compute_speed", specs, jobs, progress, reporter)

@@ -40,6 +40,7 @@ from .core.scenarios import SCENARIOS, get_scenario
 from .faults import FaultPlan, load_fault_plan
 from .core.phases import Phase
 from .core.strategies import STRATEGIES
+from .exec import PointSpec, ProgressReporter, run_points
 from .trace import TraceRecorder, export_json, render_timeline
 from .workload import ComputeModel, load_workload_kwargs, save_workload
 
@@ -76,6 +77,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--fault-plan",
         help="inject faults from a FaultPlan JSON file (see repro.faults)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan independent simulation points out over N worker processes "
+        "(sweep / fault-sweep; results are bit-identical to --jobs 1)",
     )
 
 
@@ -160,14 +169,34 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     )
     if getattr(args, "fault_plan", None):
         plan = load_fault_plan(args.fault_plan)
+    # Every (strategy, clean/faulted) pair is an independent run — fan them
+    # out through the sweep engine (``--jobs``), then print in order.
+    specs = [
+        PointSpec(
+            key=(strategy, variant),
+            config=cfg.with_(
+                strategy=strategy,
+                fault_plan=FaultPlan.none() if variant == "clean" else plan,
+            ),
+        )
+        for strategy in sorted(STRATEGIES)
+        for variant in ("clean", "faulted")
+    ]
+    outcomes = {o.key: o for o in run_points(specs, jobs=args.jobs)}
     print(
         f"{'strategy':10s} {'clean s':>10s} {'faulted s':>10s} {'inflation':>10s} "
         f"{'reassigned':>10s} {'repairs':>8s} {'complete':>8s}"
     )
     status = 0
     for strategy in sorted(STRATEGIES):
-        clean = S3aSim(cfg.with_(strategy=strategy, fault_plan=FaultPlan.none())).run()
-        faulted = S3aSim(cfg.with_(strategy=strategy, fault_plan=plan)).run()
+        clean_o, faulted_o = outcomes[(strategy, "clean")], outcomes[(strategy, "faulted")]
+        if not clean_o.ok or not faulted_o.ok:
+            failure = clean_o.failure or faulted_o.failure
+            print(f"{strategy:10s} FAILED: {failure.error}", file=sys.stderr)
+            print(failure.traceback, file=sys.stderr)
+            status |= 1
+            continue
+        clean, faulted = clean_o.result, faulted_o.result
         inflation = 100.0 * (faulted.elapsed / clean.elapsed - 1.0)
         complete = faulted.file_stats.complete
         status |= 0 if complete else 1
@@ -182,6 +211,13 @@ def _cmd_fault_sweep(args: argparse.Namespace) -> int:
     return status
 
 
+def _sweep_reporter(args: argparse.Namespace, total: int) -> Optional[ProgressReporter]:
+    """Progress/ETA lines on stderr for parallel or verbose sweeps."""
+    if args.jobs > 1 or args.verbose:
+        return ProgressReporter(total=total, label=f"sweep/{args.axis}")
+    return None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     cfg = _config_from(args)
     progress = (
@@ -189,14 +225,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.verbose
         else None
     )
+    # 4 strategies × 2 sync modes per axis value.
+    npoints_per_x = 8
     if args.axis == "processes":
         counts = [int(x) for x in args.counts.split(",")]
-        sweep = process_scaling_sweep(cfg, process_counts=counts, progress=progress)
+        reporter = _sweep_reporter(args, len(counts) * npoints_per_x)
+        sweep = process_scaling_sweep(
+            cfg,
+            process_counts=counts,
+            progress=progress,
+            jobs=args.jobs,
+            reporter=reporter,
+        )
         headline_x: Optional[float] = float(max(counts))
     else:
         speeds = [float(x) for x in args.speeds.split(",")]
+        reporter = _sweep_reporter(args, len(speeds) * npoints_per_x)
         sweep = compute_speed_sweep(
-            cfg, speeds=speeds, nprocs=args.nprocs, progress=progress
+            cfg,
+            speeds=speeds,
+            nprocs=args.nprocs,
+            progress=progress,
+            jobs=args.jobs,
+            reporter=reporter,
         )
         headline_x = float(max(speeds))
     for query_sync in (False, True):

@@ -1,0 +1,23 @@
+"""Parallel sweep execution engine (deterministic fan-out of runs)."""
+
+from .engine import (
+    PointFailure,
+    PointKey,
+    PointOutcome,
+    PointSpec,
+    ProgressReporter,
+    SweepExecutionError,
+    derive_point_seed,
+    run_points,
+)
+
+__all__ = [
+    "PointFailure",
+    "PointKey",
+    "PointOutcome",
+    "PointSpec",
+    "ProgressReporter",
+    "SweepExecutionError",
+    "derive_point_seed",
+    "run_points",
+]

@@ -1,0 +1,243 @@
+"""Parallel sweep execution: deterministic fan-out of independent runs.
+
+Every paper figure is a sweep — dozens of :class:`SimulationConfig` points
+that share nothing at runtime.  This module fans those points out across a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping three
+guarantees the serial loop gave for free:
+
+* **Determinism** — each point rebuilds its :class:`~repro.sim.rng.
+  RandomStreams` from the seed carried in its own config, so results are
+  bit-identical whether points run serially, in parallel, or in any
+  completion order.  :func:`derive_point_seed` additionally offers a
+  stable per-point seed (sweep seed + point key) for sweeps that *want*
+  independent randomness per point (replication); figure sweeps keep one
+  shared seed so every strategy searches the identical workload.
+* **Ordering** — outcomes come back in submission order regardless of
+  which worker finished first, so tables and exports are reproducible.
+* **Failure isolation** — a crashed point becomes a :class:`PointFailure`
+  carrying its config summary and traceback instead of killing the sweep;
+  the surviving points still complete and report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sys
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TextIO, Tuple
+
+from ..core.app import run_simulation
+from ..core.config import SimulationConfig
+from ..core.report import RunResult
+
+#: Hashable identifier of one sweep point, e.g. ``("mw", False, 8.0)``.
+PointKey = Tuple[Any, ...]
+
+
+def derive_point_seed(sweep_seed: int, key: Sequence[Any]) -> int:
+    """A stable 63-bit seed derived from the sweep seed and a point key.
+
+    The derivation is pure (BLAKE2 of the repr) — independent of process,
+    platform, and execution order — so a re-run of any single point
+    reproduces it exactly without running the rest of the sweep.
+    """
+    digest = hashlib.blake2b(
+        repr((int(sweep_seed), tuple(key))).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "little") >> 1
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One unit of sweep work: a key naming the point and its full config."""
+
+    key: PointKey
+    config: SimulationConfig
+
+    def reseeded(self, sweep_seed: Optional[int] = None) -> "PointSpec":
+        """A copy whose config seed is derived from (sweep seed, key)."""
+        base = self.config.seed if sweep_seed is None else sweep_seed
+        return PointSpec(
+            key=self.key,
+            config=self.config.with_(seed=derive_point_seed(base, self.key)),
+        )
+
+
+@dataclass(frozen=True)
+class PointFailure:
+    """A sweep point that raised instead of producing a RunResult."""
+
+    key: PointKey
+    config: dict  # compact parameter summary of the failed point
+    error: str  # "ExceptionType: message"
+    traceback: str  # full formatted traceback from the worker
+
+    def __str__(self) -> str:
+        return f"point {self.key!r} ({self.config}): {self.error}"
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """What one sweep point produced: a result or a structured failure."""
+
+    key: PointKey
+    result: Optional[RunResult] = None
+    failure: Optional[PointFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class SweepExecutionError(RuntimeError):
+    """Raised after a sweep completes when one or more points failed.
+
+    Every surviving point still ran; ``failures`` carries the structured
+    reports (config + traceback) of the ones that did not.
+    """
+
+    def __init__(self, failures: Sequence[PointFailure]) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} sweep point(s) failed:"]
+        lines.extend(f"  - {f}" for f in self.failures)
+        lines.append("")
+        lines.append("First failure traceback:")
+        lines.append(self.failures[0].traceback.rstrip())
+        super().__init__("\n".join(lines))
+
+
+def _config_summary(config: SimulationConfig) -> dict:
+    """The parameters someone needs to reproduce a failed point by hand."""
+    return {
+        "strategy": config.strategy,
+        "query_sync": config.query_sync,
+        "nprocs": config.nprocs,
+        "nqueries": config.nqueries,
+        "nfragments": config.nfragments,
+        "seed": config.seed,
+        "compute_speed": config.compute.speed,
+        "write_every": config.write_every,
+    }
+
+
+def _run_point(spec: PointSpec) -> PointOutcome:
+    """Execute one point; exceptions become structured failures.
+
+    Top-level so it pickles for the process pool; ``jobs=1`` runs the very
+    same function inline, keeping the two paths behaviorally identical.
+    """
+    try:
+        result = run_simulation(spec.config)
+    except Exception as exc:
+        return PointOutcome(
+            key=spec.key,
+            failure=PointFailure(
+                key=spec.key,
+                config=_config_summary(spec.config),
+                error=f"{type(exc).__name__}: {exc}",
+                traceback=traceback.format_exc(),
+            ),
+        )
+    return PointOutcome(key=spec.key, result=result)
+
+
+def run_points(
+    specs: Iterable[PointSpec],
+    jobs: int = 1,
+    progress: Optional[Callable[[PointOutcome], None]] = None,
+) -> List[PointOutcome]:
+    """Execute every spec and return outcomes in submission order.
+
+    ``jobs <= 1`` runs inline (no pool, no pickling); ``jobs > 1`` fans out
+    across a process pool.  ``progress`` is called once per point as it
+    completes — in completion order, which under parallel execution need
+    not match submission order.
+    """
+    specs = list(specs)
+    if jobs <= 1 or len(specs) <= 1:
+        outcomes = []
+        for spec in specs:
+            outcome = _run_point(spec)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+        return outcomes
+
+    slots: List[Optional[PointOutcome]] = [None] * len(specs)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(specs))) as pool:
+        futures = {pool.submit(_run_point, spec): i for i, spec in enumerate(specs)}
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                outcome = future.result()
+            except BaseException as exc:
+                # Pool-level failure (worker killed, unpicklable result,
+                # broken pool): report it as this point's failure rather
+                # than aborting the sweep.
+                outcome = PointOutcome(
+                    key=specs[index].key,
+                    failure=PointFailure(
+                        key=specs[index].key,
+                        config=_config_summary(specs[index].config),
+                        error=f"{type(exc).__name__}: {exc}",
+                        traceback=traceback.format_exc(),
+                    ),
+                )
+            slots[index] = outcome
+            if progress is not None:
+                progress(outcome)
+    return [outcome for outcome in slots if outcome is not None]
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds != seconds or seconds == float("inf"):
+        return "?"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds + 0.5), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+@dataclass
+class ProgressReporter:
+    """Prints completion/ETA lines as sweep points finish.
+
+    Usable directly as the ``progress`` callback of :func:`run_points`.
+    ETA is the simple remaining/rate estimate — good enough for sweeps
+    whose points have comparable cost, which figure sweeps roughly do.
+    """
+
+    total: int
+    label: str = "sweep"
+    stream: Optional[TextIO] = None
+    min_interval_s: float = 0.0
+    done: int = 0
+    failed: int = 0
+    _t0: float = field(default_factory=time.monotonic)
+    _last_print: float = 0.0
+
+    def __call__(self, outcome: PointOutcome) -> None:
+        self.done += 1
+        if not outcome.ok:
+            self.failed += 1
+        now = time.monotonic()
+        finished = self.done >= self.total
+        if not finished and now - self._last_print < self.min_interval_s:
+            return
+        self._last_print = now
+        elapsed = now - self._t0
+        rate = self.done / elapsed if elapsed > 0 else 0.0
+        eta = (self.total - self.done) / rate if rate > 0 else float("inf")
+        failed = f", {self.failed} failed" if self.failed else ""
+        line = (
+            f"[{self.label}] {self.done}/{self.total} points{failed}  "
+            f"elapsed {_format_seconds(elapsed)}  "
+            f"eta {'done' if finished else _format_seconds(eta)}"
+        )
+        print(line, file=self.stream if self.stream is not None else sys.stderr, flush=True)

@@ -24,6 +24,9 @@ from ..pvfs.filesystem import FileSystem, PVFSFile
 
 Region = Tuple[int, int]
 
+# One staged piece: (clipped offset, clipped end, input position, payload).
+_Piece = Tuple[int, int, int, Optional[bytes]]
+
 
 def posix_write(
     fs: FileSystem,
@@ -66,48 +69,89 @@ def datasieve_write(
     """
     if not regions:
         return
-    ordered = sorted(regions)
-    datamap = dict()
-    if datas is not None:
-        datamap = {region: datas[i] for i, region in enumerate(regions)}
+    # Pair each region with its payload *by position* before sorting:
+    # duplicate (offset, length) regions are legal and may carry different
+    # data, so a region-keyed dict would replay the wrong payload.  The
+    # input position doubles as the sieve buffer's merge order — like
+    # ROMIO's staging buffer, a later region overwrites an earlier one
+    # where they overlap.
+    ordered = sorted(
+        (
+            (offset, length, i, datas[i] if datas is not None else None)
+            for i, (offset, length) in enumerate(regions)
+        ),
+        key=lambda piece: (piece[0], piece[1], piece[2]),
+    )
 
     lo = ordered[0][0]
-    hi = max(offset + length for offset, length in ordered)
+    hi = max(offset + length for offset, length, _, _ in ordered)
     window_start = lo
     while window_start < hi:
         window_end = min(window_start + buffer_size, hi)
-        inside = [
-            (offset, length)
-            for offset, length in ordered
-            if offset < window_end and offset + length > window_start
-        ]
-        if inside:
-            run_lo = max(min(o for o, _ in inside), window_start)
-            run_hi = min(max(o + l for o, l in inside), window_end)
+        pieces: List[_Piece] = []
+        for offset, length, idx, data in ordered:
+            c_lo = max(offset, window_start)
+            c_hi = min(offset + length, window_end)
+            if c_lo >= c_hi:
+                continue
+            if data is not None:
+                data = data[c_lo - offset : c_hi - offset]
+            pieces.append((c_lo, c_hi, idx, data))
+        if pieces:
+            runs = _merge_into_runs(pieces)
+            run_lo = runs[0][0]
+            run_hi = runs[-1][1]
             # Read-modify-write of the covering run.  The read is skipped on
             # a write-once store when the run has no previously written
             # bytes; we model the worst case (ROMIO always reads unless the
-            # regions tile the window exactly).
-            covered = sum(
-                min(o + l, run_hi) - max(o, window_start)
-                for o, l in inside
-                if max(o, window_start) < min(o + l, run_hi)
-            )
+            # regions tile the window exactly).  ``covered`` sums the
+            # *merged* runs — summing raw region lengths double-counts
+            # overlaps and wrongly skips the pre-read.
+            covered = sum(r_hi - r_lo for r_lo, r_hi, _ in runs)
             if covered < run_hi - run_lo:
                 yield from fs.read(client, file, run_lo, run_hi - run_lo)
-            # The merged buffer goes back as one contiguous write; without
-            # stored data we only account for timing and extents, so issue
-            # the regions as separately recorded writes grouped in one wire
-            # request (no read-back content to merge).
-            chunk_regions: List[Region] = []
-            chunk_datas: List[Optional[bytes]] = []
-            for offset, length in inside:
-                clipped_lo = max(offset, window_start)
-                clipped_hi = min(offset + length, window_end)
-                chunk_regions.append((clipped_lo, clipped_hi - clipped_lo))
-                data = datamap.get((offset, length))
-                if data is not None:
-                    data = data[clipped_lo - offset : clipped_hi - offset]
-                chunk_datas.append(data)
+            # Write back the merged staging buffer: one region per disjoint
+            # run (overlapping pieces were already merged in input order),
+            # so the write-once store sees each byte exactly once.
+            chunk_regions: List[Region] = [(r_lo, r_hi - r_lo) for r_lo, r_hi, _ in runs]
+            chunk_datas: Optional[List[Optional[bytes]]] = None
+            if datas is not None:
+                chunk_datas = [
+                    bytes(content) if content is not None else None
+                    for _, _, content in runs
+                ]
             yield from fs.write_list(client, file, chunk_regions, chunk_datas)
         window_start = window_end
+
+
+def _merge_into_runs(
+    pieces: Sequence[_Piece],
+) -> List[Tuple[int, int, Optional[bytearray]]]:
+    """Merge offset-sorted clipped pieces into disjoint contiguous runs.
+
+    Strictly-overlapping pieces join one run; merely-adjacent pieces stay
+    separate so extent bookkeeping matches the individual methods.  Within
+    a run, payloads apply in input order (highest input index wins), the
+    way successive writes land in a data-sieving staging buffer.
+    """
+    runs: List[Tuple[int, int, List[_Piece]]] = []
+    for piece in pieces:
+        c_lo, c_hi = piece[0], piece[1]
+        if runs and c_lo < runs[-1][1]:
+            last_lo, last_hi, members = runs[-1]
+            runs[-1] = (last_lo, max(last_hi, c_hi), members)
+            members.append(piece)
+        else:
+            runs.append((c_lo, c_hi, [piece]))
+
+    out: List[Tuple[int, int, Optional[bytearray]]] = []
+    for r_lo, r_hi, members in runs:
+        content: Optional[bytearray] = None
+        if any(m[3] is not None for m in members):
+            content = bytearray(r_hi - r_lo)
+            for c_lo, c_hi, _, data in sorted(members, key=lambda m: m[2]):
+                content[c_lo - r_lo : c_hi - r_lo] = (
+                    data if data is not None else bytes(c_hi - c_lo)
+                )
+        out.append((r_lo, r_hi, content))
+    return out

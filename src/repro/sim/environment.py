@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Iterable, List, Optional, Tuple, Union
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout
 from .process import Process, ProcessGenerator
+
+_INF = float("inf")
 
 
 class Environment:
@@ -63,25 +65,39 @@ class Environment:
 
     # -- scheduling ------------------------------------------------------------
     def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
-        """Insert ``event`` into the queue ``delay`` seconds from now."""
-        if delay < 0:
-            raise SimulationError(f"Cannot schedule in the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        """Insert ``event`` into the queue ``delay`` seconds from now.
+
+        ``delay`` must be finite and non-negative: a NaN timestamp breaks
+        heapq's ordering invariant and silently corrupts the queue, and an
+        infinite one can never be reached.  Zero (the overwhelmingly common
+        case — every succeed/fail/trigger) takes the comparison-free path.
+        """
+        if delay:
+            # Truthy delay: NaN and negatives fail the left comparison,
+            # +inf fails the right one.
+            if not 0.0 < delay < _INF:
+                raise SimulationError(
+                    f"Cannot schedule with non-finite or negative delay {delay!r}"
+                )
+            heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        else:
+            heappush(self._queue, (self._now, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        return self._queue[0][0] if self._queue else _INF
 
     def step(self) -> None:
         """Process the next event: advance the clock, run callbacks."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule() from None
+        queue = self._queue
+        if not queue:
+            raise EmptySchedule()
+        self._now, _, _, event = heappop(queue)
 
-        callbacks, event.callbacks = event.callbacks, None
+        callbacks = event.callbacks
         if callbacks is None:  # pragma: no cover - defensive
             raise SimulationError(f"{event!r} processed twice")
+        event.callbacks = None
         for callback in callbacks:
             callback(event)
 
@@ -109,17 +125,19 @@ class Environment:
                 until.callbacks.append(_stop_simulation)
             else:
                 at = float(until)
-                if at < self._now:
+                # Inverted comparison so a NaN ``until`` is rejected too.
+                if not at >= self._now:
                     raise ValueError(f"until ({at}) must not be before now ({self._now})")
                 stopper = Event(self)
                 stopper._ok = True
                 stopper._value = None
                 stopper.callbacks = [_stop_simulation]
-                heapq.heappush(self._queue, (at, NORMAL, next(self._eid), stopper))
+                heappush(self._queue, (at, NORMAL, next(self._eid), stopper))
 
+        step = self.step
         try:
             while True:
-                self.step()
+                step()
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:

@@ -14,9 +14,12 @@ Events move through three states:
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, List, Optional
 
 from .errors import SimulationError
+
+_INF = float("inf")
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .environment import Environment
@@ -129,13 +132,21 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
-        if delay < 0:
-            raise ValueError(f"Negative delay {delay}")
-        super().__init__(env)
+        # One comparison rejects NaN (all comparisons false), negatives,
+        # and +inf — any of which would corrupt the heap or hang the run.
+        if not 0.0 <= delay < _INF:
+            raise ValueError(f"Timeout delay must be finite and >= 0, got {delay!r}")
+        # Timeouts are the kernel's hottest allocation (one per modeled
+        # latency), so Event.__init__ and Environment.schedule are inlined
+        # here: _ok/_value are written once instead of twice and the
+        # already-validated delay skips schedule()'s re-check.
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay=delay)
+        heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
 
     def _desc(self) -> str:
         return f"delay={self.delay}"

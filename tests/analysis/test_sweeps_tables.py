@@ -70,6 +70,18 @@ class TestProcessSweep:
         assert len(seen) == 1
         assert isinstance(seen[0], SweepPoint)
 
+    def test_series_with_replicated_x(self, tiny_sweep):
+        """Two points sharing an x (replicated runs, fault sweeps) must not
+        make sorted() fall through to comparing RunResult objects."""
+        replicated = SweepResult(axis_name=tiny_sweep.axis_name)
+        for p in tiny_sweep.points:
+            replicated.add(p)
+            replicated.add(SweepPoint(p.strategy, p.query_sync, p.x, p.result))
+        series = replicated.series("ww-list", False)  # must not raise
+        assert [x for x, _ in series] == [2.0, 2.0, 4.0, 4.0]
+        # Stable: insertion order preserved within equal x.
+        assert series[0][1] is series[1][1]
+
 
 class TestSpeedSweep:
     def test_speed_axis(self):

@@ -1,0 +1,164 @@
+"""The parallel sweep engine: determinism, ordering, failure capture."""
+
+import io
+import os
+
+import pytest
+
+from repro.analysis import process_scaling_sweep
+from repro.core import SimulationConfig
+from repro.exec import (
+    PointFailure,
+    PointOutcome,
+    PointSpec,
+    ProgressReporter,
+    SweepExecutionError,
+    derive_point_seed,
+    run_points,
+)
+
+TINY = SimulationConfig(nqueries=2, nfragments=4)
+
+
+def tiny_specs(n=4):
+    return [
+        PointSpec(key=("ww-list", False, float(nprocs)), config=TINY.with_(nprocs=nprocs))
+        for nprocs in (2, 3, 4, 5)[:n]
+    ]
+
+
+def broken_spec(key=("broken", False, 2.0)):
+    """A spec whose config passes validation but crashes at run time."""
+    cfg = TINY.with_(nprocs=2)
+    object.__setattr__(cfg, "strategy", "no-such-strategy")
+    return PointSpec(key=key, config=cfg)
+
+
+class TestSerialParallelDeterminism:
+    def test_jobs4_bit_identical_to_jobs1(self):
+        """The acceptance property: fan-out must not change a single bit."""
+        serial = run_points(tiny_specs(), jobs=1)
+        parallel = run_points(tiny_specs(), jobs=4)
+        assert [o.key for o in serial] == [o.key for o in parallel]
+        for s, p in zip(serial, parallel):
+            assert s.ok and p.ok
+            assert s.result == p.result  # full dataclass equality, all fields
+
+    def test_sweep_driver_identical_through_pool(self):
+        kwargs = dict(
+            process_counts=(2, 4),
+            strategies=("ww-list", "mw"),
+            sync_options=(False, True),
+        )
+        s1 = process_scaling_sweep(TINY, jobs=1, **kwargs)
+        s4 = process_scaling_sweep(TINY, jobs=4, **kwargs)
+        assert len(s1.points) == len(s4.points) == 8
+        for a, b in zip(s1.points, s4.points):
+            assert (a.strategy, a.query_sync, a.x) == (b.strategy, b.query_sync, b.x)
+            assert a.result == b.result
+
+    def test_outcomes_in_submission_order(self):
+        # Heavier first point: completion order differs, output order must not.
+        specs = [
+            PointSpec(key=("ww-list", False, 8.0), config=TINY.with_(nprocs=8)),
+        ] + tiny_specs(2)
+        outcomes = run_points(specs, jobs=3)
+        assert [o.key for o in outcomes] == [s.key for s in specs]
+
+
+class TestFailureCapture:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_crashed_point_reports_instead_of_killing_sweep(self, jobs):
+        specs = [tiny_specs(1)[0], broken_spec(), tiny_specs(2)[1]]
+        outcomes = run_points(specs, jobs=jobs)
+        assert [o.ok for o in outcomes] == [True, False, True]
+        failure = outcomes[1].failure
+        assert isinstance(failure, PointFailure)
+        assert failure.key == ("broken", False, 2.0)
+        assert failure.config["strategy"] == "no-such-strategy"
+        assert failure.config["nprocs"] == 2
+        assert "Traceback" in failure.traceback
+        # The surviving points are real results.
+        assert outcomes[0].result.file_stats.complete
+
+    def test_sweep_driver_raises_aggregate_error(self, monkeypatch):
+        import repro.exec.engine as engine_mod
+
+        def explode(config):
+            raise RuntimeError("boom at run time")
+
+        monkeypatch.setattr(engine_mod, "run_simulation", explode)
+        with pytest.raises(SweepExecutionError) as err:
+            process_scaling_sweep(
+                TINY, process_counts=(2, 4), strategies=("ww-list",), sync_options=(False,)
+            )
+        # Every point failed, none killed the sweep early.
+        assert len(err.value.failures) == 2
+        assert all("boom at run time" in f.error for f in err.value.failures)
+        assert "Traceback" in err.value.failures[0].traceback
+
+
+class TestSeedDerivation:
+    def test_stable_and_distinct(self):
+        a = derive_point_seed(2006, ("mw", False, 8.0))
+        assert a == derive_point_seed(2006, ("mw", False, 8.0))
+        assert a != derive_point_seed(2006, ("mw", True, 8.0))
+        assert a != derive_point_seed(2007, ("mw", False, 8.0))
+        assert 0 <= a < 2**63
+
+    def test_reseeded_spec(self):
+        spec = tiny_specs(1)[0]
+        reseeded = spec.reseeded()
+        assert reseeded.key == spec.key
+        assert reseeded.config.seed == derive_point_seed(TINY.seed, spec.key)
+        assert reseeded.config.with_(seed=TINY.seed) == spec.config
+
+    def test_explicit_sweep_seed(self):
+        spec = tiny_specs(1)[0]
+        assert spec.reseeded(42).config.seed == derive_point_seed(42, spec.key)
+
+
+class TestProgressReporter:
+    def test_counts_eta_and_failures(self):
+        buf = io.StringIO()
+        reporter = ProgressReporter(total=3, label="t", stream=buf)
+        reporter(PointOutcome(key=("a",), result=None))
+        reporter(PointOutcome(key=("b",), failure=PointFailure(("b",), {}, "E: x", "tb")))
+        reporter(PointOutcome(key=("c",), result=None))
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("[t] 1/3 points")
+        assert "1 failed" in lines[1]
+        assert "eta done" in lines[2]
+
+    def test_used_as_engine_hook(self):
+        buf = io.StringIO()
+        reporter = ProgressReporter(total=2, label="e", stream=buf)
+        run_points(tiny_specs(2), jobs=1, progress=reporter)
+        assert reporter.done == 2 and reporter.failed == 0
+
+
+@pytest.mark.slow
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs 4+ cores")
+def test_parallel_speedup_on_4_cores():
+    """A Fig-2-style sweep through the pool should scale with the cores.
+
+    2.0 is a deliberately safe floor for shared CI machines; on idle 4+ core
+    hardware the measured speedup of this sweep is ~3-4x.
+    """
+    import time
+
+    base = SimulationConfig(nqueries=4, nfragments=16)
+    kwargs = dict(process_counts=(2, 4, 8, 16), sync_options=(False, True))
+
+    t0 = time.perf_counter()
+    serial = process_scaling_sweep(base, jobs=1, **kwargs)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = process_scaling_sweep(base, jobs=4, **kwargs)
+    t_parallel = time.perf_counter() - t0
+
+    for a, b in zip(serial.points, parallel.points):
+        assert a.result == b.result
+    assert t_serial / t_parallel >= 2.0

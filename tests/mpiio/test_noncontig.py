@@ -88,3 +88,55 @@ class TestTimingRelationships:
     def test_sieving_reads_covering_extent(self):
         _, fs, _ = run_method(datasieve_write)
         assert sum(s.stats.bytes_read for s in fs.servers) > 0
+
+
+class TestSievingOverlapAccounting:
+    def run_sieve(self, regions, datas):
+        env = Environment()
+        fs = make_fs(env)
+
+        def proc():
+            f = yield from fs.open(0, "/out")
+            yield from datasieve_write(fs, 0, f, regions, datas)
+            return f
+
+        f = env.run(env.process(proc()))
+        return fs, f
+
+    def test_overlapping_regions_still_pre_read(self):
+        """Overlaps double-counted the coverage sum: [0,600)+[400,1000)
+        summed to 1200 over a 1500-byte run and, with a third region
+        [1000,1500), 'covered' the run exactly — skipping the required
+        read-modify-write pre-read of the hole-free-looking-but-holed run.
+        """
+        # [0, 600) + [400, 1000) overlap by 200 bytes; [1200, 1500) leaves
+        # the gap [1000, 1200) uncovered.  Raw length sum = 600+600+300 =
+        # 1500 == run length, so the buggy accounting skipped the read.
+        regions = [(0, 600), (400, 600), (1200, 300)]
+        datas = [b"a" * 600, b"b" * 600, b"c" * 300]
+        fs, _ = self.run_sieve(regions, datas)
+        assert sum(s.stats.bytes_read for s in fs.servers) > 0
+
+    def test_exactly_tiling_regions_skip_pre_read(self):
+        """The flip side: distinct regions that truly tile the run must
+        still skip the read (ROMIO's hole-free fast path)."""
+        regions = [(0, 600), (600, 600), (1200, 300)]
+        datas = [b"a" * 600, b"b" * 600, b"c" * 300]
+        fs, _ = self.run_sieve(regions, datas)
+        assert sum(s.stats.bytes_read for s in fs.servers) == 0
+
+    def test_duplicate_regions_replay_positional_payloads(self):
+        """Two identical (offset, length) regions used to collapse in a
+        region-keyed dict, replaying one payload twice.  Payloads must be
+        indexed by position; the later write wins in the store."""
+        regions = [(0, 4), (0, 4), (8, 4)]
+        datas = [b"AAAA", b"BBBB", b"CCCC"]
+        fs, f = self.run_sieve(regions, datas)
+        assert f.bytestore.read(0, 4) == b"BBBB"
+        assert f.bytestore.read(8, 4) == b"CCCC"
+
+    def test_overlap_content_last_writer_wins(self):
+        regions = [(0, 6), (4, 6)]
+        datas = [b"aaaaaa", b"bbbbbb"]
+        _, f = self.run_sieve(regions, datas)
+        assert f.bytestore.read(0, 10) == b"aaaabbbbbb"

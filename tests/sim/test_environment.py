@@ -23,6 +23,25 @@ class TestScheduling:
         with pytest.raises(SimulationError):
             env.schedule(event, delay=-1)
 
+    def test_schedule_nan_delay_rejected(self, env):
+        """A NaN timestamp breaks heapq's ordering invariant and silently
+        corrupts the event queue — it must be rejected at the door."""
+        event = env.event()
+        with pytest.raises(SimulationError):
+            env.schedule(event, delay=float("nan"))
+        assert env.queue_size == 0
+
+    def test_schedule_inf_delay_rejected(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            env.schedule(event, delay=float("inf"))
+        assert env.queue_size == 0
+
+    def test_run_until_nan_rejected(self, env):
+        env.timeout(1)
+        with pytest.raises(ValueError):
+            env.run(until=float("nan"))
+
     def test_step_on_empty_queue(self, env):
         with pytest.raises(EmptySchedule):
             env.step()

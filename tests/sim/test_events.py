@@ -88,6 +88,18 @@ class TestTimeout:
         with pytest.raises(ValueError):
             env.timeout(-1)
 
+    def test_nan_delay_rejected(self, env):
+        """``delay < 0`` is False for NaN — the old check let NaN through
+        and corrupted the heap; the queue must stay untouched."""
+        with pytest.raises(ValueError):
+            env.timeout(float("nan"))
+        assert env.queue_size == 0
+
+    def test_inf_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(float("inf"))
+        assert env.queue_size == 0
+
     def test_timeout_value_passed_through(self, env):
         def proc(env):
             got = yield env.timeout(1, value="payload")
