@@ -1,0 +1,115 @@
+"""Gate the runtime cost of enabling the metrics registry.
+
+The observability layer promises near-zero cost: disabled runs pay one
+attribute load and branch per instrumented site, enabled runs one float add
+per event.  This benchmark measures both modes on the same end-to-end
+simulation the engine baseline uses and fails when
+
+1. the *enabled* run is more than ``--tolerance`` (default 5%) slower than
+   the *disabled* run measured in the same process, or
+2. the *disabled* run itself regressed beyond ``--baseline-tolerance``
+   (default 30%) against the committed ``BENCH_engine.json``
+   ``small_sim_wall_s`` — catching instrumentation cost smuggled onto the
+   un-instrumented path, which an A/B comparison alone would miss.
+
+Usage::
+
+    python benchmarks/bench_metrics_overhead.py [--baseline BENCH_engine.json]
+
+Measurements are best-of-N (minimum over repeats), interleaved A/B/A/B so a
+machine-load drift penalizes both modes equally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import SimulationConfig, run_simulation  # noqa: E402
+
+REPEATS = 7
+
+#: Same workload as ``engine_baseline.bench_small_sim`` so the committed
+#: ``small_sim_wall_s`` is directly comparable.
+CONFIG = SimulationConfig(nprocs=8, nqueries=4, nfragments=16)
+
+
+def _run(collect_metrics: bool) -> float:
+    t0 = time.perf_counter()
+    result = run_simulation(CONFIG.with_(collect_metrics=collect_metrics))
+    seconds = time.perf_counter() - t0
+    assert result.file_stats.complete
+    assert (result.metrics is not None) == collect_metrics
+    return seconds
+
+
+def measure(repeats: int = REPEATS) -> tuple:
+    """Best-of wall seconds for (disabled, enabled), interleaved."""
+    _run(False)  # warm imports and caches outside the timed repeats
+    best_off = best_on = float("inf")
+    for _ in range(repeats):
+        best_off = min(best_off, _run(False))
+        best_on = min(best_on, _run(True))
+    return best_off, best_on
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="allowed enabled-vs-disabled overhead fraction (default 0.05)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="also gate the disabled run against this BENCH_engine.json",
+    )
+    parser.add_argument(
+        "--baseline-tolerance",
+        type=float,
+        default=0.30,
+        help="allowed disabled-run regression vs the baseline (default 0.30)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=REPEATS, help="best-of-N repeats"
+    )
+    args = parser.parse_args(argv)
+
+    best_off, best_on = measure(args.repeats)
+    overhead = best_on / best_off - 1.0
+    status = 0
+
+    print(f"{'mode':12s} {'best-of wall s':>15s}")
+    print(f"{'disabled':12s} {best_off:>15.4f}")
+    print(f"{'enabled':12s} {best_on:>15.4f}")
+    flag = "ok" if overhead <= args.tolerance else "FAIL"
+    print(f"metrics overhead: {overhead:+.1%} (limit {args.tolerance:.0%})  {flag}")
+    if overhead > args.tolerance:
+        status = 1
+
+    if args.baseline:
+        doc = json.loads(Path(args.baseline).read_text())
+        committed = doc["metrics"]["small_sim_wall_s"]["value"]
+        limit = committed * (1.0 + args.baseline_tolerance)
+        flag = "ok" if best_off <= limit else "FAIL"
+        print(
+            f"disabled vs committed small_sim_wall_s: {best_off:.4f} "
+            f"vs {committed:.4f} (limit {limit:.4f})  {flag}"
+        )
+        if best_off > limit:
+            status = 1
+
+    print("METRICS OVERHEAD", "PASSED" if status == 0 else "FAILED")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,8 @@ from .core.scenarios import SCENARIOS, get_scenario
 from .faults import FaultPlan, load_fault_plan
 from .core.phases import Phase
 from .core.strategies import STRATEGIES
-from .exec import PointSpec, ProgressReporter, run_points
+from .exec import PointSpec, ProgressReporter, aggregate_point_metrics, run_points
+from .obs import MetricsSnapshot, export_metrics_csv, export_metrics_json
 from .trace import TraceRecorder, export_json, render_timeline
 from .workload import ComputeModel, load_workload_kwargs, save_workload
 
@@ -153,6 +154,120 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if value:
                 print(f"  {name:24s} {value:g}")
     return 0 if fstat.complete else 1
+
+
+def _print_server_table(snapshot: MetricsSnapshot, strategy: str) -> None:
+    servers = snapshot.label_values("pvfs.requests", "server")
+    print(
+        f"{'server':>6s} {'requests':>9s} {'regions':>9s} {'seeks':>7s} "
+        f"{'seq':>7s} {'KiB written':>12s} {'syncs':>6s}"
+    )
+    want = {"strategy": strategy}
+    for server in servers:
+        print(
+            f"{server:>6d} "
+            f"{snapshot.counter_total('pvfs.requests', server=server, **want):>9g} "
+            f"{snapshot.counter_total('pvfs.regions', server=server, **want):>9g} "
+            f"{snapshot.counter_total('pvfs.seeks', server=server, **want):>7g} "
+            f"{snapshot.counter_total('pvfs.sequential_runs', server=server, **want):>7g} "
+            f"{snapshot.counter_total('pvfs.bytes_written', server=server, **want) / 1024:>12.1f} "
+            f"{snapshot.counter_total('pvfs.syncs', server=server, **want):>6g}"
+        )
+
+
+def _print_phase_table(snapshot: MetricsSnapshot, strategy: str) -> None:
+    ranks = snapshot.label_values("app.phase_seconds", "rank")
+    phases = [p.value for p in Phase if p is not Phase.OTHER]
+    header = " ".join(f"{p[:12]:>13s}" for p in phases)
+    print(f"{'rank':>5s} {header}")
+    for rank in ranks:
+        row = " ".join(
+            f"{snapshot.counter_total('app.phase_seconds', rank=rank, phase=p, strategy=strategy):>13.3f}"
+            for p in phases
+        )
+        print(f"{rank:>5d} {row}")
+
+
+def _print_mpi_summary(snapshot: MetricsSnapshot, strategy: str) -> None:
+    kinds = snapshot.label_values("mpi.messages", "kind")
+    parts = []
+    for kind in kinds:
+        messages = snapshot.counter_total("mpi.messages", kind=kind, strategy=strategy)
+        mib = snapshot.counter_total("mpi.bytes", kind=kind, strategy=strategy) / (1024 * 1024)
+        parts.append(f"{kind}={messages:g} msgs/{mib:.2f} MiB")
+    print("mpi: " + "  ".join(parts))
+    mpiio = [
+        (name, snapshot.counter_total(name, strategy=strategy))
+        for name in snapshot.counter_names()
+        if name.startswith("mpiio.")
+    ]
+    if mpiio:
+        print("mpiio: " + "  ".join(f"{n[6:]}={v:g}" for n, v in mpiio))
+
+
+def _strategy_summary_row(snapshot: MetricsSnapshot, result, strategy: str) -> str:
+    requests = snapshot.counter_total("pvfs.requests", strategy=strategy)
+    regions = snapshot.counter_total("pvfs.regions", strategy=strategy)
+    seeks = snapshot.counter_total("pvfs.seeks", strategy=strategy)
+    syncs = snapshot.counter_total("pvfs.syncs", strategy=strategy)
+    mib = snapshot.counter_total("pvfs.bytes_written", strategy=strategy) / (1024 * 1024)
+    per_request = regions / requests if requests else 0.0
+    return (
+        f"{strategy:10s} {result.elapsed:>9.3f} {requests:>9g} {per_request:>11.1f} "
+        f"{seeks:>8g} {syncs:>7g} {mib:>9.2f}"
+    )
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run with metrics enabled and report the per-layer counters."""
+    cfg = _config_from(args).with_(collect_metrics=True)
+    strategies = sorted(STRATEGIES) if args.compare else [cfg.strategy]
+    specs = [
+        PointSpec(key=(strategy,), config=cfg.with_(strategy=strategy))
+        for strategy in strategies
+    ]
+    outcomes = run_points(specs, jobs=args.jobs)
+    failed = [o for o in outcomes if not o.ok]
+    for outcome in failed:
+        print(f"{outcome.key[0]}: FAILED: {outcome.failure.error}", file=sys.stderr)
+        print(outcome.failure.traceback, file=sys.stderr)
+    ok = [o for o in outcomes if o.ok]
+
+    if args.compare and ok:
+        print(
+            f"{'strategy':10s} {'elapsed s':>9s} {'requests':>9s} {'regions/req':>11s} "
+            f"{'seeks':>8s} {'syncs':>7s} {'MiB out':>9s}"
+        )
+        for outcome in ok:
+            print(
+                _strategy_summary_row(
+                    outcome.result.metrics, outcome.result, outcome.key[0]
+                )
+            )
+        print()
+
+    for outcome in ok:
+        strategy = outcome.key[0]
+        snapshot = outcome.result.metrics
+        print(f"--- {strategy} ---")
+        _print_server_table(snapshot, strategy)
+        print()
+        print("per-rank phase seconds:")
+        _print_phase_table(snapshot, strategy)
+        _print_mpi_summary(snapshot, strategy)
+        print()
+
+    combined = aggregate_point_metrics(outcomes)
+    if combined is not None:
+        if args.json:
+            with open(args.json, "w") as fh:
+                export_metrics_json(combined, fh)
+            print(f"metrics exported to {args.json}")
+        if args.csv:
+            with open(args.csv, "w") as fh:
+                export_metrics_csv(combined, fh)
+            print(f"metrics exported to {args.csv}")
+    return 1 if failed else 0
 
 
 def _cmd_fault_sweep(args: argparse.Namespace) -> int:
@@ -344,6 +459,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--json", help="export the sweep to this JSON file")
     p_sweep.add_argument("--csv", help="export the sweep to this CSV file")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run with metrics enabled and report per-layer counters",
+    )
+    _add_common(p_stats)
+    p_stats.add_argument(
+        "--compare",
+        action="store_true",
+        help="run all four strategies on the same workload and compare",
+    )
+    p_stats.add_argument("--json", help="export the metrics snapshot to this JSON file")
+    p_stats.add_argument("--csv", help="export the metrics snapshot to this CSV file")
+    p_stats.set_defaults(func=_cmd_stats)
 
     p_trace = sub.add_parser("trace", help="run once and render a timeline")
     _add_common(p_trace)

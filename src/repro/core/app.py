@@ -13,6 +13,7 @@ from typing import Optional
 from ..faults.injector import FaultInjector
 from ..mpi.world import MpiWorld
 from ..mpiio.file import MPIIOFile
+from ..obs.metrics import MetricsRegistry
 from ..pvfs.filesystem import FileSystem, PVFSFile
 from .config import SimulationConfig, Workload
 from .master import Master
@@ -28,6 +29,12 @@ class S3aSim:
         self.config = config
         self.recorder = recorder
         self.world = MpiWorld(nranks=config.nprocs, network=config.network)
+        if config.collect_metrics:
+            # Attach before the FileSystem exists: IOServer binds its
+            # counter handles at construction time.
+            self.world.env.metrics = MetricsRegistry(
+                constant_labels={"strategy": config.strategy}
+            )
         self.fs = FileSystem(
             self.world.env,
             config.effective_pvfs(),
@@ -143,6 +150,11 @@ class S3aSim:
             if injector is not None:
                 fault_stats.update(injector.stats())
                 fault_events = list(injector.events)
+        metrics_registry = self.world.env.metrics
+        if metrics_registry.enabled:
+            metrics_registry.set_gauge("run.elapsed_seconds", elapsed)
+            metrics_registry.set_gauge("run.nprocs", float(cfg.nprocs))
+        metrics = metrics_registry.snapshot()
         return RunResult(
             strategy=cfg.strategy,
             query_sync=cfg.query_sync,
@@ -155,6 +167,7 @@ class S3aSim:
             server_stats=server_stats,
             fault_stats=fault_stats,
             fault_events=fault_events,
+            metrics=metrics,
         )
 
 

@@ -78,6 +78,12 @@ class SimulationConfig:
     store_data: bool = False
     output_path: str = "/s3asim/results.out"
 
+    #: Collect per-layer metrics (``repro.obs``) during the run.  Off by
+    #: default: the disabled registry is a shared no-op and keeps runs
+    #: bit-identical to an uninstrumented build; enabling it records the
+    #: same events without perturbing their order.
+    collect_metrics: bool = False
+
     #: The run's failure schedule.  The default (empty) plan injects
     #: nothing and keeps the simulation bit-identical to a fault-free
     #: build — the tolerance machinery only activates when needed.

@@ -151,6 +151,9 @@ class Master:
 
     def _count(self, name: str, n: int = 1) -> None:
         self.fault_counters[name] = self.fault_counters.get(name, 0) + n
+        m = self.comm.env.metrics
+        if m.enabled:
+            m.inc(f"faults.{name}", n, rank=self.comm.rank)
 
     # -- assignability ----------------------------------------------------
     def _task_assignable(self) -> bool:

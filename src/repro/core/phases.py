@@ -54,6 +54,15 @@ class PhaseTimer:
         if self.recorder is not None and self.env.now > start:
             self.recorder.record(self.rank, phase.value, start, self.env.now)
 
+    def _credit(self, phase: Phase, seconds: float) -> None:
+        """Every crediting path funnels through here (so do the metrics)."""
+        self.times[phase] += seconds
+        m = self.env.metrics
+        if m.enabled:
+            m.counter(
+                "app.phase_seconds", rank=self.rank, phase=phase.value
+            ).add(seconds)
+
     def __repr__(self) -> str:
         spent = {p.value: round(t, 6) for p, t in self.times.items() if t}
         return f"<PhaseTimer {spent}>"
@@ -64,7 +73,7 @@ class PhaseTimer:
             raise ValueError("cannot credit negative time")
         if phase is Phase.OTHER:
             raise ValueError("OTHER is derived; credit a measured phase")
-        self.times[phase] += seconds
+        self._credit(phase, seconds)
 
     def add_span(self, phase: Phase, start: float) -> None:
         """Credit the span from ``start`` to now (and trace it)."""
@@ -79,7 +88,7 @@ class PhaseTimer:
         """
         start = self.env.now
         result = yield from fragment
-        self.times[phase] += self.env.now - start
+        self._credit(phase, self.env.now - start)
         self._record(phase, start)
         return result
 
@@ -87,7 +96,7 @@ class PhaseTimer:
         """Process fragment: wait on a kernel event, crediting the wait."""
         start = self.env.now
         value = yield event
-        self.times[phase] += self.env.now - start
+        self._credit(phase, self.env.now - start)
         self._record(phase, start)
         return value
 
@@ -98,7 +107,7 @@ class PhaseTimer:
             raise ValueError("cannot sleep negative time")
         start = self.env.now
         yield self.env.timeout(seconds)
-        self.times[phase] += self.env.now - start
+        self._credit(phase, self.env.now - start)
         self._record(phase, start)
 
     def finish(self) -> None:

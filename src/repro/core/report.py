@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.metrics import MetricsSnapshot
 from .phases import Phase, PhaseReport
 
 
@@ -45,6 +46,9 @@ class RunResult:
     fault_stats: Dict[str, float] = field(default_factory=dict)
     #: Chronological injector log (worker-crash / server windows / ...).
     fault_events: List[dict] = field(default_factory=list)
+    #: Full metrics snapshot, present iff the run collected metrics
+    #: (``SimulationConfig.collect_metrics=True``).
+    metrics: Optional[MetricsSnapshot] = None
 
     @property
     def worker_mean(self) -> PhaseReport:
@@ -81,4 +85,9 @@ class RunResult:
             },
             "servers": self.server_stats,
             "faults": self.fault_stats,
+            **(
+                {"metrics": self.metrics.as_dict()}
+                if self.metrics is not None
+                else {}
+            ),
         }

@@ -100,6 +100,9 @@ class Worker:
 
     def _count(self, name: str, n: int = 1) -> None:
         self.fault_counters[name] = self.fault_counters.get(name, 0) + n
+        m = self.comm.env.metrics
+        if m.enabled:
+            m.inc(f"faults.{name}", n, rank=self.comm.rank)
 
     def _critically(self, frag):
         """Run a process fragment with crash injection masked."""
@@ -182,6 +185,12 @@ class Worker:
         self.crashed = True
         self.incarnation += 1
         self._count("crashes")
+        # Close any timeline intervals the dying incarnation left open —
+        # otherwise the rebooted incarnation's begin() for the same state
+        # raises "already open" (the open-interval leak).
+        recorder = self.timer.recorder
+        if recorder is not None and hasattr(recorder, "abort"):
+            recorder.abort(self.comm.rank, self.comm.env.now)
         if self.stored:
             self._count("batches_lost", len(self.stored))
             self.stored.clear()
@@ -241,6 +250,9 @@ class Worker:
 
         # Compute: the simulated search (step 6).
         yield from timer.sleep(Phase.COMPUTE, cfg.compute.batch_time(batch))
+        m = self.comm.env.metrics
+        if m.enabled:
+            m.inc("app.tasks_completed", 1.0, rank=self.comm.rank)
 
         payload_bytes = 0
         payloads: Optional[List[bytes]] = None

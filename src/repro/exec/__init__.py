@@ -7,6 +7,7 @@ from .engine import (
     PointSpec,
     ProgressReporter,
     SweepExecutionError,
+    aggregate_point_metrics,
     derive_point_seed,
     run_points,
 )
@@ -18,6 +19,7 @@ __all__ = [
     "PointSpec",
     "ProgressReporter",
     "SweepExecutionError",
+    "aggregate_point_metrics",
     "derive_point_seed",
     "run_points",
 ]

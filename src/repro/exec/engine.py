@@ -32,6 +32,7 @@ from typing import Any, Callable, Iterable, List, Optional, Sequence, TextIO, Tu
 from ..core.app import run_simulation
 from ..core.config import SimulationConfig
 from ..core.report import RunResult
+from ..obs.metrics import MetricsSnapshot
 
 #: Hashable identifier of one sweep point, e.g. ``("mw", False, 8.0)``.
 PointKey = Tuple[Any, ...]
@@ -190,6 +191,28 @@ def run_points(
             if progress is not None:
                 progress(outcome)
     return [outcome for outcome in slots if outcome is not None]
+
+
+def aggregate_point_metrics(
+    outcomes: Iterable[PointOutcome],
+) -> Optional[MetricsSnapshot]:
+    """Merge the metrics snapshots of every successful outcome.
+
+    Counters sum and histograms merge across points; entries keep their
+    per-run constant labels (e.g. ``strategy``), so the aggregate still
+    slices per strategy.  The merge is commutative and snapshots travel
+    with their outcomes, so parallel sweeps (``jobs > 1``) aggregate to
+    exactly the serial answer.  Returns ``None`` when no outcome carried a
+    snapshot (metrics collection was off or every point failed).
+    """
+    snapshots = [
+        o.result.metrics
+        for o in outcomes
+        if o.ok and o.result is not None and o.result.metrics is not None
+    ]
+    if not snapshots:
+        return None
+    return MetricsSnapshot.aggregate(snapshots)
 
 
 def _format_seconds(seconds: float) -> str:

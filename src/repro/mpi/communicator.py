@@ -89,25 +89,33 @@ class Communicator:
         seq = self._send_seq
 
         if oob and src != dst:
+            kind = "oob"
             self.env.process(
                 self._oob(src, dst, tag, nbytes, payload, seq, request),
                 name=f"oob-{src}->{dst}",
             )
         elif src == dst:
+            kind = "loopback"
             self.env.process(
                 self._loopback(src, dst, tag, nbytes, payload, seq, request),
                 name=f"loopback-{src}",
             )
         elif nbytes <= self.network.config.eager_threshold_B:
+            kind = "eager"
             self.env.process(
                 self._eager(src, dst, tag, nbytes, payload, seq, request),
                 name=f"eager-{src}->{dst}",
             )
         else:
+            kind = "rendezvous"
             self.env.process(
                 self._rendezvous(src, dst, tag, nbytes, payload, seq, request),
                 name=f"rndv-{src}->{dst}",
             )
+        m = self.env.metrics
+        if m.enabled:
+            m.counter("mpi.messages", kind=kind, src=self.ranks[src]).add()
+            m.counter("mpi.bytes", kind=kind, src=self.ranks[src]).add(float(nbytes))
         return request
 
     def _loopback(self, src, dst, tag, nbytes, payload, seq, request):

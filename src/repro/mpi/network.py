@@ -247,9 +247,14 @@ class Network:
                 spec = faults.drop_spec(self.env.now)
                 if spec is not None:
                     faults.stats.drops += 1
+                    m = self.env.metrics
+                    if m.enabled:
+                        m.inc("mpi.drops", 1.0, src=src, dst=dst)
                     attempt += 1
                     if attempt > spec.max_retries:
                         faults.stats.link_failures += 1
+                        if m.enabled:
+                            m.inc("mpi.link_failures", 1.0, src=src, dst=dst)
                         raise LinkFailure(
                             f"message {src}->{dst} ({nbytes} B) lost "
                             f"{attempt} times; giving up"
@@ -258,6 +263,8 @@ class Network:
                         LinkFaults.retransmit_delay(spec, attempt)
                     )
                     faults.stats.retransmits += 1
+                    if m.enabled:
+                        m.inc("mpi.retransmits", 1.0, src=src, dst=dst)
                     yield from self.occupy_tx(src, nbytes)
                     continue
             yield from self.occupy_rx(dst, nbytes)

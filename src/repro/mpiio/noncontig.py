@@ -36,6 +36,9 @@ def posix_write(
     datas: Optional[Sequence[Optional[bytes]]] = None,
 ):
     """Process fragment: one independent contiguous write per region."""
+    m = fs.env.metrics
+    if m.enabled:
+        m.inc("mpiio.posix_writes", float(len(regions)), rank=client)
     for idx, (offset, length) in enumerate(regions):
         data = datas[idx] if datas is not None else None
         yield from fs.write(client, file, offset, length, data)
@@ -49,6 +52,10 @@ def listio_write(
     datas: Optional[Sequence[Optional[bytes]]] = None,
 ):
     """Process fragment: a single list-I/O request batch for all regions."""
+    m = fs.env.metrics
+    if m.enabled:
+        m.inc("mpiio.list_writes", 1.0, rank=client)
+        m.inc("mpiio.list_regions", float(len(regions)), rank=client)
     yield from fs.write_list(client, file, regions, datas)
 
 
@@ -109,6 +116,13 @@ def datasieve_write(
             # overlaps and wrongly skips the pre-read.
             covered = sum(r_hi - r_lo for r_lo, r_hi, _ in runs)
             if covered < run_hi - run_lo:
+                m = fs.env.metrics
+                if m.enabled:
+                    m.inc(
+                        "mpiio.sieve_preread_bytes",
+                        float(run_hi - run_lo),
+                        rank=client,
+                    )
                 yield from fs.read(client, file, run_lo, run_hi - run_lo)
             # Write back the merged staging buffer: one region per disjoint
             # run (overlapping pieces were already merged in input order),

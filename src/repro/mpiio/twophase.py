@@ -90,6 +90,16 @@ def two_phase_write_all(
                 sizes[agg] = nbytes + _PIECE_HEADER_B * len(chunk)
                 payloads[agg] = chunk
 
+        m = comm.env.metrics
+        if m.enabled:
+            m.inc(
+                "mpiio.twophase_exchange_bytes",
+                float(sum(sizes)),
+                rank=comm.global_rank,
+            )
+            if comm.rank == 0:
+                m.inc("mpiio.twophase_rounds", 1.0)
+
         received = yield from mpi.alltoallv(comm, sizes, payloads)
 
         if comm.rank < naggs:

@@ -1,0 +1,40 @@
+"""Observability: the cross-layer metrics subsystem.
+
+A :class:`MetricsRegistry` rides on the simulation
+:class:`~repro.sim.environment.Environment` (``env.metrics``); every layer
+of the stack — MPI, PVFS2 servers, MPI-IO, master/worker — emits labeled
+counters and histograms into it.  The registry is disabled by default
+(:data:`NULL_METRICS`), in which case instrumentation is a no-op and runs
+are bit-identical to an uninstrumented build.
+
+Enable per run with ``SimulationConfig(collect_metrics=True)``; the
+snapshot lands on ``RunResult.metrics`` and the ``s3asim stats`` CLI
+renders it.  See docs/MODELING.md ("Observability") for the metric name
+catalogue.
+"""
+
+from .export import export_metrics_csv, export_metrics_json, load_metrics_json
+from .metrics import (
+    Counter,
+    DurationHistogram,
+    Gauge,
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NULL_METRICS,
+    NullMetrics,
+)
+
+__all__ = [
+    "Counter",
+    "DurationHistogram",
+    "Gauge",
+    "HistogramSummary",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_METRICS",
+    "NullMetrics",
+    "export_metrics_csv",
+    "export_metrics_json",
+    "load_metrics_json",
+]

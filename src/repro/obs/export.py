@@ -1,0 +1,53 @@
+"""Exporters for metrics snapshots: JSON (machine) and CSV (spreadsheet)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import TextIO
+
+from .metrics import MetricsSnapshot
+
+FORMAT = "s3asim-metrics-1"
+
+
+def export_metrics_json(snapshot: MetricsSnapshot, stream: TextIO) -> None:
+    """One self-describing JSON document per snapshot."""
+    doc = {"format": FORMAT, **snapshot.as_dict()}
+    json.dump(doc, stream, indent=1, sort_keys=False)
+    stream.write("\n")
+
+
+def load_metrics_json(stream: TextIO) -> dict:
+    """Parse an exported snapshot back to its dict form (for tooling/tests)."""
+    doc = json.load(stream)
+    found = doc.get("format") if isinstance(doc, dict) else doc
+    if not isinstance(doc, dict) or doc.get("format") != FORMAT:
+        raise ValueError(f"not an s3asim metrics document: format={found!r}")
+    return doc
+
+
+def export_metrics_csv(snapshot: MetricsSnapshot, stream: TextIO) -> None:
+    """Flat CSV: one row per metric entry.
+
+    Histograms flatten to their summary statistics (count/total/min/max);
+    bucket vectors are JSON-only.
+    """
+    writer = csv.writer(stream)
+    writer.writerow(["kind", "name", "labels", "value", "count", "min", "max"])
+    for name, labels, value in snapshot.counters:
+        writer.writerow(["counter", name, json.dumps(dict(labels)), value, "", "", ""])
+    for name, labels, value in snapshot.gauges:
+        writer.writerow(["gauge", name, json.dumps(dict(labels)), value, "", "", ""])
+    for name, labels, summary in snapshot.histograms:
+        writer.writerow(
+            [
+                "histogram",
+                name,
+                json.dumps(dict(labels)),
+                summary.total,
+                summary.count,
+                summary.min,
+                summary.max,
+            ]
+        )

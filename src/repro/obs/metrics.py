@@ -1,0 +1,437 @@
+"""The metrics registry: counters, gauges, and duration histograms.
+
+The paper's Section 2.1 argument — *why* master-writing beats worker-
+writing at low compute speeds and loses at high ones — is made entirely in
+terms of per-layer counters: how many requests each I/O server saw, how
+many regions each request carried, how often the disk head had to seek,
+how much data the two-phase exchange moved.  This module provides the
+registry those counters live in.
+
+Design constraints, in priority order:
+
+1. **Zero perturbation.**  Metrics must never change event ordering.  All
+   primitives are pure Python bookkeeping — they schedule nothing, draw no
+   random numbers, and read no wall clock — so an enabled registry yields
+   bit-identical simulated timings to a disabled one (tested).
+2. **Near-zero disabled cost.**  The default registry on every
+   :class:`~repro.sim.environment.Environment` is :data:`NULL_METRICS`;
+   instrumentation guards with ``if metrics.enabled`` (one attribute load
+   and a branch) and bound null instruments are shared no-op singletons.
+3. **Cheap enabled hot path.**  Call sites that fire per disk request bind
+   their instruments once (:meth:`MetricsRegistry.counter` returns a live
+   handle) so the steady-state cost is one float add, prometheus-client
+   style.
+
+Snapshots are immutable, picklable (they cross the sweep engine's process
+pool), and mergeable — :meth:`MetricsSnapshot.aggregate` sums counters and
+merges histograms across sweep points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Canonical label form: sorted ``(key, value)`` pairs.
+LabelItems = Tuple[Tuple[str, Any], ...]
+
+#: Histogram bucket geometry: powers of two over seconds, starting at 1 µs.
+#: Bucket ``i`` holds observations with value <= ``_BUCKET_BASE * 2**i``;
+#: the last bucket is the +inf overflow.
+_BUCKET_BASE = 1e-6
+_NBUCKETS = 40
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+def bucket_bound(index: int) -> float:
+    """Upper bound of histogram bucket ``index`` (inf for the last)."""
+    if index >= _NBUCKETS - 1:
+        return math.inf
+    return _BUCKET_BASE * (2.0**index)
+
+
+def _bucket_index(value: float) -> int:
+    if value <= _BUCKET_BASE:
+        return 0
+    index = int(math.log2(value / _BUCKET_BASE)) + 1
+    # Float-edge correction: log2 can land one off at exact powers of two.
+    if value <= bucket_bound(index - 1):
+        index -= 1
+    return min(index, _NBUCKETS - 1)
+
+
+class Counter:
+    """A monotonically increasing float, bound to one (name, labels) pair."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}{dict(self.labels)} = {self.value:g}>"
+
+
+class Gauge:
+    """A last-write-wins value (e.g. queue depth, elapsed time)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}{dict(self.labels)} = {self.value:g}>"
+
+
+class DurationHistogram:
+    """Log2-bucketed histogram of non-negative values (seconds, counts).
+
+    Tracks count/total/min/max exactly; the bucket vector gives the shape
+    (e.g. "most list requests carried 64 regions, a few carried 3").
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str, labels: LabelItems) -> None:
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets = [0] * _NBUCKETS
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.buckets[_bucket_index(value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"<DurationHistogram {self.name}{dict(self.labels)} "
+            f"n={self.count} mean={self.mean:g}>"
+        )
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled registry."""
+
+    __slots__ = ()
+
+    def add(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every operation is a no-op.
+
+    Instrumented code paths test ``metrics.enabled`` before building label
+    dicts, so a disabled run pays one attribute load and branch per site.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        pass
+
+    def snapshot(self) -> Optional["MetricsSnapshot"]:
+        return None
+
+    def __repr__(self) -> str:
+        return "<NullMetrics>"
+
+
+#: The process-wide disabled registry (default on every Environment).
+NULL_METRICS = NullMetrics()
+
+
+class MetricsRegistry:
+    """A live registry of labeled counters, gauges, and histograms.
+
+    ``constant_labels`` (e.g. ``strategy="mw"``) are folded into every
+    entry at snapshot time, so aggregated sweeps can still slice per run.
+    """
+
+    enabled = True
+
+    def __init__(self, constant_labels: Optional[Dict[str, Any]] = None) -> None:
+        self.constant_labels: LabelItems = _label_key(constant_labels or {})
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], DurationHistogram] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry {dict(self.constant_labels)} "
+            f"counters={len(self._counters)} gauges={len(self._gauges)} "
+            f"histograms={len(self._histograms)}>"
+        )
+
+    # -- instrument handles (bind once, update cheaply) ---------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(self, name: str, **labels: Any) -> DurationHistogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = DurationHistogram(name, key[1])
+        return instrument
+
+    # -- one-shot convenience (cold paths) ----------------------------------
+    def inc(self, name: str, amount: float = 1.0, **labels: Any) -> None:
+        self.counter(name, **labels).add(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: Any) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: Any) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # -- snapshotting -------------------------------------------------------
+    def snapshot(self) -> "MetricsSnapshot":
+        """An immutable, picklable copy of everything recorded so far."""
+        const = self.constant_labels
+
+        def full(labels: LabelItems) -> LabelItems:
+            return tuple(sorted(dict(const, **dict(labels)).items())) if const else labels
+
+        counters = tuple(
+            sorted(
+                (c.name, full(c.labels), c.value) for c in self._counters.values()
+            )
+        )
+        gauges = tuple(
+            sorted((g.name, full(g.labels), g.value) for g in self._gauges.values())
+        )
+        histograms = tuple(
+            sorted(
+                (
+                    h.name,
+                    full(h.labels),
+                    HistogramSummary(
+                        count=h.count,
+                        total=h.total,
+                        min=h.min if h.count else 0.0,
+                        max=h.max if h.count else 0.0,
+                        buckets=tuple(h.buckets),
+                    ),
+                )
+                for h in self._histograms.values()
+            )
+        )
+        return MetricsSnapshot(
+            constant_labels=const,
+            counters=counters,
+            gauges=gauges,
+            histograms=histograms,
+        )
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Frozen histogram state (mergeable across snapshots)."""
+
+    count: int
+    total: float
+    min: float
+    max: float
+    buckets: Tuple[int, ...]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merged(self, other: "HistogramSummary") -> "HistogramSummary":
+        if not self.count:
+            return other
+        if not other.count:
+            return self
+        return HistogramSummary(
+            count=self.count + other.count,
+            total=self.total + other.total,
+            min=min(self.min, other.min),
+            max=max(self.max, other.max),
+            buckets=tuple(a + b for a, b in zip(self.buckets, other.buckets)),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": list(self.buckets),
+        }
+
+
+def _match(labels: LabelItems, wanted: Dict[str, Any]) -> bool:
+    if not wanted:
+        return True
+    have = dict(labels)
+    return all(have.get(k) == v for k, v in wanted.items())
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One run's (or one aggregated sweep's) frozen metric state.
+
+    Entries are sorted tuples, so two snapshots of identical runs compare
+    equal with ``==`` — the property the determinism tests lean on.
+    """
+
+    constant_labels: LabelItems = ()
+    counters: Tuple[Tuple[str, LabelItems, float], ...] = ()
+    gauges: Tuple[Tuple[str, LabelItems, float], ...] = ()
+    histograms: Tuple[Tuple[str, LabelItems, "HistogramSummary"], ...] = ()
+
+    # -- queries ------------------------------------------------------------
+    def counter_total(self, name: str, **labels: Any) -> float:
+        """Sum of every counter entry matching ``name`` and the label subset."""
+        return sum(
+            value
+            for n, lbls, value in self.counters
+            if n == name and _match(lbls, labels)
+        )
+
+    def counter_names(self) -> List[str]:
+        seen: List[str] = []
+        for name, _, _ in self.counters:
+            if name not in seen:
+                seen.append(name)
+        return seen
+
+    def label_values(self, name: str, label: str) -> List[Any]:
+        """Distinct values of ``label`` across entries of counter ``name``."""
+        values: List[Any] = []
+        for n, lbls, _ in self.counters:
+            if n != name:
+                continue
+            for k, v in lbls:
+                if k == label and v not in values:
+                    values.append(v)
+        # Same-typed values sort naturally (ints numerically, not by repr);
+        # mixed types group by type name first to stay orderable.
+        return sorted(values, key=lambda v: (type(v).__name__, v))
+
+    def histogram_summary(
+        self, name: str, **labels: Any
+    ) -> Optional[HistogramSummary]:
+        merged: Optional[HistogramSummary] = None
+        for n, lbls, summary in self.histograms:
+            if n == name and _match(lbls, labels):
+                merged = summary if merged is None else merged.merged(summary)
+        return merged
+
+    # -- merging ------------------------------------------------------------
+    @staticmethod
+    def aggregate(snapshots: Sequence["MetricsSnapshot"]) -> "MetricsSnapshot":
+        """Merge many snapshots: counters/gauges sum, histograms merge.
+
+        Entries are keyed by (name, full labels) — snapshots taken with
+        different constant labels (e.g. different strategies) stay
+        distinguishable after aggregation.  The merge is commutative, so
+        parallel sweeps aggregate identically to serial ones.
+        """
+        counters: Dict[Tuple[str, LabelItems], float] = {}
+        gauges: Dict[Tuple[str, LabelItems], float] = {}
+        histograms: Dict[Tuple[str, LabelItems], HistogramSummary] = {}
+        for snap in snapshots:
+            for name, lbls, value in snap.counters:
+                counters[(name, lbls)] = counters.get((name, lbls), 0.0) + value
+            for name, lbls, value in snap.gauges:
+                gauges[(name, lbls)] = gauges.get((name, lbls), 0.0) + value
+            for name, lbls, summary in snap.histograms:
+                prior = histograms.get((name, lbls))
+                histograms[(name, lbls)] = (
+                    summary if prior is None else prior.merged(summary)
+                )
+        return MetricsSnapshot(
+            constant_labels=(),
+            counters=tuple(
+                sorted((n, l, v) for (n, l), v in counters.items())
+            ),
+            gauges=tuple(sorted((n, l, v) for (n, l), v in gauges.items())),
+            histograms=tuple(
+                sorted((n, l, h) for (n, l), h in histograms.items())
+            ),
+        )
+
+    # -- serialization ------------------------------------------------------
+    def as_dict(self) -> dict:
+        return {
+            "labels": dict(self.constant_labels),
+            "counters": [
+                {"name": n, "labels": dict(l), "value": v}
+                for n, l, v in self.counters
+            ],
+            "gauges": [
+                {"name": n, "labels": dict(l), "value": v}
+                for n, l, v in self.gauges
+            ],
+            "histograms": [
+                {"name": n, "labels": dict(l), **h.as_dict()}
+                for n, l, h in self.histograms
+            ],
+        }

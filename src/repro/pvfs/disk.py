@@ -59,26 +59,72 @@ class DiskModel:
         if self.seek_free_gap_B < 0:
             raise ValueError("seek_free_gap_B must be non-negative")
 
+    def service_detail(
+        self, regions: Sequence[Tuple[int, int]], head_position: int
+    ) -> "ServiceDetail":
+        """Service a request and report how the time was spent.
+
+        Regions are serviced in the order given (clients sort them by
+        offset).  Zero-length regions transfer nothing: they are skipped
+        without charging ``region_overhead_s``, without a seek, and —
+        crucially — without moving the head (an empty write must not
+        reposition the disk arm).
+        """
+        total = self.op_overhead_s
+        head = head_position
+        serviced = seeks = sequential = 0
+        nbytes = 0
+        for offset, length in regions:
+            if length < 0:
+                raise ValueError("region length must be non-negative")
+            if length == 0:
+                continue
+            total += self.region_overhead_s
+            gap = offset - head
+            if gap < 0 or gap > self.seek_free_gap_B:
+                total += self.seek_penalty_s
+                seeks += 1
+            else:
+                sequential += 1
+            total += length / self.bandwidth_Bps
+            head = offset + length
+            serviced += 1
+            nbytes += length
+        return ServiceDetail(
+            seconds=total,
+            new_head=head,
+            regions=serviced,
+            seeks=seeks,
+            sequential=sequential,
+            bytes=nbytes,
+        )
+
     def service_time(
         self, regions: Sequence[Tuple[int, int]], head_position: int
     ) -> Tuple[float, int]:
         """Time to service a request of physical ``regions``.
 
-        Returns ``(seconds, new_head_position)``.  Regions are serviced in
-        the order given (clients sort them by offset).
+        Returns ``(seconds, new_head_position)``; see :meth:`service_detail`
+        for the seek/sequential breakdown.
         """
-        total = self.op_overhead_s
-        head = head_position
-        for offset, length in regions:
-            if length < 0:
-                raise ValueError("region length must be non-negative")
-            total += self.region_overhead_s
-            gap = offset - head
-            if gap < 0 or gap > self.seek_free_gap_B:
-                total += self.seek_penalty_s
-            total += length / self.bandwidth_Bps
-            head = offset + length
-        return total, head
+        detail = self.service_detail(regions, head_position)
+        return detail.seconds, detail.new_head
 
     def sync_time(self) -> float:
         return self.sync_s
+
+
+@dataclass(frozen=True)
+class ServiceDetail:
+    """Accounting for one serviced request (feeds the metrics layer).
+
+    ``regions`` counts only non-empty regions; ``seeks + sequential ==
+    regions`` always holds.
+    """
+
+    seconds: float
+    new_head: int
+    regions: int
+    seeks: int
+    sequential: int
+    bytes: int

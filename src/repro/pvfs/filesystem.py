@@ -371,6 +371,9 @@ class FileSystem:
         while not server.up:
             self.fault_stats["retries"] += 1.0
             self.fault_stats["retry_wait_s"] += delay
+            m = self.env.metrics
+            if m.enabled:
+                m.inc("pvfs.retries", 1.0, server=server.server_id)
             yield self.env.timeout(delay)
             delay = min(delay * cfg.retry_backoff, cfg.retry_cap_s)
 

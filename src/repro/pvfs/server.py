@@ -22,6 +22,8 @@ class ServerStats:
 
     requests: int = 0
     regions: int = 0
+    seeks: int = 0
+    sequential: int = 0
     bytes_written: int = 0
     bytes_read: int = 0
     syncs: int = 0
@@ -45,6 +47,20 @@ class IOServer:
         #: complete (the daemon finishes in-flight work before dying in
         #: this model; a stricter model would replay them).
         self.up = True
+        # Bind metric handles once (prometheus-client style) so the
+        # per-request cost is a float add; with the null registry these are
+        # shared no-op instruments and the enabled flag skips them anyway.
+        m = env.metrics
+        self._m_enabled = m.enabled
+        self._c_requests = m.counter("pvfs.requests", server=server_id)
+        self._c_regions = m.counter("pvfs.regions", server=server_id)
+        self._c_seeks = m.counter("pvfs.seeks", server=server_id)
+        self._c_sequential = m.counter("pvfs.sequential_runs", server=server_id)
+        self._c_bytes_written = m.counter("pvfs.bytes_written", server=server_id)
+        self._c_bytes_read = m.counter("pvfs.bytes_read", server=server_id)
+        self._c_syncs = m.counter("pvfs.syncs", server=server_id)
+        self._h_regions = m.histogram("pvfs.regions_per_request", server=server_id)
+        self._h_service = m.histogram("pvfs.service_seconds", server=server_id)
 
     def __repr__(self) -> str:
         state = "" if self.up else " DOWN"
@@ -70,17 +86,30 @@ class IOServer:
         """
         with self.disk_res.request() as slot:
             yield slot
-            seconds, new_head = self.disk.service_time(regions, self.head_position)
-            self.head_position = new_head
-            yield self.env.timeout(seconds)
-            nbytes = sum(length for _, length in regions)
-            self.stats.requests += 1
-            self.stats.regions += len(regions)
+            detail = self.disk.service_detail(regions, self.head_position)
+            self.head_position = detail.new_head
+            yield self.env.timeout(detail.seconds)
+            stats = self.stats
+            stats.requests += 1
+            stats.regions += detail.regions
+            stats.seeks += detail.seeks
+            stats.sequential += detail.sequential
             if is_read:
-                self.stats.bytes_read += nbytes
+                stats.bytes_read += detail.bytes
             else:
-                self.stats.bytes_written += nbytes
-            self.stats.busy_s += seconds
+                stats.bytes_written += detail.bytes
+            stats.busy_s += detail.seconds
+            if self._m_enabled:
+                self._c_requests.add()
+                self._c_regions.add(detail.regions)
+                self._c_seeks.add(detail.seeks)
+                self._c_sequential.add(detail.sequential)
+                if is_read:
+                    self._c_bytes_read.add(detail.bytes)
+                else:
+                    self._c_bytes_written.add(detail.bytes)
+                self._h_regions.observe(detail.regions)
+                self._h_service.observe(detail.seconds)
 
     def service_sync(self):
         """Process fragment: flush request (one per MPI_File_sync)."""
@@ -90,6 +119,8 @@ class IOServer:
             yield self.env.timeout(seconds)
             self.stats.syncs += 1
             self.stats.busy_s += seconds
+            if self._m_enabled:
+                self._c_syncs.add()
 
 
 class MetadataServer:

@@ -6,6 +6,7 @@ from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Iterable, List, Optional, Tuple, Union
 
+from ..obs.metrics import NULL_METRICS
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout
 from .process import Process, ProcessGenerator
@@ -25,6 +26,10 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_proc: Optional[Process] = None
+        # Observability hook: layers emit counters/histograms here.  The
+        # null registry makes every metric call a no-op; the kernel itself
+        # never reads it, so metrics cannot perturb event ordering.
+        self.metrics = NULL_METRICS
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now:.9g} queued={len(self._queue)}>"

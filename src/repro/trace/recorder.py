@@ -61,6 +61,37 @@ class TraceRecorder:
             raise ValueError(f"interval {key} was never opened") from None
         self.record(rank, state, start, now)
 
+    def abort(self, rank: int, now: float) -> List[Interval]:
+        """Close every open interval for ``rank`` at ``now``.
+
+        A worker crash cuts its phases short mid-interval; without this the
+        ``(rank, state)`` keys stay in ``_open`` forever and the rebooted
+        incarnation's :meth:`begin` raises "already open".  The truncated
+        intervals are still recorded — the timeline shows work up to the
+        crash instant.  Returns the intervals closed.
+        """
+        closed: List[Interval] = []
+        for key in sorted(k for k in self._open if k[0] == rank):
+            start = self._open.pop(key)
+            interval = Interval(rank, key[1], start, now)
+            self.intervals.append(interval)
+            closed.append(interval)
+        return closed
+
+    def discard(self, rank: int) -> int:
+        """Drop every open interval for ``rank`` without recording it.
+
+        Returns the number of intervals discarded.
+        """
+        keys = [k for k in self._open if k[0] == rank]
+        for key in keys:
+            del self._open[key]
+        return len(keys)
+
+    def open_states(self, rank: int) -> List[str]:
+        """States with an interval currently open for ``rank``."""
+        return sorted(state for r, state in self._open if r == rank)
+
     # -- queries ---------------------------------------------------------------
     def ranks(self) -> List[int]:
         return sorted({i.rank for i in self.intervals})
@@ -116,11 +147,51 @@ def export_json(recorder: TraceRecorder, stream: TextIO) -> None:
     json.dump(doc, stream, indent=1)
 
 
-def load_json(stream: TextIO) -> TraceRecorder:
-    doc = json.load(stream)
+def load_json(stream: TextIO, source: str = "<trace>") -> TraceRecorder:
+    """Parse an exported trace, validating every interval record.
+
+    ``source`` (typically the file name) prefixes every error so a bad
+    record points at the offending file and index instead of surfacing as
+    a bare ``Interval.__post_init__`` failure.
+    """
+    try:
+        doc = json.load(stream)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{source}: not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ValueError(f"{source}: expected a JSON object at top level")
     if doc.get("format") != "s3asim-trace-1":
-        raise ValueError(f"not an s3asim trace: format={doc.get('format')!r}")
+        raise ValueError(
+            f"{source}: not an s3asim trace: format={doc.get('format')!r}"
+        )
+    items = doc.get("intervals")
+    if not isinstance(items, list):
+        raise ValueError(f"{source}: 'intervals' must be a list")
     recorder = TraceRecorder()
-    for item in doc["intervals"]:
-        recorder.record(item["rank"], item["state"], item["start"], item["end"])
+    for index, item in enumerate(items):
+        where = f"{source}: intervals[{index}]"
+        if not isinstance(item, dict):
+            raise ValueError(f"{where}: expected an object, got {type(item).__name__}")
+        rank = item.get("rank")
+        if isinstance(rank, bool) or not isinstance(rank, int):
+            raise ValueError(f"{where}: 'rank' must be an integer, got {rank!r}")
+        state = item.get("state")
+        if not isinstance(state, str) or not state:
+            raise ValueError(
+                f"{where}: 'state' must be a non-empty string, got {state!r}"
+            )
+        bounds = {}
+        for fieldname in ("start", "end"):
+            value = item.get(fieldname)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ValueError(
+                    f"{where}: '{fieldname}' must be a number, got {value!r}"
+                )
+            bounds[fieldname] = float(value)
+        if bounds["end"] < bounds["start"]:
+            raise ValueError(
+                f"{where}: ends at {bounds['end']} before it starts "
+                f"at {bounds['start']}"
+            )
+        recorder.record(rank, state, bounds["start"], bounds["end"])
     return recorder

@@ -87,19 +87,28 @@ class BoxHistogram:
     def truncated(self, max_size: int) -> "BoxHistogram":
         """The histogram restricted to sizes ≤ ``max_size``.
 
-        Boxes beyond the cut are dropped; a box straddling it is clipped
-        with its weight scaled by the retained fraction.  Remaining weights
-        are renormalized implicitly by sampling.
+        Boxes beyond the cut are dropped, and so are zero-weight boxes:
+        they can never be sampled, but keeping them used to make the
+        truncated histogram disagree with ``min_size``/``max_size`` (which
+        consider only positive-weight boxes) and could leave a truncation
+        containing *only* zero-weight boxes, tripping the constructor's
+        "at least one box needs positive weight" check far from the cause.
+        A box straddling the cut is clipped with its weight scaled by the
+        retained fraction; remaining weights are renormalized implicitly
+        by sampling.
         """
-        if max_size < self.min_size:
-            raise ValueError("max_size truncates away the whole histogram")
         kept: List[Box] = []
         for low, high, weight in self.boxes:
-            if low > max_size:
+            if weight <= 0 or low > max_size:
                 continue
             if high <= max_size:
                 kept.append((low, high, weight))
             else:
                 fraction = (max_size - low + 1) / (high - low + 1)
                 kept.append((low, max_size, weight * fraction))
+        if not kept:
+            raise ValueError(
+                f"max_size={max_size} truncates away every positive-weight "
+                f"box (smallest sampleable size is {self.min_size})"
+            )
         return BoxHistogram(tuple(kept))

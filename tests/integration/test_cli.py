@@ -91,6 +91,39 @@ class TestCommands:
         assert code == 0
         assert "complete=True" in out
 
+    def test_stats(self, capsys):
+        code = main(["stats", *SMALL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "--- ww-list ---" in out
+        assert "requests" in out and "seeks" in out and "syncs" in out
+        assert "per-rank phase seconds:" in out
+        assert "mpi:" in out and "mpiio:" in out
+
+    def test_stats_compare_and_export(self, capsys, tmp_path):
+        json_path = tmp_path / "metrics.json"
+        csv_path = tmp_path / "metrics.csv"
+        code = main([
+            "stats", *SMALL, "--compare", "--jobs", "2",
+            "--json", str(json_path), "--csv", str(csv_path),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        # Comparison table: one summary row per strategy.
+        for strategy in ("mw", "ww-posix", "ww-list", "ww-coll"):
+            assert f"--- {strategy} ---" in out
+        assert "regions/req" in out
+        assert json_path.exists() and csv_path.exists()
+        from repro.obs import load_metrics_json
+
+        with open(json_path) as fh:
+            doc = load_metrics_json(fh)
+        names = {c["name"] for c in doc["counters"]}
+        assert {"pvfs.requests", "pvfs.seeks", "app.phase_seconds"} <= names
+        # Aggregated across strategies but still sliceable per strategy.
+        strategies = {c["labels"].get("strategy") for c in doc["counters"]}
+        assert {"mw", "ww-posix", "ww-list", "ww-coll"} <= strategies
+
     def test_sweep_export_files(self, capsys, tmp_path):
         json_path = tmp_path / "sweep.json"
         csv_path = tmp_path / "sweep.csv"

@@ -1,0 +1,232 @@
+"""Unit tests for the metrics registry, snapshots, and exporters."""
+
+import io
+import json
+import math
+import pickle
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullMetrics,
+    export_metrics_csv,
+    export_metrics_json,
+    load_metrics_json,
+)
+from repro.obs.metrics import bucket_bound
+
+
+class TestCounter:
+    def test_default_increment_is_one(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        c.add()
+        c.add()
+        assert c.value == 2.0
+
+    def test_weighted_increment(self):
+        reg = MetricsRegistry()
+        reg.counter("bytes").add(4096.0)
+        reg.counter("bytes").add(512.0)
+        assert reg.counter("bytes").value == 4608.0
+
+    def test_bound_handle_is_stable(self):
+        """Bind-once call sites rely on get-or-create returning one object."""
+        reg = MetricsRegistry()
+        assert reg.counter("x", server=3) is reg.counter("x", server=3)
+        assert reg.counter("x", server=3) is not reg.counter("x", server=4)
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+    def test_inc_convenience(self):
+        reg = MetricsRegistry()
+        reg.inc("faults.crashes", rank=1)
+        reg.inc("faults.crashes", 2.0, rank=1)
+        assert reg.counter("faults.crashes", rank=1).value == 3.0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.set_gauge("run.elapsed_seconds", 1.5)
+        reg.set_gauge("run.elapsed_seconds", 21.4)
+        assert reg.gauge("run.elapsed_seconds").value == 21.4
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("pvfs.service_seconds", server=0)
+        for value in (1e-3, 2e-3, 4e-3):
+            h.observe(value)
+        assert h.count == 3
+        assert h.total == pytest.approx(7e-3)
+        assert h.min == 1e-3
+        assert h.max == 4e-3
+        assert h.mean == pytest.approx(7e-3 / 3)
+
+    def test_bucket_bounds_double(self):
+        assert bucket_bound(0) == pytest.approx(1e-6)
+        assert bucket_bound(1) == pytest.approx(2e-6)
+        assert bucket_bound(10) == pytest.approx(1e-6 * 1024)
+        assert bucket_bound(39) == math.inf
+
+    def test_exact_power_of_two_lands_in_its_bucket(self):
+        """value == bucket upper bound must count in that bucket, not above."""
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(2e-6)  # exactly bucket 1's bound
+        assert h.buckets[1] == 1 and sum(h.buckets) == 1
+
+    def test_huge_value_overflows_to_last_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(1e9)
+        assert h.buckets[-1] == 1
+
+
+class TestNullMetrics:
+    def test_disabled_and_inert(self):
+        null = NullMetrics()
+        assert not null.enabled
+        null.counter("x", a=1).add(5)
+        null.gauge("g").set(2)
+        null.histogram("h").observe(3)
+        null.inc("x")
+        null.set_gauge("g", 1.0)
+        null.observe("h", 1.0)
+        assert null.snapshot() is None
+
+    def test_instruments_are_shared_singletons(self):
+        assert NULL_METRICS.counter("a") is NULL_METRICS.histogram("b")
+
+
+class TestSnapshot:
+    def registry(self):
+        reg = MetricsRegistry(constant_labels={"strategy": "mw"})
+        reg.counter("pvfs.requests", server=0).add(3)
+        reg.counter("pvfs.requests", server=1).add(5)
+        reg.counter("pvfs.seeks", server=0).add(2)
+        reg.set_gauge("run.nprocs", 4.0)
+        reg.histogram("pvfs.service_seconds", server=0).observe(1e-3)
+        return reg
+
+    def test_constant_labels_folded_in(self):
+        snap = self.registry().snapshot()
+        for _, labels, _ in snap.counters:
+            assert dict(labels)["strategy"] == "mw"
+
+    def test_counter_total_with_label_subset(self):
+        snap = self.registry().snapshot()
+        assert snap.counter_total("pvfs.requests") == 8.0
+        assert snap.counter_total("pvfs.requests", server=1) == 5.0
+        assert snap.counter_total("pvfs.requests", server=1, strategy="mw") == 5.0
+        assert snap.counter_total("pvfs.requests", strategy="ww-list") == 0.0
+        assert snap.counter_total("no.such.counter") == 0.0
+
+    def test_counter_names_and_label_values(self):
+        snap = self.registry().snapshot()
+        assert snap.counter_names() == ["pvfs.requests", "pvfs.seeks"]
+        assert snap.label_values("pvfs.requests", "server") == [0, 1]
+
+    def test_label_values_sort_ints_numerically(self):
+        reg = MetricsRegistry()
+        for server in (10, 2, 1):
+            reg.counter("pvfs.requests", server=server).add()
+        snap = reg.snapshot()
+        assert snap.label_values("pvfs.requests", "server") == [1, 2, 10]
+
+    def test_histogram_summary_merges_across_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", server=0).observe(1.0)
+        reg.histogram("h", server=1).observe(3.0)
+        merged = reg.snapshot().histogram_summary("h")
+        assert merged.count == 2
+        assert merged.min == 1.0 and merged.max == 3.0
+        assert reg.snapshot().histogram_summary("absent") is None
+
+    def test_identical_registries_snapshot_equal(self):
+        assert self.registry().snapshot() == self.registry().snapshot()
+
+    def test_snapshot_pickles(self):
+        """Snapshots cross the sweep engine's process pool."""
+        snap = self.registry().snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+
+class TestAggregate:
+    def snap(self, strategy, requests):
+        reg = MetricsRegistry(constant_labels={"strategy": strategy})
+        reg.counter("pvfs.requests", server=0).add(requests)
+        reg.histogram("pvfs.service_seconds", server=0).observe(1e-3)
+        return reg.snapshot()
+
+    def test_counters_sum_histograms_merge(self):
+        combined = MetricsSnapshot.aggregate(
+            [self.snap("mw", 3), self.snap("mw", 4)]
+        )
+        assert combined.counter_total("pvfs.requests") == 7.0
+        assert combined.histogram_summary("pvfs.service_seconds").count == 2
+
+    def test_strategies_stay_distinguishable(self):
+        combined = MetricsSnapshot.aggregate(
+            [self.snap("mw", 3), self.snap("ww-posix", 40)]
+        )
+        assert combined.counter_total("pvfs.requests", strategy="mw") == 3.0
+        assert combined.counter_total("pvfs.requests", strategy="ww-posix") == 40.0
+
+    def test_commutative(self):
+        """Parallel sweeps must aggregate identically to serial ones."""
+        a, b, c = self.snap("mw", 1), self.snap("ww-list", 2), self.snap("mw", 4)
+        assert MetricsSnapshot.aggregate([a, b, c]) == MetricsSnapshot.aggregate(
+            [c, a, b]
+        )
+
+    def test_empty_aggregate(self):
+        assert MetricsSnapshot.aggregate([]) == MetricsSnapshot()
+
+
+class TestExport:
+    def snapshot(self):
+        reg = MetricsRegistry(constant_labels={"strategy": "ww-list"})
+        reg.counter("pvfs.requests", server=0).add(145)
+        reg.set_gauge("run.elapsed_seconds", 21.4)
+        reg.histogram("pvfs.service_seconds", server=0).observe(2e-3)
+        return reg.snapshot()
+
+    def test_json_round_trip(self):
+        snap = self.snapshot()
+        buffer = io.StringIO()
+        export_metrics_json(snap, buffer)
+        buffer.seek(0)
+        doc = load_metrics_json(buffer)
+        assert doc["format"] == "s3asim-metrics-1"
+        assert doc["counters"] == snap.as_dict()["counters"]
+        assert doc["histograms"][0]["count"] == 1
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not an s3asim metrics"):
+            load_metrics_json(io.StringIO('{"format": "something-else"}'))
+        with pytest.raises(ValueError, match="not an s3asim metrics"):
+            load_metrics_json(io.StringIO("[1, 2]"))
+
+    def test_csv_shape(self):
+        import csv
+
+        buffer = io.StringIO()
+        export_metrics_csv(self.snapshot(), buffer)
+        buffer.seek(0)
+        rows = list(csv.reader(buffer))
+        assert rows[0] == ["kind", "name", "labels", "value", "count", "min", "max"]
+        kinds = {row[0] for row in rows[1:]}
+        assert kinds == {"counter", "gauge", "histogram"}
+        counter_row = next(r for r in rows[1:] if r[0] == "counter")
+        assert counter_row[1] == "pvfs.requests"
+        # Labels survive as a JSON object in one CSV cell.
+        assert json.loads(counter_row[2]) == {"server": 0, "strategy": "ww-list"}
+        assert float(counter_row[3]) == 145.0

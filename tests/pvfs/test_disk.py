@@ -48,18 +48,19 @@ class TestServiceTime:
 
     def test_small_forward_gap_is_seek_free(self):
         disk = self.disk()
-        base, _ = disk.service_time([(500, 0)], head_position=0)
-        assert base == pytest.approx(1e-3 + 1e-4)  # gap 500 < 1024
+        base, _ = disk.service_time([(500, 100)], head_position=0)
+        # gap 500 < 1024
+        assert base == pytest.approx(1e-3 + 1e-4 + 100 / (100 * MIB))
 
     def test_large_forward_gap_pays_seek(self):
         disk = self.disk()
-        seconds, _ = disk.service_time([(10_000, 0)], head_position=0)
-        assert seconds == pytest.approx(1e-3 + 1e-4 + 5e-3)
+        seconds, _ = disk.service_time([(10_000, 100)], head_position=0)
+        assert seconds == pytest.approx(1e-3 + 1e-4 + 5e-3 + 100 / (100 * MIB))
 
     def test_backward_gap_always_seeks(self):
         disk = self.disk()
-        seconds, _ = disk.service_time([(0, 0)], head_position=10)
-        assert seconds == pytest.approx(1e-3 + 1e-4 + 5e-3)
+        seconds, _ = disk.service_time([(0, 100)], head_position=10)
+        assert seconds == pytest.approx(1e-3 + 1e-4 + 5e-3 + 100 / (100 * MIB))
 
     def test_head_persists_across_requests(self):
         disk = self.disk()
@@ -91,3 +92,65 @@ class TestServiceTime:
 
     def test_sync_time(self):
         assert self.disk().sync_time() == pytest.approx(2e-3)
+
+
+class TestZeroLengthRegions:
+    """Regression: empty regions must cost nothing and not move the head."""
+
+    def disk(self):
+        return DiskModel(
+            op_overhead_s=1e-3,
+            region_overhead_s=1e-4,
+            seek_penalty_s=5e-3,
+            bandwidth_Bps=100 * MIB,
+            sync_s=2e-3,
+            seek_free_gap_B=1024,
+        )
+
+    def test_zero_length_region_is_free(self):
+        seconds, head = self.disk().service_time([(500, 0)], head_position=0)
+        # Only the per-request overhead: no region overhead, no seek.
+        assert seconds == pytest.approx(1e-3)
+        assert head == 0
+
+    def test_zero_length_far_region_pays_no_seek(self):
+        seconds, head = self.disk().service_time(
+            [(10_000_000, 0)], head_position=0
+        )
+        assert seconds == pytest.approx(1e-3)
+        assert head == 0
+
+    def test_zero_length_region_does_not_break_sequentiality(self):
+        disk = self.disk()
+        # Without the fix, the (far, 0) entry moved the head to 10_000_000
+        # and charged two spurious seeks; the 1000-byte runs are actually
+        # back-to-back and must service seek-free.
+        with_empty, head = disk.service_time(
+            [(0, 1000), (10_000_000, 0), (1000, 1000)], head_position=0
+        )
+        without, head2 = disk.service_time(
+            [(0, 1000), (1000, 1000)], head_position=0
+        )
+        assert with_empty == pytest.approx(without)
+        assert head == head2 == 2000
+
+    def test_detail_counts_only_nonempty_regions(self):
+        detail = self.disk().service_detail(
+            [(0, 1000), (500, 0), (100_000, 1000)], head_position=0
+        )
+        assert detail.regions == 2
+        assert detail.seeks == 1
+        assert detail.sequential == 1
+        assert detail.bytes == 2000
+        assert detail.new_head == 101_000
+
+
+class TestServiceDetail:
+    def test_matches_service_time(self):
+        disk = DiskModel()
+        regions = [(i * 100_000, 512) for i in range(8)]
+        seconds, head = disk.service_time(regions, head_position=0)
+        detail = disk.service_detail(regions, head_position=0)
+        assert detail.seconds == seconds
+        assert detail.new_head == head
+        assert detail.seeks + detail.sequential == detail.regions == 8

@@ -57,6 +57,74 @@ class TestRecorder:
         assert TraceRecorder().span() == (0.0, 0.0)
 
 
+class TestAbortDiscard:
+    """Crash recovery: a rank's open intervals must not leak.
+
+    Regression for the open-interval leak — a worker crash used to leave
+    its ``(rank, state)`` keys open forever, so the rebooted incarnation's
+    ``begin`` raised "already open"."""
+
+    def test_abort_closes_all_open_intervals_for_rank(self):
+        recorder = TraceRecorder()
+        recorder.begin(1, "compute", 2.0)
+        recorder.begin(1, "io", 3.0)
+        recorder.begin(2, "compute", 2.5)
+        closed = recorder.abort(1, 5.0)
+        assert [(i.state, i.start, i.end) for i in closed] == [
+            ("compute", 2.0, 5.0),
+            ("io", 3.0, 5.0),
+        ]
+        # Truncated intervals are recorded; the other rank is untouched.
+        assert recorder.total_time(1, "compute") == pytest.approx(3.0)
+        assert recorder.open_states(1) == []
+        assert recorder.open_states(2) == ["compute"]
+
+    def test_begin_works_again_after_abort(self):
+        """The crash → reboot → begin sequence the bug broke."""
+        recorder = TraceRecorder()
+        recorder.begin(1, "compute", 2.0)
+        recorder.abort(1, 5.0)  # crash at t=5
+        recorder.begin(1, "compute", 7.0)  # rebooted incarnation
+        recorder.end(1, "compute", 9.0)
+        assert recorder.total_time(1, "compute") == pytest.approx(3.0 + 2.0)
+
+    def test_abort_with_nothing_open_is_harmless(self):
+        recorder = TraceRecorder()
+        assert recorder.abort(0, 1.0) == []
+        assert len(recorder) == 0
+
+    def test_discard_drops_without_recording(self):
+        recorder = TraceRecorder()
+        recorder.begin(0, "compute", 1.0)
+        recorder.begin(0, "io", 2.0)
+        recorder.begin(3, "io", 2.0)
+        assert recorder.discard(0) == 2
+        assert len(recorder) == 0
+        assert recorder.open_states(0) == []
+        recorder.begin(0, "compute", 4.0)  # reopenable immediately
+        recorder.end(3, "io", 5.0)  # other rank's interval still pairs up
+
+    def test_crashed_worker_leaves_no_open_intervals(self):
+        """End to end: a mid-search crash plus reboot completes the run and
+        the recorder holds no open interval for any rank afterwards."""
+        from repro.core import S3aSim, SimulationConfig
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.standard(crash_rank=1, crash_time=6.0, downtime_s=2.0)
+        cfg = SimulationConfig(
+            strategy="ww-list", nprocs=4, nqueries=4, nfragments=8,
+            fault_plan=plan,
+        )
+        recorder = TraceRecorder()
+        result = S3aSim(cfg, recorder=recorder).run()
+        assert result.file_stats.complete
+        assert result.fault_stats["crashes"] == 1
+        for rank in range(cfg.nprocs):
+            assert recorder.open_states(rank) == []
+        # The truncated pre-crash intervals made it into the timeline.
+        assert "crashed" in {i.state for i in recorder.intervals}
+
+
 class TestJsonRoundTrip:
     def test_round_trip(self):
         recorder = TraceRecorder()
@@ -72,6 +140,81 @@ class TestJsonRoundTrip:
     def test_bad_format_rejected(self):
         with pytest.raises(ValueError):
             load_json(io.StringIO('{"format": "something-else"}'))
+
+    def test_round_trip_with_fault_timeline(self):
+        """Fault rows (negative server ranks, crash states) survive."""
+        recorder = TraceRecorder()
+        recorder.record(1, "compute", 0.0, 4.0)
+        recorder.record(1, "crashed", 4.0, 6.0)
+        recorder.record(-1, "server_degraded", 3.0, 7.0)
+        buffer = io.StringIO()
+        export_json(recorder, buffer)
+        buffer.seek(0)
+        loaded = load_json(buffer)
+        assert [(i.rank, i.state, i.start, i.end) for i in loaded.intervals] == [
+            (-1, "server_degraded", 3.0, 7.0),
+            (1, "compute", 0.0, 4.0),
+            (1, "crashed", 4.0, 6.0),
+        ]
+
+
+class TestLoadJsonValidation:
+    """Malformed traces must fail with the file and record pinpointed."""
+
+    def load(self, text, source="trace.json"):
+        return load_json(io.StringIO(text), source=source)
+
+    def wrap(self, item):
+        import json
+
+        return json.dumps({"format": "s3asim-trace-1", "intervals": [item]})
+
+    def test_invalid_json_names_the_source(self):
+        with pytest.raises(ValueError, match="trace.json: not valid JSON"):
+            self.load("{truncated")
+
+    def test_non_object_top_level(self):
+        with pytest.raises(ValueError, match="trace.json: expected a JSON object"):
+            self.load("[1, 2, 3]")
+
+    def test_bad_format_names_the_source(self):
+        with pytest.raises(ValueError, match="trace.json: not an s3asim trace"):
+            self.load('{"format": "slog2"}')
+
+    def test_intervals_must_be_a_list(self):
+        with pytest.raises(ValueError, match="'intervals' must be a list"):
+            self.load('{"format": "s3asim-trace-1", "intervals": {}}')
+
+    def test_non_object_interval_is_indexed(self):
+        with pytest.raises(ValueError, match=r"intervals\[0\]: expected an object"):
+            self.load(self.wrap(42))
+
+    def test_rank_must_be_integer(self):
+        bad = {"rank": "0", "state": "io", "start": 0, "end": 1}
+        with pytest.raises(ValueError, match=r"intervals\[0\]: 'rank' must be"):
+            self.load(self.wrap(bad))
+
+    def test_bool_rank_rejected(self):
+        bad = {"rank": True, "state": "io", "start": 0, "end": 1}
+        with pytest.raises(ValueError, match="'rank' must be an integer"):
+            self.load(self.wrap(bad))
+
+    def test_state_must_be_nonempty_string(self):
+        bad = {"rank": 0, "state": "", "start": 0, "end": 1}
+        with pytest.raises(ValueError, match="'state' must be a non-empty"):
+            self.load(self.wrap(bad))
+
+    def test_missing_bound_rejected(self):
+        bad = {"rank": 0, "state": "io", "start": 0}
+        with pytest.raises(ValueError, match="'end' must be a number, got None"):
+            self.load(self.wrap(bad))
+
+    def test_backwards_interval_pinpointed(self):
+        bad = {"rank": 0, "state": "io", "start": 5.0, "end": 1.0}
+        with pytest.raises(
+            ValueError, match=r"intervals\[0\]: ends at 1.0 before it starts"
+        ):
+            self.load(self.wrap(bad))
 
 
 class TestTimeline:

@@ -88,6 +88,37 @@ class TestTruncation:
         with pytest.raises(ValueError):
             h.truncated(5)
 
+    def test_zero_weight_boxes_dropped(self):
+        """Regression: zero-weight boxes used to survive truncation, making
+        the result's box list disagree with min_size/max_size (which only
+        consider positive weight)."""
+        h = BoxHistogram.from_boxes([(0, 10, 1.0), (20, 30, 0.0), (40, 50, 2.0)])
+        t = h.truncated(45)
+        assert all(w > 0 for _, _, w in t.boxes)
+        assert t.min_size == min(l for l, _, _ in t.boxes) == 0
+        assert t.max_size == max(h_ for _, h_, _ in t.boxes) == 45
+
+    def test_only_zero_weight_survivors_raise_clearly(self):
+        """Regression: when the cut kept only zero-weight boxes, the old
+        code tripped the constructor's generic "at least one box needs
+        positive weight" far from the cause; now the error names the cut
+        and the smallest sampleable size."""
+        h = BoxHistogram.from_boxes([(0, 10, 0.0), (20, 30, 1.0)])
+        with pytest.raises(ValueError, match="max_size=15 truncates away"):
+            h.truncated(15)
+
+    def test_error_reports_smallest_sampleable_size(self):
+        h = BoxHistogram.from_boxes([(0, 10, 0.0), (20, 30, 1.0)])
+        with pytest.raises(ValueError, match="smallest sampleable size is 20"):
+            h.truncated(5)
+
+    def test_truncated_samples_stay_sampleable(self):
+        h = BoxHistogram.from_boxes([(0, 10, 1.0), (20, 30, 0.0)])
+        t = h.truncated(25)
+        rng = np.random.default_rng(7)
+        samples = t.sample(rng, 500)
+        assert samples.min() >= 0 and samples.max() <= 10
+
 
 class TestNTPreset:
     def test_paper_extremes(self):
