@@ -30,6 +30,11 @@ PAPER_COMPUTE_SPEEDS: Tuple[float, ...] = (0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12
 #: All four strategies in the paper's presentation order.
 ALL_STRATEGIES: Tuple[str, ...] = ("mw", "ww-posix", "ww-list", "ww-coll")
 
+#: Default cache-size axis (MiB per I/O server) for the server-cache sweep.
+DEFAULT_CACHE_MIBS: Tuple[float, ...] = (0.0, 1.0, 4.0, 16.0)
+
+_MIB = 1024 * 1024
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -192,3 +197,38 @@ def compute_speed_sweep(
         for strategy in strategies
     ]
     return _execute_sweep("compute_speed", specs, jobs, progress, reporter)
+
+
+def server_cache_sweep(
+    base: SimulationConfig,
+    cache_mibs: Sequence[float] = DEFAULT_CACHE_MIBS,
+    strategies: Sequence[str] = ALL_STRATEGIES,
+    sync_options: Sequence[bool] = (False, True),
+    nprocs: Optional[int] = None,
+    progress: ProgressHook = None,
+    jobs: int = 1,
+    reporter: OutcomeHook = None,
+) -> SweepResult:
+    """The new experiment axis: overall time vs per-server cache size.
+
+    Sweeps the write-back cache capacity at the disk scheduler already
+    set on ``base.pvfs`` (``disk_sched``; run once per scheduler to
+    compare fifo vs elevator).  ``x`` is the cache size in MiB — 0 is the
+    seed's cache-less daemon.
+    """
+    specs = []
+    for mib in cache_mibs:
+        if mib < 0:
+            raise ValueError(f"cache size must be non-negative, got {mib}")
+        pvfs = replace(base.pvfs, server_cache_B=int(mib * _MIB))
+        for query_sync in sync_options:
+            for strategy in strategies:
+                config = base.with_(
+                    strategy=strategy, query_sync=query_sync, pvfs=pvfs
+                )
+                if nprocs is not None:
+                    config = config.with_(nprocs=nprocs)
+                specs.append(
+                    PointSpec(key=(strategy, query_sync, float(mib)), config=config)
+                )
+    return _execute_sweep("server_cache_mib", specs, jobs, progress, reporter)

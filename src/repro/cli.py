@@ -33,6 +33,7 @@ from .analysis import (
     phase_table,
     process_scaling_sweep,
     ratio_table,
+    server_cache_sweep,
 )
 from .cluster.presets import get_preset
 from .core import HybridS3aSim, S3aSim, SimulationConfig
@@ -58,7 +59,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--compute-speed", type=float, default=1.0)
     parser.add_argument("--write-every", type=int, default=1)
     parser.add_argument(
-        "--cluster", choices=["feynman", "gige", "modern"], default="feynman"
+        "--cluster",
+        choices=["feynman", "feynman-cached", "gige", "modern"],
+        default="feynman",
+    )
+    parser.add_argument(
+        "--disk-sched",
+        choices=["fifo", "elevator"],
+        default=None,
+        help="per-server disk-queue scheduler (elevator = starvation-bounded "
+        "C-SCAN; default: the cluster preset's, fifo on feynman)",
+    )
+    parser.add_argument(
+        "--server-cache-mib",
+        type=float,
+        default=None,
+        metavar="MIB",
+        help="per-server write-back cache size in MiB (0 disables; "
+        "default: the cluster preset's, off on feynman)",
     )
     parser.add_argument(
         "--store-data",
@@ -91,6 +109,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 def _config_from(args: argparse.Namespace) -> SimulationConfig:
     preset = get_preset(args.cluster)
+    pvfs_overrides = {}
+    if getattr(args, "disk_sched", None) is not None:
+        pvfs_overrides["disk_sched"] = args.disk_sched
+    if getattr(args, "server_cache_mib", None) is not None:
+        if args.server_cache_mib < 0:
+            raise SystemExit("--server-cache-mib must be non-negative")
+        pvfs_overrides["server_cache_B"] = int(args.server_cache_mib * 1024 * 1024)
+    if pvfs_overrides:
+        preset = preset.with_pvfs(**pvfs_overrides)
     kwargs = dict(
         nprocs=args.nprocs,
         strategy=args.strategy,
@@ -175,6 +202,38 @@ def _print_server_table(snapshot: MetricsSnapshot, strategy: str) -> None:
         )
 
 
+def _print_server_stack(snapshot: MetricsSnapshot, strategy: str) -> None:
+    """Metadata-server and I/O-stack lines (omitted when all zero)."""
+    want = {"strategy": strategy}
+    ops = snapshot.counter_total("pvfs.metadata_ops", **want)
+    if ops:
+        summary = snapshot.histogram_summary("pvfs.metadata_seconds", **want)
+        mean_ms = summary.mean * 1000.0 if summary is not None else 0.0
+        print(f"metadata: {ops:g} ops, mean {mean_ms:.3f} ms (incl. queueing)")
+    hits = snapshot.counter_total("pvfs.cache_hits", **want)
+    misses = snapshot.counter_total("pvfs.cache_misses", **want)
+    flushes = snapshot.counter_total("pvfs.cache_flushes", **want)
+    absorbed = snapshot.counter_total("pvfs.cache_absorbed_bytes", **want)
+    if flushes or hits or misses or absorbed:
+        flush_summary = snapshot.histogram_summary(
+            "pvfs.cache_flush_bytes", **want
+        )
+        mean_flush_kib = (
+            flush_summary.mean / 1024.0 if flush_summary is not None else 0.0
+        )
+        print(
+            f"cache: absorbed {absorbed / 1024:.1f} KiB, "
+            f"read hits={hits:g} misses={misses:g}, "
+            f"flushes={flushes:g} (mean {mean_flush_kib:.1f} KiB)"
+        )
+    depth = snapshot.histogram_summary("pvfs.disk_queue_depth", **want)
+    if depth is not None and depth.count:
+        print(
+            f"disk queue: {depth.count:g} requests, "
+            f"mean depth {depth.mean:.2f}, max {depth.max:.0f}"
+        )
+
+
 def _print_phase_table(snapshot: MetricsSnapshot, strategy: str) -> None:
     ranks = snapshot.label_values("app.phase_seconds", "rank")
     phases = [p.value for p in Phase if p is not Phase.OTHER]
@@ -251,6 +310,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         snapshot = outcome.result.metrics
         print(f"--- {strategy} ---")
         _print_server_table(snapshot, strategy)
+        _print_server_stack(snapshot, strategy)
         print()
         print("per-rank phase seconds:")
         _print_phase_table(snapshot, strategy)
@@ -353,7 +413,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             reporter=reporter,
         )
         headline_x: Optional[float] = float(max(counts))
-    else:
+    elif args.axis == "speed":
         speeds = [float(x) for x in args.speeds.split(",")]
         reporter = _sweep_reporter(args, len(speeds) * npoints_per_x)
         sweep = compute_speed_sweep(
@@ -365,6 +425,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             reporter=reporter,
         )
         headline_x = float(max(speeds))
+    else:  # cache: server write-back cache size in MiB
+        mibs = [float(x) for x in args.cache_mibs.split(",")]
+        reporter = _sweep_reporter(args, len(mibs) * npoints_per_x)
+        sweep = server_cache_sweep(
+            cfg,
+            cache_mibs=mibs,
+            nprocs=args.nprocs,
+            progress=progress,
+            jobs=args.jobs,
+            reporter=reporter,
+        )
+        headline_x = None  # no paper figure to ratio against
     for query_sync in (False, True):
         print(overall_table(sweep, query_sync))
         print()
@@ -450,10 +522,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="run a parameter sweep (Fig 2/5)")
-    p_sweep.add_argument("axis", choices=["processes", "speed"])
+    p_sweep.add_argument("axis", choices=["processes", "speed", "cache"])
     _add_common(p_sweep)
     p_sweep.add_argument("--counts", default="2,4,8,16,32,48,64,96")
     p_sweep.add_argument("--speeds", default="0.1,0.2,0.4,0.8,1.6,3.2,6.4,12.8,25.6")
+    p_sweep.add_argument(
+        "--cache-mibs",
+        default="0,1,4,16",
+        help="per-server cache sizes (MiB) for the cache axis",
+    )
     p_sweep.add_argument("--phases", action="store_true", help="print phase tables")
     p_sweep.add_argument("--verbose", action="store_true")
     p_sweep.add_argument("--json", help="export the sweep to this JSON file")

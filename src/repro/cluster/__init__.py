@@ -4,6 +4,7 @@ from .presets import (
     PRESETS,
     ClusterPreset,
     bigger_filesystem,
+    cached_feynman,
     feynman,
     get_preset,
     gigabit_ethernet_cluster,
@@ -14,6 +15,7 @@ __all__ = [
     "PRESETS",
     "ClusterPreset",
     "bigger_filesystem",
+    "cached_feynman",
     "feynman",
     "get_preset",
     "gigabit_ethernet_cluster",

@@ -60,6 +60,23 @@ def bigger_filesystem(nservers: int = 32) -> ClusterPreset:
     )
 
 
+def cached_feynman() -> ClusterPreset:
+    """Feynman with the server-side I/O stack a 2006 daemon actually ran:
+    elevator disk scheduling plus a 4 MiB write-back buffer cache per I/O
+    server — the configuration the scheduler × cache sweeps compare the
+    bare-disk model against."""
+    base = feynman()
+    return replace(
+        base,
+        name="feynman-cached",
+        description=(
+            "Feynman with elevator disk scheduling and 4 MiB server "
+            "write-back caches"
+        ),
+        pvfs=replace(base.pvfs, disk_sched="elevator", server_cache_B=4 * MIB),
+    )
+
+
 def gigabit_ethernet_cluster() -> ClusterPreset:
     """A contemporary commodity alternative: GigE instead of Myrinet."""
     return ClusterPreset(
@@ -101,6 +118,7 @@ def modern_nvme_cluster() -> ClusterPreset:
 
 PRESETS = {
     "feynman": feynman,
+    "feynman-cached": cached_feynman,
     "gige": gigabit_ethernet_cluster,
     "modern": modern_nvme_cluster,
 }

@@ -39,6 +39,7 @@ class S3aSim:
             self.world.env,
             config.effective_pvfs(),
             client_nic=lambda rank: self.world.network.nic(rank),
+            recorder=recorder,
         )
         self.workload: Workload = config.build_workload()
         # The output file is created up-front (rank 0 would MPI_File_open

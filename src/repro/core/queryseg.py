@@ -305,6 +305,7 @@ class QuerySegS3aSim:
             self.world.env,
             config.effective_pvfs(),
             client_nic=lambda rank: self.world.network.nic(rank),
+            recorder=recorder,
         )
         self.workload = config.build_workload()
         # The replicated-database file lives on the shared volume.

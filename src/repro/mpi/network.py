@@ -159,16 +159,22 @@ class NicStats:
 
 
 class Nic:
-    """A rank's network interface: serialized TX and RX channels."""
+    """A network adapter: serialized TX and RX channels.
 
-    def __init__(self, env: Environment, rank: int) -> None:
-        self.rank = rank
+    With ``ranks_per_nic > 1`` one adapter is shared by several node-mate
+    ranks, so ``nic_id`` is the adapter's index in the fabric — *not* a
+    rank.  Traffic attribution to ranks happens in the obs layer, which
+    labels NIC byte counters by both ``nic`` and ``rank``.
+    """
+
+    def __init__(self, env: Environment, nic_id: int) -> None:
+        self.nic_id = nic_id
         self.tx = Resource(env, capacity=1)
         self.rx = Resource(env, capacity=1)
         self.stats = NicStats()
 
     def __repr__(self) -> str:
-        return f"<Nic rank={self.rank} tx_q={len(self.tx.queue)} rx_q={len(self.rx.queue)}>"
+        return f"<Nic id={self.nic_id} tx_q={len(self.tx.queue)} rx_q={len(self.rx.queue)}>"
 
 
 class Network:
@@ -213,6 +219,9 @@ class Network:
             )
         nic.stats.tx_messages += 1
         nic.stats.tx_bytes += nbytes
+        m = self.env.metrics
+        if m.enabled:
+            m.inc("mpi.nic_tx_bytes", float(nbytes), nic=nic.nic_id, rank=src)
 
     def occupy_rx(self, dst: int, nbytes: int):
         """Process fragment: hold dst's RX channel for the wire time."""
@@ -224,10 +233,47 @@ class Network:
             )
         nic.stats.rx_messages += 1
         nic.stats.rx_bytes += nbytes
+        m = self.env.metrics
+        if m.enabled:
+            m.inc("mpi.nic_rx_bytes", float(nbytes), nic=nic.nic_id, rank=dst)
 
     def wire_latency(self):
         """Process fragment: one-way propagation delay."""
         yield self.env.timeout(self.config.latency_s)
+
+    def _dropped_by(self, src: int, dst: int):
+        """The loss window that dropped this crossing, or None; counts it."""
+        faults = self.faults
+        if faults is None:
+            return None
+        spec = faults.drop_spec(self.env.now)
+        if spec is None:
+            return None
+        faults.stats.drops += 1
+        m = self.env.metrics
+        if m.enabled:
+            m.inc("mpi.drops", 1.0, src=src, dst=dst)
+        return spec
+
+    def _check_retry_budget(
+        self, spec, attempt: int, src: int, dst: int, nbytes: int
+    ) -> None:
+        """Raise :class:`LinkFailure` once ``attempt`` exhausts the budget."""
+        if attempt <= spec.max_retries:
+            return
+        self.faults.stats.link_failures += 1
+        m = self.env.metrics
+        if m.enabled:
+            m.inc("mpi.link_failures", 1.0, src=src, dst=dst)
+        raise LinkFailure(
+            f"message {src}->{dst} ({nbytes} B) lost {attempt} times; giving up"
+        )
+
+    def _count_retransmit(self, src: int, dst: int) -> None:
+        self.faults.stats.retransmits += 1
+        m = self.env.metrics
+        if m.enabled:
+            m.inc("mpi.retransmits", 1.0, src=src, dst=dst)
 
     def deliver(self, src: int, dst: int, nbytes: int):
         """Process fragment: propagate and land ``nbytes`` at ``dst``.
@@ -242,33 +288,15 @@ class Network:
         attempt = 0
         while True:
             yield from self.wire_latency()
-            faults = self.faults
-            if faults is not None:
-                spec = faults.drop_spec(self.env.now)
-                if spec is not None:
-                    faults.stats.drops += 1
-                    m = self.env.metrics
-                    if m.enabled:
-                        m.inc("mpi.drops", 1.0, src=src, dst=dst)
-                    attempt += 1
-                    if attempt > spec.max_retries:
-                        faults.stats.link_failures += 1
-                        if m.enabled:
-                            m.inc("mpi.link_failures", 1.0, src=src, dst=dst)
-                        raise LinkFailure(
-                            f"message {src}->{dst} ({nbytes} B) lost "
-                            f"{attempt} times; giving up"
-                        )
-                    yield self.env.timeout(
-                        LinkFaults.retransmit_delay(spec, attempt)
-                    )
-                    faults.stats.retransmits += 1
-                    if m.enabled:
-                        m.inc("mpi.retransmits", 1.0, src=src, dst=dst)
-                    yield from self.occupy_tx(src, nbytes)
-                    continue
-            yield from self.occupy_rx(dst, nbytes)
-            return
+            spec = self._dropped_by(src, dst)
+            if spec is None:
+                yield from self.occupy_rx(dst, nbytes)
+                return
+            attempt += 1
+            self._check_retry_budget(spec, attempt, src, dst, nbytes)
+            yield self.env.timeout(LinkFaults.retransmit_delay(spec, attempt))
+            self._count_retransmit(src, dst)
+            yield from self.occupy_tx(src, nbytes)
 
     def transfer(self, src: int, dst: int, nbytes: int):
         """Process fragment: full point-to-point transfer src → dst.
@@ -277,17 +305,33 @@ class Network:
         serialization.  Loopback and node-local transfers (same NIC) only
         pay a memcpy-like cost — MPI moves intra-node traffic through
         shared memory, never the wire (and never the loss model).
+
+        With a bounded fabric the slot is held only while the message is
+        physically in flight (TX → propagation → RX).  A dropped message
+        *releases* its slot for the whole retransmission backoff and
+        re-acquires it per attempt — a sender sleeping through exponential
+        backoff must not pin fabric capacity it is not using.
         """
         if src == dst or self.nic(src) is self.nic(dst):
             yield self.env.timeout(
                 self.config.cpu_overhead_s + self.config.serialization_time(nbytes) / 4
             )
             return
-        if self.fabric is not None:
+        if self.fabric is None:
+            yield from self.occupy_tx(src, nbytes)
+            yield from self.deliver(src, dst, nbytes)
+            return
+        attempt = 0
+        while True:
             with self.fabric.request() as slot:
                 yield slot
                 yield from self.occupy_tx(src, nbytes)
-                yield from self.deliver(src, dst, nbytes)
-        else:
-            yield from self.occupy_tx(src, nbytes)
-            yield from self.deliver(src, dst, nbytes)
+                yield from self.wire_latency()
+                spec = self._dropped_by(src, dst)
+                if spec is None:
+                    yield from self.occupy_rx(dst, nbytes)
+                    return
+            attempt += 1
+            self._check_retry_budget(spec, attempt, src, dst, nbytes)
+            yield self.env.timeout(LinkFaults.retransmit_delay(spec, attempt))
+            self._count_retransmit(src, dst)

@@ -1,14 +1,25 @@
 """Simulated PVFS2: striped parallel file system with list-I/O support."""
 
 from .bytestore import ByteStore, OverlapError
+from .cache import WriteBackCache
 from .disk import DiskModel
 from .filesystem import FileSystem, PVFSConfig, PVFSFile
 from .layout import Piece, Region, StripingLayout
+from .sched import (
+    SCHEDULERS,
+    DiskQueue,
+    ElevatorPolicy,
+    FifoPolicy,
+    make_policy,
+)
 from .server import IOServer, MetadataServer, ServerStats
 
 __all__ = [
     "ByteStore",
     "DiskModel",
+    "DiskQueue",
+    "ElevatorPolicy",
+    "FifoPolicy",
     "FileSystem",
     "IOServer",
     "MetadataServer",
@@ -17,6 +28,9 @@ __all__ = [
     "PVFSFile",
     "Piece",
     "Region",
+    "SCHEDULERS",
     "ServerStats",
     "StripingLayout",
+    "WriteBackCache",
+    "make_policy",
 ]

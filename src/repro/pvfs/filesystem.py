@@ -28,6 +28,7 @@ from ..mpi.network import NetworkConfig, Nic, KIB, MIB
 from .bytestore import ByteStore
 from .disk import DiskModel
 from .layout import Region, StripingLayout
+from .sched import SCHEDULERS
 from .server import IOServer, MetadataServer
 
 
@@ -58,6 +59,23 @@ class PVFSConfig:
     retry_initial_s: float = 0.05
     retry_backoff: float = 2.0
     retry_cap_s: float = 1.0
+    #: Per-server disk-queue scheduler: ``"fifo"`` (the seed behaviour —
+    #: no reordering layer is even constructed) or ``"elevator"``
+    #: (starvation-bounded C-SCAN over physical offsets; see
+    #: :mod:`repro.pvfs.sched`).
+    disk_sched: str = "fifo"
+    #: Times an elevator may pass a waiting request over before it is
+    #: serviced in arrival order regardless of offset.
+    elevator_aging: int = 8
+    #: Per-server write-back buffer cache in bytes; 0 disables it (the
+    #: seed behaviour; see :mod:`repro.pvfs.cache`).
+    server_cache_B: int = 0
+    #: Dirty fraction of the cache that triggers a background flush.
+    cache_watermark: float = 0.75
+    #: Flush dirty extents after this long without a new write.
+    cache_idle_flush_s: float = 0.02
+    #: Memory-copy rate the cache absorbs writes and serves hits at.
+    cache_mem_Bps: float = 800 * MIB
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.retry_initial_s) or self.retry_initial_s <= 0:
@@ -76,6 +94,20 @@ class PVFSConfig:
             raise ValueError("request_header_B must be non-negative")
         if self.client_pipeline_Bps <= 0:
             raise ValueError("client_pipeline_Bps must be positive")
+        if self.disk_sched not in SCHEDULERS:
+            raise ValueError(
+                f"disk_sched must be one of {SCHEDULERS}, got {self.disk_sched!r}"
+            )
+        if self.elevator_aging < 1:
+            raise ValueError("elevator_aging must be >= 1")
+        if self.server_cache_B < 0:
+            raise ValueError("server_cache_B must be non-negative")
+        if not 0.0 < self.cache_watermark <= 1.0:
+            raise ValueError("cache_watermark must be in (0, 1]")
+        if self.cache_idle_flush_s <= 0:
+            raise ValueError("cache_idle_flush_s must be positive")
+        if self.cache_mem_Bps <= 0:
+            raise ValueError("cache_mem_Bps must be positive")
 
     @classmethod
     def feynman(cls, store_data: bool = False) -> "PVFSConfig":
@@ -116,12 +148,26 @@ class FileSystem:
         env: Environment,
         config: Optional[PVFSConfig] = None,
         client_nic: Optional[Callable[[int], Nic]] = None,
+        recorder=None,
     ) -> None:
         self.env = env
         self.config = config if config is not None else PVFSConfig()
         self.layout = self.config.layout()
+        cfg = self.config
         self.servers: List[IOServer] = [
-            IOServer(env, i, self.config.disk) for i in range(self.config.nservers)
+            IOServer(
+                env,
+                i,
+                cfg.disk,
+                sched=cfg.disk_sched,
+                sched_aging=cfg.elevator_aging,
+                cache_B=cfg.server_cache_B,
+                cache_watermark=cfg.cache_watermark,
+                cache_idle_flush_s=cfg.cache_idle_flush_s,
+                cache_mem_Bps=cfg.cache_mem_Bps,
+                recorder=recorder,
+            )
+            for i in range(cfg.nservers)
         ]
         self.metadata = MetadataServer(env, self.config.metadata_op_s)
         self.files: Dict[str, PVFSFile] = {}
@@ -310,6 +356,12 @@ class FileSystem:
                 yield self.env.timeout(seconds)
             nic.stats.tx_messages += 1
             nic.stats.tx_bytes += nbytes
+            m = self.env.metrics
+            if m.enabled:
+                # A shared adapter (ranks_per_nic > 1) carries several
+                # ranks' traffic — label by both so neither attribution
+                # is lost.
+                m.inc("mpi.nic_tx_bytes", float(nbytes), nic=nic.nic_id, rank=client)
 
     def _issue_parallel(
         self,
@@ -342,11 +394,14 @@ class FileSystem:
         if not server.up:
             yield from self._await_server(server)
         if is_read:
-            # Request out (header only), data back.
+            # Request out (header only), data back.  The response leaves on
+            # the server's *outbound* channel — read replies must not queue
+            # behind incoming write payloads on ``net_in`` (full duplex,
+            # like a NIC's TX/RX split).
             yield from self._client_tx(client, header)
             yield self.env.timeout(net.latency_s)
             yield from server.service_write(phys_regions, is_read=True)
-            with server.net_in.request() as slot:  # server-side send channel
+            with server.net_out.request() as slot:
                 yield slot
                 yield self.env.timeout(net.serialization_time(nbytes))
             yield self.env.timeout(net.latency_s)

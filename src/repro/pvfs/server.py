@@ -1,19 +1,30 @@
 """PVFS2 I/O server and metadata server models.
 
-An I/O server has two contention points: an inbound network channel
+An I/O server has three contention points: an inbound network channel
 (unit-capacity resource — concurrent clients serialize their data streams
-into the server) and the disk (unit-capacity, serviced via
-:class:`~repro.pvfs.disk.DiskModel` with persistent head tracking).
+into the server), an outbound network channel (read responses serialize
+out, mirroring the NIC's TX/RX duplex split), and the disk (unit-capacity,
+serviced via :class:`~repro.pvfs.disk.DiskModel` with persistent head
+tracking).  The disk is optionally fronted by the pluggable server-side
+I/O stack: a reordering :class:`~repro.pvfs.sched.DiskQueue` (``fifo`` /
+``elevator``) and a :class:`~repro.pvfs.cache.WriteBackCache`.  With the
+default configuration (FIFO, cache off) neither is constructed and the
+request path is the seed's, event for event.
+
 The metadata server serves open/create/resize ops with a fixed cost.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..sim import Environment, Resource
+from .cache import WriteBackCache
 from .disk import DiskModel
+from .sched import DiskQueue, make_policy
+
+MIB = 1024 * 1024
 
 
 @dataclass
@@ -32,21 +43,54 @@ class ServerStats:
 
 
 class IOServer:
-    """One PVFS2 I/O daemon: network-in + disk with head tracking."""
+    """One PVFS2 I/O daemon: network in/out + (stack +) disk."""
 
-    def __init__(self, env: Environment, server_id: int, disk: DiskModel) -> None:
+    def __init__(
+        self,
+        env: Environment,
+        server_id: int,
+        disk: DiskModel,
+        sched: str = "fifo",
+        sched_aging: int = 8,
+        cache_B: int = 0,
+        cache_watermark: float = 0.75,
+        cache_idle_flush_s: float = 0.02,
+        cache_mem_Bps: float = 800 * MIB,
+        recorder=None,
+    ) -> None:
         self.env = env
         self.server_id = server_id
         self.disk = disk
         self.net_in = Resource(env, capacity=1)
+        self.net_out = Resource(env, capacity=1)
         self.disk_res = Resource(env, capacity=1)
         self.head_position = 0
         self.stats = ServerStats()
+        self.recorder = recorder
         #: Reachability flag — clients poll it and back off while False.
         #: Requests already past ``net_in`` when the server fails still
         #: complete (the daemon finishes in-flight work before dying in
         #: this model; a stricter model would replay them).
         self.up = True
+        # The reordering queue exists only when a non-FIFO policy or the
+        # cache asks for it; otherwise the bare ``disk_res`` Resource path
+        # runs — bit-identical to the seed, zero new events.
+        self.disk_queue: Optional[DiskQueue] = (
+            DiskQueue(env, make_policy(sched, aging_limit=sched_aging))
+            if sched != "fifo" or cache_B > 0
+            else None
+        )
+        self.cache: Optional[WriteBackCache] = (
+            WriteBackCache(
+                self,
+                capacity_B=cache_B,
+                watermark=cache_watermark,
+                idle_flush_s=cache_idle_flush_s,
+                mem_Bps=cache_mem_Bps,
+            )
+            if cache_B > 0
+            else None
+        )
         # Bind metric handles once (prometheus-client style) so the
         # per-request cost is a float add; with the null registry these are
         # shared no-op instruments and the enabled flag skips them anyway.
@@ -61,11 +105,26 @@ class IOServer:
         self._c_syncs = m.counter("pvfs.syncs", server=server_id)
         self._h_regions = m.histogram("pvfs.regions_per_request", server=server_id)
         self._h_service = m.histogram("pvfs.service_seconds", server=server_id)
+        # Server-side I/O stack instruments (all zero in default runs).
+        self._c_cache_hits = m.counter("pvfs.cache_hits", server=server_id)
+        self._c_cache_misses = m.counter("pvfs.cache_misses", server=server_id)
+        self._c_cache_absorbed = m.counter(
+            "pvfs.cache_absorbed_bytes", server=server_id
+        )
+        self._c_cache_flushes = m.counter("pvfs.cache_flushes", server=server_id)
+        self._g_cache_dirty = m.gauge("pvfs.cache_dirty_bytes", server=server_id)
+        self._h_cache_flush = m.histogram("pvfs.cache_flush_bytes", server=server_id)
+        self._h_queue_depth = m.histogram("pvfs.disk_queue_depth", server=server_id)
 
     def __repr__(self) -> str:
         state = "" if self.up else " DOWN"
+        queued = (
+            len(self.disk_queue.waiting)
+            if self.disk_queue is not None
+            else len(self.disk_res.queue)
+        )
         return (
-            f"<IOServer {self.server_id}{state} queue={len(self.disk_res.queue)} "
+            f"<IOServer {self.server_id}{state} queue={queued} "
             f"head={self.head_position}>"
         )
 
@@ -79,48 +138,104 @@ class IOServer:
         self.up = True
         self.head_position = 0
 
+    def _disk_service(self, regions: List[Tuple[int, int]], is_read: bool):
+        """Process fragment: service ``regions``; the disk must be held."""
+        detail = self.disk.service_detail(regions, self.head_position)
+        self.head_position = detail.new_head
+        yield self.env.timeout(detail.seconds)
+        stats = self.stats
+        stats.requests += 1
+        stats.regions += detail.regions
+        stats.seeks += detail.seeks
+        stats.sequential += detail.sequential
+        if is_read:
+            stats.bytes_read += detail.bytes
+        else:
+            stats.bytes_written += detail.bytes
+        stats.busy_s += detail.seconds
+        if self._m_enabled:
+            self._c_requests.add()
+            self._c_regions.add(detail.regions)
+            self._c_seeks.add(detail.seeks)
+            self._c_sequential.add(detail.sequential)
+            if is_read:
+                self._c_bytes_read.add(detail.bytes)
+            else:
+                self._c_bytes_written.add(detail.bytes)
+            self._h_regions.observe(detail.regions)
+            self._h_service.observe(detail.seconds)
+
+    def _acquire_and_service(self, regions: List[Tuple[int, int]], is_read: bool):
+        """Process fragment: take the disk (queue or bare), then service."""
+        if self.disk_queue is None:
+            with self.disk_res.request() as slot:
+                yield slot
+                yield from self._disk_service(regions, is_read)
+            return
+        if self._m_enabled:
+            self._h_queue_depth.observe(float(self.disk_queue.depth))
+        first_offset = regions[0][0] if regions else self.head_position
+        yield self.disk_queue.acquire(first_offset)
+        try:
+            yield from self._disk_service(regions, is_read)
+        finally:
+            self.disk_queue.release(self.head_position)
+
     def service_write(self, regions: List[Tuple[int, int]], is_read: bool = False):
-        """Process fragment: acquire the disk and service ``regions``.
+        """Process fragment: service ``regions`` through the I/O stack.
 
         Must be entered after the request's bytes have crossed ``net_in``.
+        Writes land in the write-back cache when one is configured; reads
+        fully covered by dirty extents are served from memory.
         """
-        with self.disk_res.request() as slot:
-            yield slot
-            detail = self.disk.service_detail(regions, self.head_position)
-            self.head_position = detail.new_head
-            yield self.env.timeout(detail.seconds)
-            stats = self.stats
-            stats.requests += 1
-            stats.regions += detail.regions
-            stats.seeks += detail.seeks
-            stats.sequential += detail.sequential
-            if is_read:
-                stats.bytes_read += detail.bytes
-            else:
-                stats.bytes_written += detail.bytes
-            stats.busy_s += detail.seconds
+        cache = self.cache
+        if cache is not None:
+            if not is_read:
+                yield from cache.absorb(regions)
+                return
+            hits, regions = cache.read_split(regions)
+            if hits:
+                hit_bytes = sum(length for _, length in hits)
+                yield self.env.timeout(cache.memory_time(len(hits), hit_bytes))
+                cache.read_hits += len(hits)
+                self.stats.bytes_read += hit_bytes
+                if self._m_enabled:
+                    self._c_cache_hits.add(len(hits))
+                    self._c_bytes_read.add(hit_bytes)
+            if not regions:
+                return
+            cache.read_misses += len(regions)
             if self._m_enabled:
-                self._c_requests.add()
-                self._c_regions.add(detail.regions)
-                self._c_seeks.add(detail.seeks)
-                self._c_sequential.add(detail.sequential)
-                if is_read:
-                    self._c_bytes_read.add(detail.bytes)
-                else:
-                    self._c_bytes_written.add(detail.bytes)
-                self._h_regions.observe(detail.regions)
-                self._h_service.observe(detail.seconds)
+                self._c_cache_misses.add(len(regions))
+        yield from self._acquire_and_service(regions, is_read)
 
     def service_sync(self):
-        """Process fragment: flush request (one per MPI_File_sync)."""
-        with self.disk_res.request() as slot:
-            yield slot
-            seconds = self.disk.sync_time()
-            yield self.env.timeout(seconds)
-            self.stats.syncs += 1
-            self.stats.busy_s += seconds
-            if self._m_enabled:
-                self._c_syncs.add()
+        """Process fragment: flush request (one per MPI_File_sync).
+
+        With a write-back cache the dirty extents hit the platter before
+        the sync cost is paid — MPI_File_sync's durability contract.
+        """
+        if self.cache is not None:
+            yield from self.cache.flush()
+        if self.disk_queue is None:
+            with self.disk_res.request() as slot:
+                yield slot
+                yield from self._sync_disk()
+            return
+        yield self.disk_queue.acquire(self.head_position)
+        try:
+            yield from self._sync_disk()
+        finally:
+            self.disk_queue.release(self.head_position)
+
+    def _sync_disk(self):
+        """Process fragment: the sync cost proper; the disk must be held."""
+        seconds = self.disk.sync_time()
+        yield self.env.timeout(seconds)
+        self.stats.syncs += 1
+        self.stats.busy_s += seconds
+        if self._m_enabled:
+            self._c_syncs.add()
 
 
 class MetadataServer:
@@ -133,10 +248,20 @@ class MetadataServer:
         self.op_cost_s = op_cost_s
         self.queue = Resource(env, capacity=1)
         self.ops = 0
+        m = env.metrics
+        self._m_enabled = m.enabled
+        self._c_ops = m.counter("pvfs.metadata_ops")
+        self._h_service = m.histogram("pvfs.metadata_seconds")
 
     def operation(self):
         """Process fragment: one metadata operation (create/open/stat)."""
+        entered = self.env.now
         with self.queue.request() as slot:
             yield slot
             yield self.env.timeout(self.op_cost_s)
             self.ops += 1
+            if self._m_enabled:
+                self._c_ops.add()
+                # Queueing included: contention on the single metadata
+                # daemon is exactly what this histogram is for.
+                self._h_service.observe(self.env.now - entered)

@@ -27,6 +27,8 @@ DEFAULT_GLYPHS: Dict[str, str] = {
     "crashed": "X",
     "server_degraded": "!",
     "server_outage": "#",
+    # Write-back cache flush windows, on the same negative server rows.
+    "server_flush": "F",
 }
 
 
