@@ -1,0 +1,23 @@
+"""Cross-layer correctness tooling: runtime invariants + metamorphic tests.
+
+Only the lightweight invariant layer is exported here — the simulation
+:class:`~repro.sim.environment.Environment` imports :data:`NULL_CHECKER`
+at module load, so this package must not pull in the rest of the
+simulator.  The metamorphic harness lives in
+:mod:`repro.check.metamorphic` and is imported explicitly by its users
+(CLI, tests).
+"""
+
+from .invariants import (
+    NULL_CHECKER,
+    InvariantChecker,
+    InvariantViolation,
+    NullChecker,
+)
+
+__all__ = [
+    "NULL_CHECKER",
+    "InvariantChecker",
+    "InvariantViolation",
+    "NullChecker",
+]

@@ -1,0 +1,570 @@
+"""Runtime cross-layer invariant checking (the ``--check`` machinery).
+
+The simulation's correctness argument rests on a handful of conservation
+and layout laws that every layer must uphold on every run:
+
+* **MPI conservation** — every payload byte serialized onto a NIC is
+  either received or accounted to a drop (the retransmission model resends
+  it, paying TX again); every non-out-of-band message sent is delivered.
+* **PVFS accounting** — per server, the bytes entering :class:`~repro.
+  pvfs.server.IOServer` as writes equal the bytes the disk landed plus the
+  write-back cache's remaining dirty extents plus the bytes the cache
+  merged away (overlapping/duplicate regions fusing into one run), and the
+  dirty-byte gauge matches the extent sum at every absorb and flush.
+* **Offset-layout laws** — the placements :func:`~repro.core.offsets.
+  merge_query` hands out tile ``[base, base + block)`` densely with no
+  overlap, and consecutive query blocks abut exactly (the ledger law).
+* **Trace well-formedness** — every interval closes, lies within the run,
+  and no two intervals of one ``(rank, state)`` row overlap.
+
+This module follows the :mod:`repro.obs` pattern exactly: the
+:class:`~repro.sim.environment.Environment` carries :data:`NULL_CHECKER`
+by default (every hook a no-op behind an ``enabled`` guard), and an
+attached :class:`InvariantChecker` does pure-Python bookkeeping only — it
+schedules no events, draws no random numbers, and reads no wall clock, so
+a checked run is bit-identical in virtual time to an unchecked one
+(golden-tested).  A broken law raises a structured
+:class:`InvariantViolation` carrying layer, invariant name, simulated
+time, and context.
+
+Import discipline: this module must stay dependency-free within the
+package (the :class:`Environment` itself imports it), so the offset-tiling
+validation is restated here rather than imported from ``repro.core``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Injector-written trace rows that echo a fault plan's *windows* rather
+#: than measured activity: a plan may legally schedule overlapping windows
+#: on one server, and a window may outlive the run.
+_PLAN_WINDOW_STATES = frozenset({"server_degraded", "server_outage"})
+
+
+class InvariantViolation(Exception):
+    """A cross-layer law was broken; structured for post-mortem tooling."""
+
+    def __init__(
+        self,
+        layer: str,
+        invariant: str,
+        message: str,
+        time: Optional[float] = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.layer = layer
+        self.invariant = invariant
+        self.message = message
+        self.time = time
+        self.context = dict(context or {})
+        when = f" at t={time:.9g}" if time is not None else ""
+        ctx = f" {self.context}" if self.context else ""
+        super().__init__(f"[{layer}/{invariant}]{when}: {message}{ctx}")
+
+
+class NullChecker:
+    """The disabled checker: every hook is a no-op.
+
+    Instrumented sites guard with ``if check.enabled`` (one attribute load
+    and a branch), mirroring :class:`~repro.obs.metrics.NullMetrics`.
+    """
+
+    enabled = False
+
+    def nic_tx(self, nbytes: int) -> None:
+        pass
+
+    def nic_rx(self, nbytes: int) -> None:
+        pass
+
+    def wire_drop(self, nbytes: int) -> None:
+        pass
+
+    def msg_sent(self, kind: str, nbytes: int) -> None:
+        pass
+
+    def msg_delivered(self, kind: str, nbytes: int) -> None:
+        pass
+
+    def server_write_in(self, server_id: int, nbytes: int) -> None:
+        pass
+
+    def server_disk_write(self, server_id: int, nbytes: int) -> None:
+        pass
+
+    def cache_absorb(self, server_id: int, nbytes: int, merged_away: int) -> None:
+        pass
+
+    def cache_state(
+        self, server_id: int, runs: Sequence[Tuple[int, int]], dirty_bytes: int
+    ) -> None:
+        pass
+
+    def cache_flush(
+        self, server_id: int, runs: Sequence[Tuple[int, int]], nbytes: int
+    ) -> None:
+        pass
+
+    def layout_mapped(self, logical_bytes: int, physical_bytes: int) -> None:
+        pass
+
+    def offsets_assigned(
+        self, query_id, base, block_size, offsets_by_fragment, sizes_by_fragment
+    ) -> None:
+        pass
+
+    def entry_alignment(
+        self, query_id: int, fragment_id: int, noffsets: int, nsizes: int
+    ) -> None:
+        pass
+
+    def finalize(self, now: float, recorder=None, fault_free: bool = True) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<NullChecker>"
+
+
+#: The process-wide disabled checker (default on every Environment).
+NULL_CHECKER = NullChecker()
+
+
+class _ServerLedger:
+    """Byte accounting of one I/O server's write path."""
+
+    __slots__ = ("write_in", "disk_written", "absorbed", "merged", "dirty")
+
+    def __init__(self) -> None:
+        self.write_in = 0
+        self.disk_written = 0
+        self.absorbed = 0
+        self.merged = 0
+        self.dirty = 0
+
+
+class InvariantChecker:
+    """The live checker: accumulates per-layer ledgers and raises on breakage.
+
+    Continuous laws (per hook call) fail at the offending simulated
+    instant; global conservation laws run in :meth:`finalize`, after the
+    run's results are captured (the event queue is *not* drained — pending
+    background work like idle cache flushes stays pending, exactly as in
+    an unchecked run).
+    """
+
+    enabled = True
+
+    def __init__(self, env=None) -> None:
+        self.env = env
+        self.checks = 0  # hook invocations (reporting only)
+        # MPI wire ledger (NIC-serialized payload bytes; OOB pays neither).
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.dropped_bytes = 0
+        # MPI message ledger: kind -> [sent, sent_B, delivered, delivered_B].
+        self.messages: Dict[str, List[int]] = {}
+        # PVFS per-server ledgers.
+        self.servers: Dict[int, _ServerLedger] = {}
+        # Offset-layout cursor: None until the first block (supports
+        # resumed runs, whose first base is nonzero).
+        self._offset_cursor: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"<InvariantChecker checks={self.checks}>"
+
+    # -- violation plumbing -------------------------------------------------
+    def _now(self) -> Optional[float]:
+        return self.env.now if self.env is not None else None
+
+    def _fail(self, layer: str, invariant: str, message: str, **context) -> None:
+        raise InvariantViolation(
+            layer=layer,
+            invariant=invariant,
+            message=message,
+            time=self._now(),
+            context=context,
+        )
+
+    def _server(self, server_id: int) -> _ServerLedger:
+        ledger = self.servers.get(server_id)
+        if ledger is None:
+            ledger = self.servers[server_id] = _ServerLedger()
+        return ledger
+
+    # -- MPI layer ----------------------------------------------------------
+    def nic_tx(self, nbytes: int) -> None:
+        self.checks += 1
+        self.tx_bytes += nbytes
+
+    def nic_rx(self, nbytes: int) -> None:
+        self.checks += 1
+        self.rx_bytes += nbytes
+        if self.rx_bytes + self.dropped_bytes > self.tx_bytes:
+            self._fail(
+                "mpi",
+                "wire-conservation",
+                "received+dropped bytes exceed transmitted bytes",
+                tx=self.tx_bytes,
+                rx=self.rx_bytes,
+                dropped=self.dropped_bytes,
+            )
+
+    def wire_drop(self, nbytes: int) -> None:
+        self.checks += 1
+        self.dropped_bytes += nbytes
+        if self.rx_bytes + self.dropped_bytes > self.tx_bytes:
+            self._fail(
+                "mpi",
+                "wire-conservation",
+                "received+dropped bytes exceed transmitted bytes",
+                tx=self.tx_bytes,
+                rx=self.rx_bytes,
+                dropped=self.dropped_bytes,
+            )
+
+    def msg_sent(self, kind: str, nbytes: int) -> None:
+        self.checks += 1
+        entry = self.messages.setdefault(kind, [0, 0, 0, 0])
+        entry[0] += 1
+        entry[1] += nbytes
+
+    def msg_delivered(self, kind: str, nbytes: int) -> None:
+        self.checks += 1
+        entry = self.messages.setdefault(kind, [0, 0, 0, 0])
+        entry[2] += 1
+        entry[3] += nbytes
+        if entry[2] > entry[0]:
+            self._fail(
+                "mpi",
+                "message-conservation",
+                f"more {kind} messages delivered than sent",
+                kind=kind,
+                sent=entry[0],
+                delivered=entry[2],
+            )
+
+    # -- PVFS layer ---------------------------------------------------------
+    def server_write_in(self, server_id: int, nbytes: int) -> None:
+        self.checks += 1
+        self._server(server_id).write_in += nbytes
+
+    def server_disk_write(self, server_id: int, nbytes: int) -> None:
+        self.checks += 1
+        ledger = self._server(server_id)
+        ledger.disk_written += nbytes
+        if ledger.disk_written > ledger.write_in:
+            self._fail(
+                "pvfs",
+                "server-conservation",
+                f"server {server_id} wrote more bytes to disk than it received",
+                server=server_id,
+                write_in=ledger.write_in,
+                disk_written=ledger.disk_written,
+            )
+
+    def cache_absorb(self, server_id: int, nbytes: int, merged_away: int) -> None:
+        self.checks += 1
+        if not 0 <= merged_away <= nbytes:
+            self._fail(
+                "pvfs",
+                "cache-accounting",
+                f"server {server_id} cache absorbed {nbytes} B but the dirty "
+                f"set grew by {nbytes - merged_away} B",
+                server=server_id,
+                absorbed=nbytes,
+                merged_away=merged_away,
+            )
+        ledger = self._server(server_id)
+        ledger.absorbed += nbytes
+        ledger.merged += merged_away
+
+    def cache_state(
+        self, server_id: int, runs: Sequence[Tuple[int, int]], dirty_bytes: int
+    ) -> None:
+        self.checks += 1
+        total = self._validate_runs(server_id, runs)
+        if total != dirty_bytes:
+            self._fail(
+                "pvfs",
+                "cache-gauge",
+                f"server {server_id} dirty-byte gauge {dirty_bytes} != "
+                f"extent sum {total}",
+                server=server_id,
+                gauge=dirty_bytes,
+                extent_sum=total,
+            )
+        self._server(server_id).dirty = dirty_bytes
+
+    def cache_flush(
+        self, server_id: int, runs: Sequence[Tuple[int, int]], nbytes: int
+    ) -> None:
+        self.checks += 1
+        total = self._validate_runs(server_id, runs)
+        if total != nbytes:
+            self._fail(
+                "pvfs",
+                "cache-flush",
+                f"server {server_id} flushed {nbytes} B but its extents "
+                f"sum to {total}",
+                server=server_id,
+                flushed=nbytes,
+                extent_sum=total,
+            )
+
+    def _validate_runs(
+        self, server_id: int, runs: Sequence[Tuple[int, int]]
+    ) -> int:
+        """Dirty extents must be sorted, positive, and non-overlapping."""
+        total = 0
+        prev_end: Optional[int] = None
+        for lo, hi in runs:
+            if hi <= lo:
+                self._fail(
+                    "pvfs",
+                    "cache-extents",
+                    f"server {server_id} holds an empty/inverted extent",
+                    server=server_id,
+                    extent=(lo, hi),
+                )
+            if prev_end is not None and lo < prev_end:
+                self._fail(
+                    "pvfs",
+                    "cache-extents",
+                    f"server {server_id} dirty extents overlap or are unsorted",
+                    server=server_id,
+                    prev_end=prev_end,
+                    next_start=lo,
+                )
+            prev_end = hi
+            total += hi - lo
+        return total
+
+    def layout_mapped(self, logical_bytes: int, physical_bytes: int) -> None:
+        self.checks += 1
+        if logical_bytes != physical_bytes:
+            self._fail(
+                "pvfs",
+                "layout-conservation",
+                "striping layout lost or duplicated bytes",
+                logical=logical_bytes,
+                physical=physical_bytes,
+            )
+
+    # -- offset layer -------------------------------------------------------
+    def offsets_assigned(
+        self, query_id, base, block_size, offsets_by_fragment, sizes_by_fragment
+    ) -> None:
+        self.checks += 1
+        base = int(base)
+        block_size = int(block_size)
+        if self._offset_cursor is not None and base != self._offset_cursor:
+            self._fail(
+                "offsets",
+                "ledger-continuity",
+                f"query {query_id} block starts at {base}, expected "
+                f"{self._offset_cursor} (blocks must abut)",
+                query=query_id,
+                base=base,
+                expected=self._offset_cursor,
+            )
+        spans: List[Tuple[int, int]] = []
+        for frag, offsets in offsets_by_fragment.items():
+            sizes = sizes_by_fragment.get(frag)
+            if sizes is None or len(offsets) != len(sizes):
+                self._fail(
+                    "offsets",
+                    "fragment-alignment",
+                    f"query {query_id} fragment {frag}: offsets/sizes mismatch",
+                    query=query_id,
+                    fragment=frag,
+                    noffsets=len(offsets),
+                    nsizes=-1 if sizes is None else len(sizes),
+                )
+            spans.extend(
+                (int(o), int(o) + int(s)) for o, s in zip(offsets, sizes)
+            )
+        spans.sort()
+        cursor = base
+        for start, end in spans:
+            if start != cursor:
+                kind = "overlap" if start < cursor else "gap"
+                self._fail(
+                    "offsets",
+                    "dense-tiling",
+                    f"query {query_id}: {kind} at offset {min(start, cursor)}",
+                    query=query_id,
+                    expected=cursor,
+                    got=start,
+                )
+            cursor = end
+        if cursor != base + block_size:
+            self._fail(
+                "offsets",
+                "dense-tiling",
+                f"query {query_id}: block ends at {cursor}, expected "
+                f"{base + block_size}",
+                query=query_id,
+                end=cursor,
+                expected=base + block_size,
+            )
+        self._offset_cursor = base + block_size
+
+    def entry_alignment(
+        self, query_id: int, fragment_id: int, noffsets: int, nsizes: int
+    ) -> None:
+        self.checks += 1
+        if noffsets != nsizes:
+            self._fail(
+                "offsets",
+                "entry-alignment",
+                f"worker got {noffsets} offsets for {nsizes} stored results "
+                f"of query {query_id} fragment {fragment_id}",
+                query=query_id,
+                fragment=fragment_id,
+                noffsets=noffsets,
+                nsizes=nsizes,
+            )
+
+    # -- end-of-run conservation --------------------------------------------
+    def finalize(self, now: float, recorder=None, fault_free: bool = True) -> None:
+        """Run the global laws once the simulation has stopped.
+
+        ``fault_free`` selects strict equalities: with an empty fault plan
+        every non-OOB message is consumed by its receiver before the ranks
+        can terminate, so sent == delivered and TX == RX exactly.  With
+        faults, messages a crashed worker stopped waiting for (stale
+        scores, retransmissions mid-backoff) may legitimately be in flight
+        when the last rank exits, so the laws relax to monotone
+        inequalities — already enforced continuously by the hooks.
+        """
+        self._finalize_mpi(fault_free)
+        self._finalize_servers()
+        if recorder is not None:
+            self._finalize_trace(recorder, now)
+
+    def _finalize_mpi(self, fault_free: bool) -> None:
+        if fault_free and self.tx_bytes != self.rx_bytes + self.dropped_bytes:
+            self._fail(
+                "mpi",
+                "wire-conservation",
+                "transmitted bytes not fully received at end of run",
+                tx=self.tx_bytes,
+                rx=self.rx_bytes,
+                dropped=self.dropped_bytes,
+            )
+        for kind, (sent, sent_b, delivered, delivered_b) in sorted(
+            self.messages.items()
+        ):
+            strict = fault_free and kind != "oob"
+            if strict and (sent != delivered or sent_b != delivered_b):
+                self._fail(
+                    "mpi",
+                    "message-conservation",
+                    f"{kind} messages sent != delivered at end of run",
+                    kind=kind,
+                    sent=sent,
+                    delivered=delivered,
+                    sent_bytes=sent_b,
+                    delivered_bytes=delivered_b,
+                )
+            if delivered > sent or delivered_b > sent_b:
+                self._fail(
+                    "mpi",
+                    "message-conservation",
+                    f"more {kind} messages delivered than sent",
+                    kind=kind,
+                    sent=sent,
+                    delivered=delivered,
+                )
+
+    def _finalize_servers(self) -> None:
+        for server_id in sorted(self.servers):
+            ledger = self.servers[server_id]
+            accounted = ledger.disk_written + ledger.dirty + ledger.merged
+            if ledger.write_in != accounted:
+                self._fail(
+                    "pvfs",
+                    "server-conservation",
+                    f"server {server_id}: {ledger.write_in} B entered but "
+                    f"{accounted} B accounted "
+                    f"(disk {ledger.disk_written} + dirty {ledger.dirty} + "
+                    f"merged {ledger.merged})",
+                    server=server_id,
+                    write_in=ledger.write_in,
+                    disk_written=ledger.disk_written,
+                    dirty=ledger.dirty,
+                    merged=ledger.merged,
+                )
+
+    def _finalize_trace(self, recorder, now: float) -> None:
+        open_intervals = sorted(getattr(recorder, "_open", {}))
+        if open_intervals:
+            self._fail(
+                "trace",
+                "intervals-close",
+                f"{len(open_intervals)} interval(s) never closed",
+                open=open_intervals,
+            )
+        rows: Dict[Tuple[int, str], List[Tuple[float, float]]] = {}
+        for interval in recorder.intervals:
+            if interval.start < 0:
+                self._fail(
+                    "trace",
+                    "interval-bounds",
+                    "interval starts before t=0",
+                    rank=interval.rank,
+                    state=interval.state,
+                    start=interval.start,
+                )
+            if interval.state in _PLAN_WINDOW_STATES:
+                continue  # plan-window echoes may overlap / outlive the run
+            if interval.end > now:
+                self._fail(
+                    "trace",
+                    "interval-bounds",
+                    f"interval ends at {interval.end:.9g}, after the run "
+                    f"ended at {now:.9g}",
+                    rank=interval.rank,
+                    state=interval.state,
+                    end=interval.end,
+                )
+            rows.setdefault((interval.rank, interval.state), []).append(
+                (interval.start, interval.end)
+            )
+        for (rank, state), spans in sorted(rows.items()):
+            spans.sort()
+            prev_end = None
+            for start, end in spans:
+                if prev_end is not None and start < prev_end:
+                    self._fail(
+                        "trace",
+                        "row-overlap",
+                        f"rank {rank} state {state!r} has overlapping "
+                        f"intervals",
+                        rank=rank,
+                        state=state,
+                        prev_end=prev_end,
+                        next_start=start,
+                    )
+                prev_end = end
+
+    # -- reporting ----------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Counters for display (``s3asim run --check``) and tests."""
+        return {
+            "checks": self.checks,
+            "tx_bytes": self.tx_bytes,
+            "rx_bytes": self.rx_bytes,
+            "dropped_bytes": self.dropped_bytes,
+            "messages": {k: list(v) for k, v in sorted(self.messages.items())},
+            "servers": {
+                sid: {
+                    "write_in": led.write_in,
+                    "disk_written": led.disk_written,
+                    "dirty": led.dirty,
+                    "merged": led.merged,
+                }
+                for sid, led in sorted(self.servers.items())
+            },
+        }

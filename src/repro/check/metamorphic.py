@@ -1,0 +1,443 @@
+"""Metamorphic differential testing of the simulator (``s3asim check``).
+
+A simulator has no oracle: nobody knows that 24.301485 seconds is *the*
+right answer for a WW-POSIX run.  What we do know are **metamorphic
+relations** — pairs of configurations whose outputs must agree exactly
+even though no single output is known in advance:
+
+* ``strategies`` — all four I/O strategies write byte-identical files
+  (they order the writes differently; the merged content is the same).
+* ``query-sync`` — the query synchronization barrier changes timing, not
+  file content.
+* ``server-stack`` — the server-side elevator and write-back cache change
+  timing, not file content.
+* ``jobs`` — a sweep fanned out over a process pool is bit-identical to
+  the same sweep run serially (elapsed times and all).
+* ``empty-faults`` — an explicitly empty fault plan is bit-identical to
+  the default no-plan run, and re-running either reproduces it exactly
+  (no hidden global state).
+
+Every relation runs with the cross-layer invariant checker enabled
+(:mod:`repro.check.invariants`), so a case that breaks a conservation law
+fails even when the relation itself holds.
+
+When a relation fails the harness **shrinks** the case greedily (fewer
+queries, fragments, workers, servers) while it still fails, then writes a
+replayable JSON repro artifact — the debugging loop starts from the
+smallest known failing configuration, not the random one.
+
+This module is imported on demand (CLI, tests, harness) — never from the
+package ``__init__`` — because it pulls in the whole application stack and
+:mod:`repro.check.invariants` must stay importable by the simulation
+kernel itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from dataclasses import asdict, dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.app import S3aSim
+from ..core.config import SimulationConfig
+from ..core.strategies import STRATEGIES
+from ..exec.engine import PointSpec, run_points
+from ..faults.plan import FaultPlan
+from ..pvfs.filesystem import PVFSConfig
+from ..workload.results import ResultModel
+
+ARTIFACT_FORMAT = "s3asim-check-repro-1"
+
+#: All four strategies, in the paper's order.
+STRATEGY_NAMES = tuple(STRATEGIES)
+
+#: Default number of random cases per harness run; the nightly CI job
+#: raises it through the ``S3ASIM_CHECK_CASES`` environment variable.
+DEFAULT_CASES = 5
+CASES_ENV = "S3ASIM_CHECK_CASES"
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CheckCase:
+    """One randomly drawn configuration point (small enough to shrink)."""
+
+    seed: int
+    nprocs: int
+    nqueries: int
+    nfragments: int
+    nservers: int
+    write_every: int
+    strategy: str
+
+    def label(self) -> str:
+        return (
+            f"seed={self.seed} np={self.nprocs} q={self.nqueries} "
+            f"f={self.nfragments} s={self.nservers} "
+            f"we={self.write_every} {self.strategy}"
+        )
+
+
+def random_case(rng: random.Random) -> CheckCase:
+    """Draw one case from the small-but-representative region."""
+    return CheckCase(
+        seed=rng.randrange(2**31),
+        nprocs=rng.randint(3, 6),
+        nqueries=rng.randint(1, 4),
+        nfragments=rng.randint(1, 6),
+        nservers=rng.randint(2, 4),
+        write_every=rng.randint(1, 3),
+        strategy=rng.choice(STRATEGY_NAMES),
+    )
+
+
+def build_config(case: CheckCase, **overrides) -> SimulationConfig:
+    """The runnable config of a case: tiny results, data stored, checked."""
+    cfg = SimulationConfig(
+        nprocs=case.nprocs,
+        strategy=case.strategy,
+        nqueries=case.nqueries,
+        nfragments=case.nfragments,
+        seed=case.seed,
+        write_every=case.write_every,
+        store_data=True,
+        check=True,
+        result_model=ResultModel(min_count=20, max_count=60),
+        pvfs=replace(PVFSConfig.feynman(), nservers=case.nservers),
+    )
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def output_signature(app: S3aSim) -> Tuple[tuple, str]:
+    """What a run wrote: the extent list plus a hash of every byte."""
+    bytestore = app.fh.file.bytestore
+    digest = hashlib.sha256()
+    for start, end in bytestore.extents():
+        digest.update(bytestore.read(start, end - start))
+    return (tuple(bytestore.extents()), digest.hexdigest())
+
+
+def _run_signature(config: SimulationConfig) -> Tuple[float, tuple, str]:
+    app = S3aSim(config)
+    result = app.run()
+    extents, digest = output_signature(app)
+    return (result.elapsed, extents, digest)
+
+
+# -- relations ---------------------------------------------------------------
+# Each relation maps a case to None (holds) or a failure description.
+Relation = Callable[[CheckCase], Optional[str]]
+
+
+def relation_strategies(case: CheckCase) -> Optional[str]:
+    """All four I/O strategies must produce byte-identical output files."""
+    signatures = {}
+    for strategy in STRATEGY_NAMES:
+        elapsed, extents, digest = _run_signature(
+            build_config(case, strategy=strategy)
+        )
+        signatures[strategy] = (extents, digest)
+    baseline = signatures[STRATEGY_NAMES[0]]
+    for strategy, signature in signatures.items():
+        if signature != baseline:
+            return (
+                f"strategy {strategy} output differs from "
+                f"{STRATEGY_NAMES[0]}: {signature[1][:12]} != {baseline[1][:12]}"
+            )
+    return None
+
+
+def relation_query_sync(case: CheckCase) -> Optional[str]:
+    """The query-sync barrier must not change what lands in the file."""
+    _, extents_a, digest_a = _run_signature(build_config(case, query_sync=False))
+    _, extents_b, digest_b = _run_signature(build_config(case, query_sync=True))
+    if (extents_a, digest_a) != (extents_b, digest_b):
+        return (
+            f"query_sync changed the output file: "
+            f"{digest_a[:12]} != {digest_b[:12]}"
+        )
+    return None
+
+
+def relation_server_stack(case: CheckCase) -> Optional[str]:
+    """Elevator scheduling + write-back caching must preserve file content."""
+    base = build_config(case)
+    stacked = base.with_(
+        pvfs=replace(base.pvfs, disk_sched="elevator", server_cache_B=4 * MIB)
+    )
+    _, extents_a, digest_a = _run_signature(base)
+    _, extents_b, digest_b = _run_signature(stacked)
+    if (extents_a, digest_a) != (extents_b, digest_b):
+        return (
+            f"elevator+cache changed the output file: "
+            f"{digest_a[:12]} != {digest_b[:12]}"
+        )
+    return None
+
+
+def relation_jobs(case: CheckCase) -> Optional[str]:
+    """A parallel sweep must be bit-identical to the serial sweep."""
+    specs = [
+        PointSpec(key=(strategy,), config=build_config(case, strategy=strategy))
+        for strategy in STRATEGY_NAMES
+    ]
+    serial = run_points(specs, jobs=1)
+    fanned = run_points(specs, jobs=2)
+    for one, two in zip(serial, fanned):
+        if not one.ok or not two.ok:
+            failure = one.failure or two.failure
+            return f"sweep point failed: {failure}"
+        if one.result.elapsed != two.result.elapsed:
+            return (
+                f"point {one.key} diverged across jobs: "
+                f"{one.result.elapsed!r} != {two.result.elapsed!r}"
+            )
+    return None
+
+
+def relation_empty_faults(case: CheckCase) -> Optional[str]:
+    """No plan, an explicit empty plan, and a re-run must agree exactly."""
+    first = _run_signature(build_config(case))
+    explicit = _run_signature(build_config(case, fault_plan=FaultPlan.none()))
+    again = _run_signature(build_config(case))
+    if first != explicit:
+        return (
+            f"explicit empty fault plan diverged from the default: "
+            f"{first[0]!r} != {explicit[0]!r}"
+        )
+    if first != again:
+        return (
+            f"re-running the same config diverged (hidden global state): "
+            f"{first[0]!r} != {again[0]!r}"
+        )
+    return None
+
+
+RELATIONS: Dict[str, Relation] = {
+    "strategies": relation_strategies,
+    "query-sync": relation_query_sync,
+    "server-stack": relation_server_stack,
+    "jobs": relation_jobs,
+    "empty-faults": relation_empty_faults,
+}
+
+
+# -- shrinking ---------------------------------------------------------------
+def _shrink_candidates(case: CheckCase) -> List[CheckCase]:
+    """Strictly smaller neighbours, most aggressive first per dimension."""
+    candidates: List[CheckCase] = []
+    for fieldname, floor in (
+        ("nqueries", 1),
+        ("nfragments", 1),
+        ("nprocs", 2),
+        ("nservers", 1),
+        ("write_every", 1),
+    ):
+        value = getattr(case, fieldname)
+        if value <= floor:
+            continue
+        steps = {floor, (value + floor) // 2, value - 1}
+        for target in sorted(steps):
+            if floor <= target < value:
+                candidates.append(replace(case, **{fieldname: target}))
+    return candidates
+
+
+def shrink_case(
+    case: CheckCase,
+    still_fails: Callable[[CheckCase], bool],
+    max_attempts: int = 64,
+) -> CheckCase:
+    """Greedy minimization: accept any smaller neighbour that still fails."""
+    current = case
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _shrink_candidates(current):
+            attempts += 1
+            if attempts > max_attempts:
+                break
+            failed = False
+            try:
+                failed = still_fails(candidate)
+            except Exception:
+                # A case that errors out still reproduces the problem.
+                failed = True
+            if failed:
+                current = candidate
+                improved = True
+                break
+    return current
+
+
+# -- repro artifacts ---------------------------------------------------------
+def write_artifact(
+    path: str,
+    relation: str,
+    case: CheckCase,
+    error: str,
+    original: Optional[CheckCase] = None,
+) -> None:
+    """Persist a failing (shrunk) case so ``--replay`` can re-run it."""
+    doc = {
+        "format": ARTIFACT_FORMAT,
+        "relation": relation,
+        "case": asdict(case),
+        "error": error,
+    }
+    if original is not None and original != case:
+        doc["original_case"] = asdict(original)
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(doc, stream, indent=1, sort_keys=True)
+        stream.write("\n")
+
+
+def load_artifact(path: str) -> Tuple[str, CheckCase, str]:
+    """Parse a repro artifact; returns (relation, case, recorded error)."""
+    with open(path, "r", encoding="utf-8") as stream:
+        doc = json.load(stream)
+    if not isinstance(doc, dict) or doc.get("format") != ARTIFACT_FORMAT:
+        raise ValueError(
+            f"{path}: not a check artifact "
+            f"(format={doc.get('format') if isinstance(doc, dict) else None!r})"
+        )
+    relation = doc.get("relation")
+    if relation not in RELATIONS:
+        raise ValueError(f"{path}: unknown relation {relation!r}")
+    raw = doc.get("case")
+    if not isinstance(raw, dict):
+        raise ValueError(f"{path}: 'case' must be an object")
+    try:
+        case = CheckCase(**raw)
+    except TypeError as exc:
+        raise ValueError(f"{path}: bad case fields: {exc}") from None
+    return relation, case, str(doc.get("error", ""))
+
+
+def replay_artifact(path: str) -> Optional[str]:
+    """Re-run an artifact's relation on its case; None means it now holds."""
+    relation, case, _ = load_artifact(path)
+    return _evaluate(RELATIONS[relation], case)
+
+
+# -- the harness -------------------------------------------------------------
+@dataclass(frozen=True)
+class HarnessFailure:
+    """One broken relation, minimized and (optionally) persisted."""
+
+    relation: str
+    case: CheckCase
+    original: CheckCase
+    error: str
+    artifact: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class HarnessReport:
+    """What one harness run covered and what it found."""
+
+    cases: int
+    relations: Tuple[str, ...]
+    checks_run: int
+    failures: Tuple[HarnessFailure, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _evaluate(relation: Relation, case: CheckCase) -> Optional[str]:
+    """Run a relation defensively: an exception (e.g. an
+    ``InvariantViolation`` surfacing mid-run) is a failure too."""
+    try:
+        return relation(case)
+    except Exception as exc:
+        return f"{type(exc).__name__}: {exc}"
+
+
+def default_cases() -> int:
+    """Case count, overridable via ``S3ASIM_CHECK_CASES`` (nightly CI)."""
+    raw = os.environ.get(CASES_ENV, "")
+    try:
+        value = int(raw)
+    except ValueError:
+        return DEFAULT_CASES
+    return value if value > 0 else DEFAULT_CASES
+
+
+def run_harness(
+    ncases: Optional[int] = None,
+    seed: int = 0,
+    relations: Optional[List[str]] = None,
+    artifact_dir: Optional[str] = None,
+    shrink: bool = True,
+    log: Optional[Callable[[str], None]] = None,
+) -> HarnessReport:
+    """Draw cases, test every relation, shrink and persist any failure."""
+    if ncases is None:
+        ncases = default_cases()
+    names = list(relations) if relations else list(RELATIONS)
+    for name in names:
+        if name not in RELATIONS:
+            raise ValueError(
+                f"unknown relation {name!r} (have {sorted(RELATIONS)})"
+            )
+    rng = random.Random(seed)
+    failures: List[HarnessFailure] = []
+    checks_run = 0
+    for index in range(ncases):
+        case = random_case(rng)
+        for name in names:
+            relation = RELATIONS[name]
+            checks_run += 1
+            error = _evaluate(relation, case)
+            if error is None:
+                if log is not None:
+                    log(f"case {index} [{name}] ok ({case.label()})")
+                continue
+            if log is not None:
+                log(f"case {index} [{name}] FAILED: {error}")
+            shrunk = case
+            if shrink:
+
+                def _still_fails(candidate: CheckCase) -> bool:
+                    return _evaluate(relation, candidate) is not None
+
+                shrunk = shrink_case(case, _still_fails)
+                if shrunk != case:
+                    final = _evaluate(relation, shrunk)
+                    if final is not None:
+                        error = final
+                    if log is not None:
+                        log(f"  shrunk to {shrunk.label()}")
+            artifact_path = None
+            if artifact_dir is not None:
+                os.makedirs(artifact_dir, exist_ok=True)
+                artifact_path = os.path.join(
+                    artifact_dir, f"check-{name}-{index}.json"
+                )
+                write_artifact(
+                    artifact_path, name, shrunk, error, original=case
+                )
+                if log is not None:
+                    log(f"  repro artifact: {artifact_path}")
+            failures.append(
+                HarnessFailure(
+                    relation=name,
+                    case=shrunk,
+                    original=case,
+                    error=error,
+                    artifact=artifact_path,
+                )
+            )
+    return HarnessReport(
+        cases=ncases,
+        relations=tuple(names),
+        checks_run=checks_run,
+        failures=tuple(failures),
+    )

@@ -105,6 +105,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="fan independent simulation points out over N worker processes "
         "(sweep / fault-sweep; results are bit-identical to --jobs 1)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="audit cross-layer invariants during the run (repro.check); "
+        "zero-cost in simulated time, aborts on the first violation",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> SimulationConfig:
@@ -129,6 +135,7 @@ def _config_from(args: argparse.Namespace) -> SimulationConfig:
         network=preset.network,
         pvfs=preset.pvfs,
         store_data=args.store_data,
+        check=getattr(args, "check", False),
     )
     if args.seed is not None:
         kwargs["seed"] = args.seed
@@ -158,8 +165,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         with open(args.save_workload, "w") as fh:
             save_workload(cfg, fh)
         print(f"workload parameters written to {args.save_workload}")
-    result = S3aSim(cfg).run()
+    app = S3aSim(cfg)
+    result = app.run()
     print(result.summary_line())
+    checker = app.world.env.check
+    if checker.enabled:
+        summary = checker.summary()
+        kinds = "  ".join(
+            f"{kind}={sent}/{delivered}"
+            for kind, (sent, _, delivered, _) in summary["messages"].items()
+        )
+        print(
+            f"invariants: {summary['checks']} checks passed "
+            f"(wire {summary['tx_bytes']} B tx / {summary['rx_bytes']} B rx, "
+            f"msgs sent/delivered {kinds})"
+        )
     print()
     print(f"{'phase':>20s} {'master':>12s} {'worker mean':>12s}")
     wm = result.worker_mean
@@ -507,6 +527,46 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Metamorphic differential harness (see repro.check.metamorphic)."""
+    # Imported here, not at module top: the harness pulls in the whole
+    # application stack and is only needed by this subcommand.
+    from .check import metamorphic
+
+    if args.replay:
+        relation, case, recorded = metamorphic.load_artifact(args.replay)
+        print(f"replaying {args.replay}: [{relation}] {case.label()}")
+        if recorded:
+            print(f"recorded error: {recorded}")
+        error = metamorphic._evaluate(metamorphic.RELATIONS[relation], case)
+        if error is None:
+            print("relation now HOLDS (fixed, or environment-dependent)")
+            return 0
+        print(f"relation still FAILS: {error}")
+        return 1
+
+    relations = args.relations.split(",") if args.relations else None
+    log = print if args.verbose else None
+    report = metamorphic.run_harness(
+        ncases=args.cases,
+        seed=args.seed,
+        relations=relations,
+        artifact_dir=args.artifact_dir,
+        shrink=not args.no_shrink,
+        log=log,
+    )
+    print(
+        f"check: {report.cases} cases x {len(report.relations)} relations "
+        f"({', '.join(report.relations)}): {report.checks_run} checks, "
+        f"{len(report.failures)} failure(s)"
+    )
+    for failure in report.failures:
+        print(f"  [{failure.relation}] {failure.case.label()}: {failure.error}")
+        if failure.artifact:
+            print(f"    repro: s3asim check --replay {failure.artifact}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="s3asim",
@@ -576,6 +636,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--slow-duration", type=float, default=6.0)
     p_faults.add_argument("--slow-factor", type=float, default=4.0)
     p_faults.set_defaults(func=_cmd_fault_sweep)
+
+    p_check = sub.add_parser(
+        "check",
+        help="metamorphic differential harness over random configurations",
+    )
+    p_check.add_argument(
+        "--cases",
+        type=int,
+        default=None,
+        help="random configurations to draw (default: $S3ASIM_CHECK_CASES or 5)",
+    )
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument(
+        "--relations",
+        help="comma-separated relation subset (default: all); choose from "
+        "strategies,query-sync,server-stack,jobs,empty-faults",
+    )
+    p_check.add_argument(
+        "--artifact-dir",
+        help="write a replayable JSON repro artifact per failure here",
+    )
+    p_check.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip greedy minimization of failing cases",
+    )
+    p_check.add_argument("--verbose", action="store_true")
+    p_check.add_argument(
+        "--replay",
+        metavar="ARTIFACT",
+        help="re-run one saved repro artifact instead of drawing cases",
+    )
+    p_check.set_defaults(func=_cmd_check)
 
     p_hybrid = sub.add_parser(
         "hybrid",

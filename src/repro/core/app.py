@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..check.invariants import InvariantChecker
 from ..faults.injector import FaultInjector
 from ..mpi.world import MpiWorld
 from ..mpiio.file import MPIIOFile
@@ -35,6 +36,10 @@ class S3aSim:
             self.world.env.metrics = MetricsRegistry(
                 constant_labels={"strategy": config.strategy}
             )
+        if config.check:
+            # Same placement rule as metrics: before any layer caches the
+            # environment hook.
+            self.world.env.check = InvariantChecker(self.world.env)
         self.fs = FileSystem(
             self.world.env,
             config.effective_pvfs(),
@@ -156,6 +161,16 @@ class S3aSim:
             metrics_registry.set_gauge("run.elapsed_seconds", elapsed)
             metrics_registry.set_gauge("run.nprocs", float(cfg.nprocs))
         metrics = metrics_registry.snapshot()
+        checker = self.world.env.check
+        if checker.enabled:
+            # End-of-run audit: strict conservation equalities only hold on
+            # fault-free runs (a crashed worker legitimately abandons
+            # in-flight sends).
+            checker.finalize(
+                now=elapsed,
+                recorder=self.recorder,
+                fault_free=cfg.fault_plan.empty,
+            )
         return RunResult(
             strategy=cfg.strategy,
             query_sync=cfg.query_sync,

@@ -84,6 +84,12 @@ class SimulationConfig:
     #: same events without perturbing their order.
     collect_metrics: bool = False
 
+    #: Run the cross-layer invariant checker (``repro.check``) during the
+    #: run.  Off by default: the null checker is a shared no-op and keeps
+    #: runs bit-identical; enabling it audits conservation laws in zero
+    #: virtual time and raises ``InvariantViolation`` on the first breach.
+    check: bool = False
+
     #: The run's failure schedule.  The default (empty) plan injects
     #: nothing and keeps the simulation bit-identical to a fault-free
     #: build — the tolerance machinery only activates when needed.

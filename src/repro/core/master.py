@@ -447,6 +447,12 @@ class Master:
             total = sum(b.total_bytes for b in batches)
             base = self.ledger.base_for(q, total)
             offsets_by_frag, block_size = merge_query(batches, base)
+            c = self.comm.env.check
+            if c.enabled:
+                c.offsets_assigned(
+                    q, base, block_size, offsets_by_frag,
+                    {b.fragment_id: b.sizes for b in batches},
+                )
             blocks.append((q, base, block_size))
             for frag, offsets in offsets_by_frag.items():
                 worker = self.task_owner[(q, frag)]
@@ -492,6 +498,12 @@ class Master:
             total = sum(b.total_bytes for b in batches)
             base = self.ledger.base_for(q, total)
             offsets_by_frag, block_size = merge_query(batches, base)
+            c = self.comm.env.check
+            if c.enabled:
+                c.offsets_assigned(
+                    q, base, block_size, offsets_by_frag,
+                    {b.fragment_id: b.sizes for b in batches},
+                )
             data: Optional[bytes] = None
             if self.cfg.store_data:
                 block = bytearray(block_size)

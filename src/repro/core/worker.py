@@ -345,6 +345,12 @@ class Worker:
                 self._count("entries_skipped")
                 continue
             written.append(key)
+            c = self.comm.env.check
+            if c.enabled:
+                c.entry_alignment(
+                    entry.query_id, entry.fragment_id,
+                    len(entry.offsets), len(batch.sizes),
+                )
             for i, (offset, size) in enumerate(zip(entry.offsets, batch.sizes)):
                 regions.append((int(offset), int(size)))
                 if datas is not None:
@@ -399,6 +405,12 @@ class Worker:
                 self._count("entries_skipped")
                 continue
             written.append(key)
+            c = self.comm.env.check
+            if c.enabled:
+                c.entry_alignment(
+                    entry.query_id, entry.fragment_id,
+                    len(entry.offsets), len(batch.sizes),
+                )
             for i, (offset, size) in enumerate(zip(entry.offsets, batch.sizes)):
                 regions.append((int(offset), int(size)))
                 if datas is not None:

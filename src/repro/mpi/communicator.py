@@ -116,6 +116,9 @@ class Communicator:
         if m.enabled:
             m.counter("mpi.messages", kind=kind, src=self.ranks[src]).add()
             m.counter("mpi.bytes", kind=kind, src=self.ranks[src]).add(float(nbytes))
+        c = self.env.check
+        if c.enabled:
+            c.msg_sent(kind, nbytes)
         return request
 
     def _loopback(self, src, dst, tag, nbytes, payload, seq, request):
@@ -124,6 +127,9 @@ class Communicator:
         self.mailboxes[dst].deliver(
             Envelope(src=src, dst=dst, tag=tag, nbytes=nbytes, payload=payload, seq=seq)
         )
+        c = self.env.check
+        if c.enabled:
+            c.msg_delivered("loopback", nbytes)
 
     def _oob(self, src, dst, tag, nbytes, payload, seq, request):
         # Out-of-band control channel (management network): pays the wire
@@ -139,6 +145,9 @@ class Communicator:
                 kind=EAGER, seq=seq,
             )
         )
+        c = self.env.check
+        if c.enabled:
+            c.msg_delivered("oob", nbytes)
 
     def _eager(self, src, dst, tag, nbytes, payload, seq, request):
         # Sender serializes onto the wire; once the bytes leave the host the
@@ -152,6 +161,9 @@ class Communicator:
                 kind=EAGER, seq=seq,
             )
         )
+        c = self.env.check
+        if c.enabled:
+            c.msg_delivered("eager", nbytes)
 
     def _rendezvous(self, src, dst, tag, nbytes, payload, seq, request):
         cts = self.env.event()
@@ -166,6 +178,11 @@ class Communicator:
             self.ranks[src], self.ranks[dst], HEADER_BYTES
         )
         self.mailboxes[dst].deliver(header)
+        # Delivered once the receiver holds the RTS envelope: the payload
+        # stream is driven by the matched receive from here on.
+        c = self.env.check
+        if c.enabled:
+            c.msg_delivered("rendezvous", nbytes)
         # Wait for the matching receive (CTS), pay the CTS flight time,
         # then stream the payload.
         yield cts

@@ -222,6 +222,9 @@ class Network:
         m = self.env.metrics
         if m.enabled:
             m.inc("mpi.nic_tx_bytes", float(nbytes), nic=nic.nic_id, rank=src)
+        c = self.env.check
+        if c.enabled:
+            c.nic_tx(nbytes)
 
     def occupy_rx(self, dst: int, nbytes: int):
         """Process fragment: hold dst's RX channel for the wire time."""
@@ -236,12 +239,15 @@ class Network:
         m = self.env.metrics
         if m.enabled:
             m.inc("mpi.nic_rx_bytes", float(nbytes), nic=nic.nic_id, rank=dst)
+        c = self.env.check
+        if c.enabled:
+            c.nic_rx(nbytes)
 
     def wire_latency(self):
         """Process fragment: one-way propagation delay."""
         yield self.env.timeout(self.config.latency_s)
 
-    def _dropped_by(self, src: int, dst: int):
+    def _dropped_by(self, src: int, dst: int, nbytes: int):
         """The loss window that dropped this crossing, or None; counts it."""
         faults = self.faults
         if faults is None:
@@ -253,6 +259,9 @@ class Network:
         m = self.env.metrics
         if m.enabled:
             m.inc("mpi.drops", 1.0, src=src, dst=dst)
+        c = self.env.check
+        if c.enabled:
+            c.wire_drop(nbytes)
         return spec
 
     def _check_retry_budget(
@@ -288,7 +297,7 @@ class Network:
         attempt = 0
         while True:
             yield from self.wire_latency()
-            spec = self._dropped_by(src, dst)
+            spec = self._dropped_by(src, dst, nbytes)
             if spec is None:
                 yield from self.occupy_rx(dst, nbytes)
                 return
@@ -327,7 +336,7 @@ class Network:
                 yield slot
                 yield from self.occupy_tx(src, nbytes)
                 yield from self.wire_latency()
-                spec = self._dropped_by(src, dst)
+                spec = self._dropped_by(src, dst, nbytes)
                 if spec is None:
                     yield from self.occupy_rx(dst, nbytes)
                     return

@@ -103,6 +103,7 @@ class WriteBackCache:
             # client stalls behind a synchronous flush.
             yield from self.flush()
         yield self.env.timeout(self.memory_time(len(live), nbytes))
+        dirty_before = self.dirty_bytes
         for offset, length in live:
             self._insert(offset, offset + length)
         self.absorbed_bytes += nbytes
@@ -111,6 +112,14 @@ class WriteBackCache:
         if server._m_enabled:
             server._c_cache_absorbed.add(nbytes)
             server._g_cache_dirty.set(float(self.dirty_bytes))
+        c = self.env.check
+        if c.enabled:
+            # Bytes that fused into existing dirty runs (overlap) are
+            # "merged away": absorbed but never individually flushed.
+            c.cache_absorb(
+                server.server_id, nbytes, nbytes - (self.dirty_bytes - dirty_before)
+            )
+            c.cache_state(server.server_id, self.dirty_runs, self.dirty_bytes)
         if self.dirty_bytes >= self.watermark_B:
             self.env.process(
                 self.flush(), name=f"flush-wm-s{server.server_id}"
@@ -174,6 +183,12 @@ class WriteBackCache:
             runs, self.dirty_runs = self.dirty_runs, []
             nbytes, self.dirty_bytes = self.dirty_bytes, 0
             server = self.server
+            c = self.env.check
+            if c.enabled:
+                c.cache_flush(server.server_id, runs, nbytes)
+                c.cache_state(
+                    server.server_id, self.dirty_runs, self.dirty_bytes
+                )
             start = self.env.now
             yield from server._acquire_and_service(
                 [(lo, hi - lo) for lo, hi in runs], is_read=False

@@ -286,6 +286,12 @@ class FileSystem:
             )
 
         by_server = self.layout.map_regions(regions)
+        c = self.env.check
+        if c.enabled:
+            c.layout_mapped(
+                sum(length for _, length in regions),
+                sum(p.length for pieces in by_server.values() for p in pieces),
+            )
         subrequests = []
         for server_id, pieces in by_server.items():
             # Service in ascending physical offset, as the server would.
@@ -305,6 +311,12 @@ class FileSystem:
         """Process fragment: list-I/O read; returns per-region bytes or None."""
         regions = list(regions)
         by_server = self.layout.map_regions(regions)
+        c = self.env.check
+        if c.enabled:
+            c.layout_mapped(
+                sum(length for _, length in regions),
+                sum(p.length for pieces in by_server.values() for p in pieces),
+            )
         subrequests = []
         for server_id, pieces in by_server.items():
             phys = sorted((p.physical_offset, p.length) for p in pieces)

@@ -143,6 +143,10 @@ class IOServer:
         detail = self.disk.service_detail(regions, self.head_position)
         self.head_position = detail.new_head
         yield self.env.timeout(detail.seconds)
+        if not is_read:
+            c = self.env.check
+            if c.enabled:
+                c.server_disk_write(self.server_id, detail.bytes)
         stats = self.stats
         stats.requests += 1
         stats.regions += detail.regions
@@ -188,6 +192,12 @@ class IOServer:
         Writes land in the write-back cache when one is configured; reads
         fully covered by dirty extents are served from memory.
         """
+        if not is_read:
+            c = self.env.check
+            if c.enabled:
+                c.server_write_in(
+                    self.server_id, sum(length for _, length in regions)
+                )
         cache = self.cache
         if cache is not None:
             if not is_read:

@@ -6,6 +6,7 @@ from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Iterable, List, Optional, Tuple, Union
 
+from ..check.invariants import NULL_CHECKER
 from ..obs.metrics import NULL_METRICS
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout
@@ -30,6 +31,9 @@ class Environment:
         # null registry makes every metric call a no-op; the kernel itself
         # never reads it, so metrics cannot perturb event ordering.
         self.metrics = NULL_METRICS
+        # Invariant-checking hook (``--check``): same null-object pattern —
+        # pure bookkeeping when enabled, so the event order is untouched.
+        self.check = NULL_CHECKER
 
     def __repr__(self) -> str:
         return f"<Environment now={self._now:.9g} queued={len(self._queue)}>"

@@ -1,0 +1,188 @@
+"""The metamorphic harness: relations, shrinking, repro artifacts."""
+
+import json
+import random
+
+import pytest
+
+import repro.core.master as master_module
+from repro.check import metamorphic as M
+from repro.core.offsets import merge_query
+
+
+def small_case(**overrides):
+    base = dict(
+        seed=11,
+        nprocs=3,
+        nqueries=2,
+        nfragments=2,
+        nservers=2,
+        write_every=1,
+        strategy="ww-list",
+    )
+    base.update(overrides)
+    return M.CheckCase(**base)
+
+
+class TestCaseGeneration:
+    def test_same_seed_same_cases(self):
+        a_rng = random.Random(5)
+        a = [M.random_case(a_rng) for _ in range(3)]
+        b_rng = random.Random(5)
+        b = [M.random_case(b_rng) for _ in range(3)]
+        assert a == b
+
+    def test_cases_stay_in_bounds(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            case = M.random_case(rng)
+            assert 3 <= case.nprocs <= 6
+            assert 1 <= case.nqueries <= 4
+            assert 1 <= case.nfragments <= 6
+            assert 2 <= case.nservers <= 4
+            assert 1 <= case.write_every <= 3
+            assert case.strategy in M.STRATEGY_NAMES
+
+    def test_build_config_shape(self):
+        case = small_case()
+        cfg = M.build_config(case)
+        assert cfg.store_data and cfg.check
+        assert cfg.pvfs.nservers == case.nservers
+        assert cfg.result_model.max_count == 60
+        # Overrides flow through with_().
+        assert M.build_config(case, strategy="mw").strategy == "mw"
+
+
+class TestRelations:
+    def test_all_relations_hold_on_a_healthy_case(self):
+        case = small_case()
+        for name, relation in M.RELATIONS.items():
+            assert relation(case) is None, name
+
+    def test_signature_is_deterministic(self):
+        cfg = M.build_config(small_case())
+        assert M._run_signature(cfg) == M._run_signature(cfg)
+
+
+class TestShrinking:
+    def test_shrinks_to_the_minimal_failing_region(self):
+        case = small_case(nqueries=4, nfragments=6, nprocs=6, nservers=4)
+
+        def fails(candidate):
+            return candidate.nqueries >= 2 and candidate.nfragments >= 3
+
+        shrunk = M.shrink_case(case, fails)
+        assert (shrunk.nqueries, shrunk.nfragments) == (2, 3)
+        assert shrunk.nprocs == 2 and shrunk.nservers == 1
+        assert fails(shrunk)
+
+    def test_unshrinkable_case_is_returned_unchanged(self):
+        case = small_case(nqueries=1, nfragments=1, nprocs=2, nservers=1,
+                          write_every=1)
+        assert M.shrink_case(case, lambda c: True) == case
+
+    def test_candidates_are_strictly_smaller(self):
+        case = small_case(nqueries=4, nfragments=6)
+        for candidate in M._shrink_candidates(case):
+            assert candidate != case
+            assert (
+                candidate.nqueries <= case.nqueries
+                and candidate.nfragments <= case.nfragments
+                and candidate.nprocs <= case.nprocs
+                and candidate.nservers <= case.nservers
+                and candidate.write_every <= case.write_every
+            )
+
+
+class TestArtifacts:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "repro.json")
+        case = small_case()
+        M.write_artifact(path, "query-sync", case, "boom",
+                         original=small_case(nqueries=4))
+        relation, loaded, error = M.load_artifact(path)
+        assert relation == "query-sync"
+        assert loaded == case
+        assert error == "boom"
+        doc = json.loads(open(path).read())
+        assert doc["format"] == M.ARTIFACT_FORMAT
+        assert doc["original_case"]["nqueries"] == 4
+
+    def test_load_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="not a check artifact"):
+            M.load_artifact(str(path))
+
+    def test_load_rejects_unknown_relation(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": M.ARTIFACT_FORMAT,
+                                    "relation": "nope", "case": {}}))
+        with pytest.raises(ValueError, match="unknown relation"):
+            M.load_artifact(str(path))
+
+    def test_replay_of_a_healthy_case_holds(self, tmp_path):
+        path = str(tmp_path / "repro.json")
+        M.write_artifact(path, "empty-faults", small_case(), "stale error")
+        assert M.replay_artifact(path) is None
+
+
+class TestHarness:
+    def test_clean_harness_run(self):
+        report = M.run_harness(
+            ncases=1, seed=3, relations=["query-sync", "empty-faults"]
+        )
+        assert report.ok
+        assert report.cases == 1
+        assert report.checks_run == 2
+        assert report.relations == ("query-sync", "empty-faults")
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ValueError, match="unknown relation"):
+            M.run_harness(ncases=1, relations=["nope"])
+
+    def test_cases_env_var(self, monkeypatch):
+        monkeypatch.setenv(M.CASES_ENV, "17")
+        assert M.default_cases() == 17
+        monkeypatch.setenv(M.CASES_ENV, "garbage")
+        assert M.default_cases() == M.DEFAULT_CASES
+        monkeypatch.delenv(M.CASES_ENV)
+        assert M.default_cases() == M.DEFAULT_CASES
+
+    def test_corruption_is_caught_shrunk_and_replayable(
+        self, tmp_path, monkeypatch
+    ):
+        """The acceptance path: break a layer, get a minimized repro."""
+
+        def corrupted(batches, base_offset):
+            offsets, block = merge_query(batches, base_offset)
+            for frag, arr in offsets.items():
+                if len(arr) >= 2:
+                    bad = arr.copy()
+                    bad[0] = bad[1]
+                    offsets[frag] = bad
+                    break
+            return offsets, block
+
+        monkeypatch.setattr(master_module, "merge_query", corrupted)
+        report = M.run_harness(
+            ncases=1,
+            seed=3,
+            relations=["query-sync"],
+            artifact_dir=str(tmp_path),
+        )
+        assert not report.ok
+        (failure,) = report.failures
+        assert "InvariantViolation" in failure.error
+        assert "dense-tiling" in failure.error
+        # Shrinking reached the floor of every dimension that still fails.
+        assert failure.case.nprocs == 2
+        assert failure.case.nservers == 1
+        assert failure.case.nqueries == 1
+        assert failure.artifact is not None
+        # The artifact replays to the same failure while the bug exists...
+        error = M.replay_artifact(failure.artifact)
+        assert error is not None and "dense-tiling" in error
+        # ...and holds again once the bug is fixed.
+        monkeypatch.setattr(master_module, "merge_query", merge_query)
+        assert M.replay_artifact(failure.artifact) is None

@@ -155,3 +155,75 @@ def test_property_merge_is_dense_tiling(batches, base):
     # fragment's list pairs 1:1 with its stored sizes.
     for b in batches:
         assert len(offsets.get(b.fragment_id, [])) == b.count
+
+
+# -- seeded stdlib-random property tests (no hypothesis shrink phase; each
+# -- seed is one deterministic, replayable example) -------------------------
+
+def _random_batches(rng, query=0, max_frags=6, max_count=8):
+    batches = []
+    for frag in range(rng.randint(1, max_frags)):
+        count = rng.randint(0, max_count)
+        scores = sorted(
+            (rng.random() for _ in range(count)), reverse=True
+        )
+        sizes = [rng.randint(1, 1000) for _ in range(count)]
+        batches.append(meta(query, frag, scores, sizes))
+    return batches
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_property_seeded_dense_tiling(seed):
+    import random
+
+    rng = random.Random(seed)
+    batches = _random_batches(rng)
+    base = rng.randrange(1 << 30)
+    offsets, block = merge_query(batches, base_offset=base)
+    assert block == sum(b.total_bytes for b in batches)
+    validate_assignment(
+        offsets,
+        {b.fragment_id: b.sizes for b in batches},
+        base_offset=base,
+        block_size=block,
+    )
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_property_scores_descend_in_file_order(seed):
+    """Walking the block front to back must visit scores high to low
+    (ties broken by (fragment, index) — the paper's output contract)."""
+    import random
+
+    rng = random.Random(seed + 1000)
+    batches = _random_batches(rng)
+    offsets, _ = merge_query(batches, base_offset=0)
+    annotated = []
+    for b in batches:
+        for i, offset in enumerate(offsets[b.fragment_id]):
+            annotated.append(
+                (int(offset), float(b.scores[i]), b.fragment_id, i)
+            )
+    annotated.sort()  # file order
+    keys = [(-score, frag, idx) for _, score, frag, idx in annotated]
+    assert keys == sorted(keys)
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_property_batch_arrival_order_is_irrelevant(seed):
+    """Fragments report in nondeterministic network order; the merge must
+    assign identical offsets for any permutation of the batch list."""
+    import random
+
+    rng = random.Random(seed + 2000)
+    batches = _random_batches(rng)
+    base = rng.randrange(1 << 20)
+    reference, ref_block = merge_query(batches, base_offset=base)
+    for _ in range(3):
+        shuffled = batches[:]
+        rng.shuffle(shuffled)
+        offsets, block = merge_query(shuffled, base_offset=base)
+        assert block == ref_block
+        assert set(offsets) == set(reference)
+        for frag in reference:
+            np.testing.assert_array_equal(offsets[frag], reference[frag])

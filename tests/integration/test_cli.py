@@ -137,3 +137,32 @@ class TestCommands:
 
         doc = json_mod.loads(json_path.read_text())
         assert doc["format"] == "s3asim-sweep-1"
+
+    def test_run_with_check(self, capsys):
+        code = main(["run", *SMALL, "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "invariants:" in out
+        assert "checks passed" in out
+
+    def test_check_subcommand(self, capsys):
+        code = main(["check", "--cases", "1", "--seed", "3",
+                     "--relations", "query-sync,empty-faults"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 failure(s)" in out
+
+    def test_check_replay(self, capsys, tmp_path):
+        from repro.check import metamorphic as M
+
+        path = str(tmp_path / "repro.json")
+        M.write_artifact(
+            path, "empty-faults",
+            M.CheckCase(seed=11, nprocs=3, nqueries=1, nfragments=2,
+                        nservers=2, write_every=1, strategy="ww-list"),
+            "stale error",
+        )
+        code = main(["check", "--replay", path])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "HOLDS" in out

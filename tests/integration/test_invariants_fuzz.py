@@ -80,3 +80,76 @@ def test_property_runs_are_deterministic(seed, strategy):
     second = S3aSim(cfg).run()
     assert first.elapsed == second.elapsed
     assert first.worker_mean.as_dict() == second.worker_mean.as_dict()
+
+
+# -- the cross-layer checker under fire (repro.check + faults) --------------
+
+from repro.faults.plan import FaultPlan, MessageLoss, ServerOutage, WorkerCrash
+from repro.trace import TraceRecorder
+
+fault_cases = st.fixed_dictionaries(
+    {
+        "nprocs": st.integers(3, 6),
+        "strategy": st.sampled_from(["mw", "ww-posix", "ww-list", "ww-coll"]),
+        "nqueries": st.integers(1, 3),
+        "nfragments": st.integers(1, 5),
+        "seed": st.integers(0, 30),
+        "crash_rank": st.integers(1, 2),
+        "crash_time": st.floats(0.5, 6.0, allow_nan=False),
+        "outage_start": st.floats(0.5, 6.0, allow_nan=False),
+        "drop_prob": st.floats(0.0, 0.15, allow_nan=False),
+    }
+)
+
+
+@given(params=fault_cases)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_property_checker_holds_under_faults(params):
+    """Crashes, outages, and message loss must not break any audited law.
+
+    The checker runs with a trace recorder attached so the trace
+    well-formedness laws are exercised too (crash-truncated intervals,
+    injector plan-window rows).
+    """
+    plan = FaultPlan(
+        worker_crashes=(
+            WorkerCrash(
+                rank=params["crash_rank"],
+                at_time=params["crash_time"],
+                downtime_s=1.5,
+            ),
+        ),
+        server_outages=(
+            ServerOutage(server_id=0, start=params["outage_start"], duration=1.0),
+        ),
+        message_loss=(
+            (MessageLoss(drop_prob=params["drop_prob"], start=0.0, end=8.0),)
+            if params["drop_prob"] > 0
+            else ()
+        ),
+    )
+    cfg = SimulationConfig(
+        nprocs=params["nprocs"],
+        strategy=params["strategy"],
+        nqueries=params["nqueries"],
+        nfragments=params["nfragments"],
+        seed=params["seed"],
+        check=True,
+        fault_plan=plan,
+        result_model=ResultModel(min_count=20, max_count=60),
+    )
+    app = S3aSim(cfg, recorder=TraceRecorder())
+    result = app.run()  # any InvariantViolation fails the example
+
+    assert result.file_stats.complete, (params, result.file_stats)
+    checker = app.world.env.check
+    assert checker.checks > 0
+    summary = checker.summary()
+    # The monotone wire law holds even when strict equality is waived.
+    assert (
+        summary["rx_bytes"] + summary["dropped_bytes"] <= summary["tx_bytes"]
+    )

@@ -158,6 +158,41 @@ class TestJsonRoundTrip:
         ]
 
 
+    def test_round_trip_preserves_a_real_cached_run(self):
+        """Every interval of a live run survives export -> load, including
+        the ``server_flush`` rows the write-back cache records on negative
+        server ranks (export reorders by (rank, start); compare as
+        multisets)."""
+        from dataclasses import replace
+
+        from repro.core import S3aSim, SimulationConfig
+
+        cfg = SimulationConfig(
+            strategy="ww-posix", nprocs=4, nqueries=2, nfragments=4
+        )
+        cfg = cfg.with_(
+            pvfs=replace(cfg.pvfs, server_cache_B=4 * 1024 * 1024)
+        )
+        recorder = TraceRecorder()
+        S3aSim(cfg, recorder=recorder).run()
+        flush_rows = [i for i in recorder.intervals if i.state == "server_flush"]
+        assert flush_rows, "cache never flushed — workload too small"
+        assert all(i.rank < 0 for i in flush_rows)
+
+        buffer = io.StringIO()
+        export_json(recorder, buffer)
+        buffer.seek(0)
+        loaded = load_json(buffer)
+
+        def key(interval):
+            return (interval.rank, interval.state, interval.start, interval.end)
+
+        assert sorted(map(key, loaded.intervals)) == sorted(
+            map(key, recorder.intervals)
+        )
+        assert loaded.states() and set(loaded.states()) == set(recorder.states())
+
+
 class TestLoadJsonValidation:
     """Malformed traces must fail with the file and record pinpointed."""
 
