@@ -28,6 +28,7 @@ from .sweeps import (
     SweepResult,
     compute_speed_sweep,
     process_scaling_sweep,
+    replica_sweep,
     server_cache_sweep,
 )
 from .tables import (
@@ -61,6 +62,7 @@ __all__ = [
     "overall_table",
     "phase_table",
     "process_scaling_sweep",
+    "replica_sweep",
     "server_cache_sweep",
     "replicate",
     "ratio_table",

@@ -232,3 +232,40 @@ def server_cache_sweep(
                     PointSpec(key=(strategy, query_sync, float(mib)), config=config)
                 )
     return _execute_sweep("server_cache_mib", specs, jobs, progress, reporter)
+
+
+def replica_sweep(
+    base: SimulationConfig,
+    replica_counts: Sequence[int] = (1, 2, 3),
+    strategies: Sequence[str] = ALL_STRATEGIES,
+    sync_options: Sequence[bool] = (False, True),
+    nprocs: Optional[int] = None,
+    progress: ProgressHook = None,
+    jobs: int = 1,
+    reporter: OutcomeHook = None,
+) -> SweepResult:
+    """ROADMAP's replication scale study: overall time vs replica count.
+
+    ``x`` is the per-stripe replica count — 1 is the seed's unreplicated
+    volume, each extra copy buys outage survival at the write-amplification
+    cost the sweep measures.  Combine with ``base.fault_plan`` to measure
+    the degraded-mode price instead of the healthy-path price.
+    """
+    specs = []
+    for replicas in replica_counts:
+        if replicas < 1:
+            raise ValueError(f"replica count must be >= 1, got {replicas}")
+        pvfs = replace(base.pvfs, replicas=int(replicas))
+        for query_sync in sync_options:
+            for strategy in strategies:
+                config = base.with_(
+                    strategy=strategy, query_sync=query_sync, pvfs=pvfs
+                )
+                if nprocs is not None:
+                    config = config.with_(nprocs=nprocs)
+                specs.append(
+                    PointSpec(
+                        key=(strategy, query_sync, float(replicas)), config=config
+                    )
+                )
+    return _execute_sweep("replicas", specs, jobs, progress, reporter)

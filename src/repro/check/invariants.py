@@ -39,7 +39,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 #: Injector-written trace rows that echo a fault plan's *windows* rather
 #: than measured activity: a plan may legally schedule overlapping windows
 #: on one server, and a window may outlive the run.
-_PLAN_WINDOW_STATES = frozenset({"server_degraded", "server_outage"})
+_PLAN_WINDOW_STATES = frozenset(
+    {"server_degraded", "server_outage", "server_killed"}
+)
 
 
 class InvariantViolation(Exception):
@@ -106,6 +108,23 @@ class NullChecker:
     ) -> None:
         pass
 
+    def cache_lost(self, server_id: int, nbytes: int) -> None:
+        pass
+
+    def replica_write(
+        self, primary: int, nbytes: int, nlive: int, nmissed: int, ndead: int
+    ) -> None:
+        pass
+
+    def replica_missed(self, server_id: int, nbytes: int) -> None:
+        pass
+
+    def replica_rebuilt(self, server_id: int, nbytes: int) -> None:
+        pass
+
+    def server_dead(self, server_id: int, abandoned_bytes: int) -> None:
+        pass
+
     def layout_mapped(self, logical_bytes: int, physical_bytes: int) -> None:
         pass
 
@@ -131,9 +150,29 @@ NULL_CHECKER = NullChecker()
 
 
 class _ServerLedger:
-    """Byte accounting of one I/O server's write path."""
+    """Byte accounting of one I/O server's write path.
 
-    __slots__ = ("write_in", "disk_written", "absorbed", "merged", "dirty")
+    Replication/recovery fields: ``lost`` is dirty cache data dropped by a
+    failing daemon (volatile buffer), ``missed`` is bytes acked to clients
+    while this server was down (degraded writes + re-drive targets),
+    ``rebuilt`` is the portion the background rebuild has landed, and
+    ``abandoned`` is the portion discarded because the server was killed
+    permanently.  ``missed - rebuilt - abandoned`` is the server's open
+    durability gap and must never go negative.
+    """
+
+    __slots__ = (
+        "write_in",
+        "disk_written",
+        "absorbed",
+        "merged",
+        "dirty",
+        "lost",
+        "missed",
+        "rebuilt",
+        "abandoned",
+        "dead",
+    )
 
     def __init__(self) -> None:
         self.write_in = 0
@@ -141,6 +180,11 @@ class _ServerLedger:
         self.absorbed = 0
         self.merged = 0
         self.dirty = 0
+        self.lost = 0
+        self.missed = 0
+        self.rebuilt = 0
+        self.abandoned = 0
+        self.dead = False
 
 
 class InvariantChecker:
@@ -166,6 +210,12 @@ class InvariantChecker:
         self.messages: Dict[str, List[int]] = {}
         # PVFS per-server ledgers.
         self.servers: Dict[int, _ServerLedger] = {}
+        # Replicated-write ledger: every replicated request's chain must be
+        # the same width, and no write may ever be acked with zero live
+        # replicas.
+        self._chain_width: Optional[int] = None
+        self.replica_writes = 0
+        self.replica_acked_bytes = 0
         # Offset-layout cursor: None until the first block (supports
         # resumed runs, whose first base is nonzero).
         self._offset_cursor: Optional[int] = None
@@ -340,6 +390,96 @@ class InvariantChecker:
             total += hi - lo
         return total
 
+    def cache_lost(self, server_id: int, nbytes: int) -> None:
+        self.checks += 1
+        ledger = self._server(server_id)
+        if nbytes < 0 or nbytes > ledger.dirty:
+            self._fail(
+                "pvfs",
+                "cache-loss",
+                f"server {server_id} lost {nbytes} B of dirty data but the "
+                f"gauge held {ledger.dirty} B",
+                server=server_id,
+                lost=nbytes,
+                dirty=ledger.dirty,
+            )
+        ledger.lost += nbytes
+
+    def replica_write(
+        self, primary: int, nbytes: int, nlive: int, nmissed: int, ndead: int
+    ) -> None:
+        self.checks += 1
+        if nlive < 1:
+            self._fail(
+                "pvfs",
+                "replica-liveness",
+                f"write on chain of primary {primary} acked with zero live "
+                f"replicas",
+                primary=primary,
+                nbytes=nbytes,
+                nmissed=nmissed,
+                ndead=ndead,
+            )
+        width = nlive + nmissed + ndead
+        if self._chain_width is None:
+            self._chain_width = width
+        elif width != self._chain_width:
+            self._fail(
+                "pvfs",
+                "replica-chain-width",
+                f"chain of primary {primary} has {width} members, "
+                f"expected {self._chain_width}",
+                primary=primary,
+                width=width,
+                expected=self._chain_width,
+            )
+        self.replica_writes += 1
+        self.replica_acked_bytes += nbytes * nlive
+
+    def replica_missed(self, server_id: int, nbytes: int) -> None:
+        self.checks += 1
+        if nbytes <= 0:
+            self._fail(
+                "pvfs",
+                "replica-ledger",
+                f"server {server_id} recorded a non-positive miss",
+                server=server_id,
+                nbytes=nbytes,
+            )
+        self._server(server_id).missed += nbytes
+
+    def replica_rebuilt(self, server_id: int, nbytes: int) -> None:
+        self.checks += 1
+        ledger = self._server(server_id)
+        ledger.rebuilt += nbytes
+        if ledger.rebuilt + ledger.abandoned > ledger.missed:
+            self._fail(
+                "pvfs",
+                "rebuild-overrun",
+                f"server {server_id} rebuilt more bytes than were ever missed",
+                server=server_id,
+                missed=ledger.missed,
+                rebuilt=ledger.rebuilt,
+                abandoned=ledger.abandoned,
+            )
+
+    def server_dead(self, server_id: int, abandoned_bytes: int) -> None:
+        self.checks += 1
+        ledger = self._server(server_id)
+        ledger.dead = True
+        ledger.abandoned += abandoned_bytes
+        if ledger.rebuilt + ledger.abandoned > ledger.missed:
+            self._fail(
+                "pvfs",
+                "replica-ledger",
+                f"server {server_id} abandoned more bytes than were ever "
+                f"missed",
+                server=server_id,
+                missed=ledger.missed,
+                rebuilt=ledger.rebuilt,
+                abandoned=ledger.abandoned,
+            )
+
     def layout_mapped(self, logical_bytes: int, physical_bytes: int) -> None:
         self.checks += 1
         if logical_bytes != physical_bytes:
@@ -481,7 +621,9 @@ class InvariantChecker:
     def _finalize_servers(self) -> None:
         for server_id in sorted(self.servers):
             ledger = self.servers[server_id]
-            accounted = ledger.disk_written + ledger.dirty + ledger.merged
+            accounted = (
+                ledger.disk_written + ledger.dirty + ledger.merged + ledger.lost
+            )
             if ledger.write_in != accounted:
                 self._fail(
                     "pvfs",
@@ -489,12 +631,33 @@ class InvariantChecker:
                     f"server {server_id}: {ledger.write_in} B entered but "
                     f"{accounted} B accounted "
                     f"(disk {ledger.disk_written} + dirty {ledger.dirty} + "
-                    f"merged {ledger.merged})",
+                    f"merged {ledger.merged} + lost {ledger.lost})",
                     server=server_id,
                     write_in=ledger.write_in,
                     disk_written=ledger.disk_written,
                     dirty=ledger.dirty,
                     merged=ledger.merged,
+                    lost=ledger.lost,
+                )
+            gap = ledger.missed - ledger.rebuilt - ledger.abandoned
+            if gap < 0:
+                self._fail(
+                    "pvfs",
+                    "replica-ledger",
+                    f"server {server_id}: negative durability gap",
+                    server=server_id,
+                    missed=ledger.missed,
+                    rebuilt=ledger.rebuilt,
+                    abandoned=ledger.abandoned,
+                )
+            if ledger.dead and gap:
+                self._fail(
+                    "pvfs",
+                    "replica-ledger",
+                    f"server {server_id} is dead but still carries a "
+                    f"{gap} B durability gap (kills must abandon the ledger)",
+                    server=server_id,
+                    gap=gap,
                 )
 
     def _finalize_trace(self, recorder, now: float) -> None:
@@ -564,7 +727,18 @@ class InvariantChecker:
                     "disk_written": led.disk_written,
                     "dirty": led.dirty,
                     "merged": led.merged,
+                    "lost": led.lost,
+                    "missed": led.missed,
+                    "rebuilt": led.rebuilt,
+                    "abandoned": led.abandoned,
+                    "dead": led.dead,
                 }
                 for sid, led in sorted(self.servers.items())
             },
+            "replica_writes": self.replica_writes,
+            "replica_acked_bytes": self.replica_acked_bytes,
+            "replica_outstanding_bytes": sum(
+                led.missed - led.rebuilt - led.abandoned
+                for led in self.servers.values()
+            ),
         }

@@ -199,6 +199,34 @@ def relation_jobs(case: CheckCase) -> Optional[str]:
     return None
 
 
+def relation_replicas(case: CheckCase) -> Optional[str]:
+    """Replication must change timing only, never what the file holds.
+
+    ``replicas=1`` must further be *bit-identical* to the default config —
+    the replicated code paths are gated on ``replicas > 1`` and may not
+    construct a single extra event otherwise.
+    """
+    base = build_config(case)
+    base_sig = _run_signature(base)
+    explicit_one = _run_signature(
+        base.with_(pvfs=replace(base.pvfs, replicas=1))
+    )
+    if base_sig != explicit_one:
+        return (
+            f"explicit replicas=1 diverged from the default: "
+            f"{base_sig[0]!r} != {explicit_one[0]!r}"
+        )
+    replicated = _run_signature(
+        base.with_(pvfs=replace(base.pvfs, replicas=min(2, case.nservers)))
+    )
+    if (base_sig[1], base_sig[2]) != (replicated[1], replicated[2]):
+        return (
+            f"replication changed the output file: "
+            f"{base_sig[2][:12]} != {replicated[2][:12]}"
+        )
+    return None
+
+
 def relation_empty_faults(case: CheckCase) -> Optional[str]:
     """No plan, an explicit empty plan, and a re-run must agree exactly."""
     first = _run_signature(build_config(case))
@@ -221,6 +249,7 @@ RELATIONS: Dict[str, Relation] = {
     "strategies": relation_strategies,
     "query-sync": relation_query_sync,
     "server-stack": relation_server_stack,
+    "replicas": relation_replicas,
     "jobs": relation_jobs,
     "empty-faults": relation_empty_faults,
 }

@@ -33,6 +33,7 @@ from .analysis import (
     phase_table,
     process_scaling_sweep,
     ratio_table,
+    replica_sweep,
     server_cache_sweep,
 )
 from .cluster.presets import get_preset
@@ -60,7 +61,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--write-every", type=int, default=1)
     parser.add_argument(
         "--cluster",
-        choices=["feynman", "feynman-cached", "gige", "modern"],
+        choices=["feynman", "feynman-cached", "feynman-replicated", "gige", "modern"],
         default="feynman",
     )
     parser.add_argument(
@@ -77,6 +78,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         metavar="MIB",
         help="per-server write-back cache size in MiB (0 disables; "
         "default: the cluster preset's, off on feynman)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="copies of every strip on N consecutive servers (1 = none, the "
+        "seed behaviour; 2+ adds degraded-mode failover and background "
+        "rebuild; default: the cluster preset's)",
     )
     parser.add_argument(
         "--store-data",
@@ -122,6 +132,10 @@ def _config_from(args: argparse.Namespace) -> SimulationConfig:
         if args.server_cache_mib < 0:
             raise SystemExit("--server-cache-mib must be non-negative")
         pvfs_overrides["server_cache_B"] = int(args.server_cache_mib * 1024 * 1024)
+    if getattr(args, "replicas", None) is not None:
+        if args.replicas < 1:
+            raise SystemExit("--replicas must be >= 1")
+        pvfs_overrides["replicas"] = args.replicas
     if pvfs_overrides:
         preset = preset.with_pvfs(**pvfs_overrides)
     kwargs = dict(
@@ -180,6 +194,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"(wire {summary['tx_bytes']} B tx / {summary['rx_bytes']} B rx, "
             f"msgs sent/delivered {kinds})"
         )
+        if summary.get("replica_writes"):
+            print(
+                f"replication: {summary['replica_writes']} replicated writes, "
+                f"{summary['replica_acked_bytes']} B acked on live replicas, "
+                f"{summary['replica_outstanding_bytes']} B durability gap open"
+            )
     print()
     print(f"{'phase':>20s} {'master':>12s} {'worker mean':>12s}")
     wm = result.worker_mean
@@ -251,6 +271,15 @@ def _print_server_stack(snapshot: MetricsSnapshot, strategy: str) -> None:
         print(
             f"disk queue: {depth.count:g} requests, "
             f"mean depth {depth.mean:.2f}, max {depth.max:.0f}"
+        )
+    replica = snapshot.counter_total("pvfs.replica_bytes", **want)
+    rebuild = snapshot.counter_total("pvfs.rebuild_bytes", **want)
+    lost = snapshot.counter_total("pvfs.cache_lost_bytes", **want)
+    if replica or rebuild or lost:
+        print(
+            f"replication: {replica / 1024:.1f} KiB replica copies, "
+            f"{rebuild / 1024:.1f} KiB rebuilt, "
+            f"{lost / 1024:.1f} KiB cache lost"
         )
 
 
@@ -445,12 +474,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             reporter=reporter,
         )
         headline_x = float(max(speeds))
-    else:  # cache: server write-back cache size in MiB
+    elif args.axis == "cache":  # server write-back cache size in MiB
         mibs = [float(x) for x in args.cache_mibs.split(",")]
         reporter = _sweep_reporter(args, len(mibs) * npoints_per_x)
         sweep = server_cache_sweep(
             cfg,
             cache_mibs=mibs,
+            nprocs=args.nprocs,
+            progress=progress,
+            jobs=args.jobs,
+            reporter=reporter,
+        )
+        headline_x = None  # no paper figure to ratio against
+    else:  # replicas: per-stripe replica count
+        counts = [int(x) for x in args.replica_counts.split(",")]
+        reporter = _sweep_reporter(args, len(counts) * npoints_per_x)
+        sweep = replica_sweep(
+            cfg,
+            replica_counts=counts,
             nprocs=args.nprocs,
             progress=progress,
             jobs=args.jobs,
@@ -582,7 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="run a parameter sweep (Fig 2/5)")
-    p_sweep.add_argument("axis", choices=["processes", "speed", "cache"])
+    p_sweep.add_argument("axis", choices=["processes", "speed", "cache", "replicas"])
     _add_common(p_sweep)
     p_sweep.add_argument("--counts", default="2,4,8,16,32,48,64,96")
     p_sweep.add_argument("--speeds", default="0.1,0.2,0.4,0.8,1.6,3.2,6.4,12.8,25.6")
@@ -590,6 +631,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-mibs",
         default="0,1,4,16",
         help="per-server cache sizes (MiB) for the cache axis",
+    )
+    p_sweep.add_argument(
+        "--replica-counts",
+        default="1,2,3",
+        help="per-stripe replica counts for the replicas axis",
     )
     p_sweep.add_argument("--phases", action="store_true", help="print phase tables")
     p_sweep.add_argument("--verbose", action="store_true")
@@ -651,7 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--relations",
         help="comma-separated relation subset (default: all); choose from "
-        "strategies,query-sync,server-stack,jobs,empty-faults",
+        "strategies,query-sync,server-stack,replicas,jobs,empty-faults",
     )
     p_check.add_argument(
         "--artifact-dir",

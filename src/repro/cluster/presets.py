@@ -77,6 +77,26 @@ def cached_feynman() -> ClusterPreset:
     )
 
 
+def replicated_feynman(replicas: int = 2) -> ClusterPreset:
+    """Feynman with per-stripe replication on the PVFS2 volume.
+
+    Every strip lives on ``replicas`` consecutive servers (rotated
+    placement), writes complete when all live replicas ack, and a server
+    outage degrades the volume instead of stalling it — the configuration
+    the robustness benchmarks run ROADMAP's replication scale study on.
+    """
+    base = feynman()
+    return replace(
+        base,
+        name="feynman-replicated",
+        description=(
+            f"Feynman with {replicas}-way per-stripe replication "
+            "(degraded-mode I/O + background rebuild)"
+        ),
+        pvfs=replace(base.pvfs, replicas=replicas),
+    )
+
+
 def gigabit_ethernet_cluster() -> ClusterPreset:
     """A contemporary commodity alternative: GigE instead of Myrinet."""
     return ClusterPreset(
@@ -119,6 +139,7 @@ def modern_nvme_cluster() -> ClusterPreset:
 PRESETS = {
     "feynman": feynman,
     "feynman-cached": cached_feynman,
+    "feynman-replicated": replicated_feynman,
     "gige": gigabit_ethernet_cluster,
     "modern": modern_nvme_cluster,
 }

@@ -127,6 +127,31 @@ class SimulationConfig:
                     f"fault server_id {spec.server_id} outside "
                     f"[0, {self.pvfs.nservers})"
                 )
+        if self.fault_plan.server_kills:
+            for kill in self.fault_plan.server_kills:
+                if not 0 <= kill.server_id < self.pvfs.nservers:
+                    raise ValueError(
+                        f"kill server_id {kill.server_id} outside "
+                        f"[0, {self.pvfs.nservers})"
+                    )
+            if self.pvfs.replicas < 2:
+                raise ValueError(
+                    "a ServerKill is permanent data loss on a replicas=1 "
+                    "volume; set pvfs.replicas >= 2 to make the plan "
+                    "survivable"
+                )
+            # No replica chain may lose every member: chain of primary p is
+            # {(p + r) % nservers, r < replicas}.
+            killed = {k.server_id for k in self.fault_plan.server_kills}
+            n = self.pvfs.nservers
+            for primary in range(n):
+                chain = {(primary + r) % n for r in range(self.pvfs.replicas)}
+                if chain <= killed:
+                    raise ValueError(
+                        f"fault plan kills every replica of chain "
+                        f"{sorted(chain)} (primary {primary}) — the data "
+                        "would be unrecoverable"
+                    )
 
     # -- derived objects ------------------------------------------------------
     @property

@@ -12,6 +12,7 @@ from .plan import (
     FaultPlan,
     FaultToleranceConfig,
     MessageLoss,
+    ServerKill,
     ServerOutage,
     ServerSlowdown,
     WorkerCrash,
@@ -23,6 +24,7 @@ __all__ = [
     "FaultPlan",
     "FaultToleranceConfig",
     "MessageLoss",
+    "ServerKill",
     "ServerOutage",
     "ServerSlowdown",
     "WorkerCrash",

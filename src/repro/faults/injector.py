@@ -29,6 +29,7 @@ from ..sim import Environment, RandomStreams
 from .plan import (
     FaultPlan,
     FaultToleranceConfig,
+    ServerKill,
     ServerOutage,
     ServerSlowdown,
     WorkerCrash,
@@ -100,6 +101,10 @@ class FaultInjector:
             self.env.process(
                 self._run_outage(outage), name=f"fault-outage-s{outage.server_id}"
             )
+        for kill in self.plan.server_kills:
+            self.env.process(
+                self._run_kill(kill), name=f"fault-kill-s{kill.server_id}"
+            )
 
     # -- fault processes ------------------------------------------------------
     def _run_crash(self, spec: WorkerCrash):
@@ -162,6 +167,23 @@ class FaultInjector:
         self.fs.restore_server(spec.server_id)
         self._log("server-back", server=spec.server_id)
 
+    def _run_kill(self, spec: ServerKill):
+        yield self.env.timeout(spec.at_time)
+        if self.fs is None:
+            return
+        self.fs.kill_server(spec.server_id)
+        self._log("server-killed", server=spec.server_id)
+        if self.recorder is not None:
+            # The window is open-ended; echo it to the end of the plan's
+            # knowledge (the checker exempts plan-window rows from the
+            # ends-within-run law).
+            self.recorder.record(
+                -(spec.server_id + 1),
+                "server_killed",
+                self.env.now,
+                self.env.now,
+            )
+
     # -- observability --------------------------------------------------------
     def _log(self, kind: str, **fields) -> None:
         self.events.append({"time": self.env.now, "kind": kind, **fields})
@@ -172,4 +194,5 @@ class FaultInjector:
             "crashes_skipped": float(self.crashes_skipped),
             "slowdown_windows": float(len(self.plan.server_slowdowns)),
             "outage_windows": float(len(self.plan.server_outages)),
+            "server_kills": float(len(self.plan.server_kills)),
         }

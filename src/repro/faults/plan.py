@@ -90,6 +90,26 @@ class ServerSlowdown:
 
 
 @dataclass(frozen=True)
+class ServerKill:
+    """An I/O server dies permanently at ``at_time`` (hardware death).
+
+    Unlike :class:`ServerOutage` there is no restore: the server is
+    excluded from replica chains from the kill onward and its missed-write
+    ledger is abandoned.  Only survivable with ``replicas >= 2`` — the
+    config layer rejects plans that kill a replicas=1 volume's server or
+    every member of one replica chain.
+    """
+
+    server_id: int
+    at_time: float
+
+    def __post_init__(self) -> None:
+        if self.server_id < 0:
+            raise ValueError(f"server_id must be >= 0, got {self.server_id}")
+        _require_finite("at_time", self.at_time)
+
+
+@dataclass(frozen=True)
 class MessageLoss:
     """Messages crossing the wire are dropped with ``drop_prob`` in a window.
 
@@ -118,7 +138,7 @@ class MessageLoss:
             raise ValueError("max_retries must be >= 1")
 
 
-FaultSpec = Union[WorkerCrash, ServerOutage, ServerSlowdown, MessageLoss]
+FaultSpec = Union[WorkerCrash, ServerOutage, ServerSlowdown, ServerKill, MessageLoss]
 
 
 @dataclass(frozen=True)
@@ -155,6 +175,7 @@ class FaultPlan:
     worker_crashes: Tuple[WorkerCrash, ...] = ()
     server_outages: Tuple[ServerOutage, ...] = ()
     server_slowdowns: Tuple[ServerSlowdown, ...] = ()
+    server_kills: Tuple[ServerKill, ...] = ()
     message_loss: Tuple[MessageLoss, ...] = ()
 
     @classmethod
@@ -168,6 +189,7 @@ class FaultPlan:
             self.worker_crashes
             or self.server_outages
             or self.server_slowdowns
+            or self.server_kills
             or self.message_loss
         )
 
@@ -214,6 +236,7 @@ class FaultPlan:
             "worker_crashes": [clean(c) for c in self.worker_crashes],
             "server_outages": [clean(o) for o in self.server_outages],
             "server_slowdowns": [clean(s) for s in self.server_slowdowns],
+            "server_kills": [clean(k) for k in self.server_kills],
             "message_loss": [clean(m) for m in self.message_loss],
         }
 
@@ -223,6 +246,7 @@ class FaultPlan:
             "worker_crashes",
             "server_outages",
             "server_slowdowns",
+            "server_kills",
             "message_loss",
         }
         extra = set(doc) - known
@@ -244,6 +268,9 @@ class FaultPlan:
             ),
             server_slowdowns=tuple(
                 ServerSlowdown(**s) for s in doc.get("server_slowdowns", [])
+            ),
+            server_kills=tuple(
+                ServerKill(**k) for k in doc.get("server_kills", [])
             ),
             message_loss=tuple(loss(m) for m in doc.get("message_loss", [])),
         )

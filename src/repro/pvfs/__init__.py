@@ -1,10 +1,11 @@
 """Simulated PVFS2: striped parallel file system with list-I/O support."""
 
-from .bytestore import ByteStore, OverlapError
+from .bytestore import ByteStore, OverlapError, merge_extents
 from .cache import WriteBackCache
 from .disk import DiskModel
 from .filesystem import FileSystem, PVFSConfig, PVFSFile
-from .layout import Piece, Region, StripingLayout
+from .layout import REPLICA_SLOT_B, Piece, Region, StripingLayout
+from .replica import MissedLedger
 from .sched import (
     SCHEDULERS,
     DiskQueue,
@@ -23,14 +24,17 @@ __all__ = [
     "FileSystem",
     "IOServer",
     "MetadataServer",
+    "MissedLedger",
     "OverlapError",
     "PVFSConfig",
     "PVFSFile",
     "Piece",
+    "REPLICA_SLOT_B",
     "Region",
     "SCHEDULERS",
     "ServerStats",
     "StripingLayout",
     "WriteBackCache",
     "make_policy",
+    "merge_extents",
 ]

@@ -14,6 +14,24 @@ from typing import List, Optional, Tuple
 Extent = Tuple[int, int]  # (start, end) half-open
 
 
+def merge_extents(extents: List[Extent]) -> List[Extent]:
+    """Coalesce [start, end) extents: sorted, disjoint, adjacency fused.
+
+    Shared by the replica missed-extent ledger and by tests; empty and
+    inverted inputs are dropped rather than raising (callers feed raw
+    region lists).
+    """
+    live = sorted(e for e in extents if e[1] > e[0])
+    merged: List[Extent] = []
+    for start, end in live:
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
 class OverlapError(ValueError):
     """Raised when a write overlaps previously written bytes."""
 

@@ -204,6 +204,21 @@ class WriteBackCache:
                     -(server.server_id + 1), "server_flush", start, self.env.now
                 )
 
+    def drop_dirty(self) -> List[Tuple[int, int]]:
+        """Discard every dirty extent without flushing (server crash).
+
+        The buffer cache is volatile: when the daemon dies its dirty data
+        is simply gone.  Returns the dropped ``[start, end)`` extents so
+        the file system can record them for client re-drive / rebuild.
+        Pure bookkeeping — no events, no disk traffic; an in-flight flush
+        that already detached its runs is unaffected (those bytes were
+        heading to the platter when the model says in-flight work
+        completes).
+        """
+        dropped, self.dirty_runs = self.dirty_runs, []
+        self.dirty_bytes = 0
+        return dropped
+
     def _watch_idle(self):
         """Process fragment: flush once writes stop arriving."""
         try:

@@ -23,11 +23,12 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..sim import Environment, Event, Resource
+from ..sim import Environment, Event, Resource, SimulationError
 from ..mpi.network import NetworkConfig, Nic, KIB, MIB
 from .bytestore import ByteStore
 from .disk import DiskModel
 from .layout import Region, StripingLayout
+from .replica import MissedLedger
 from .sched import SCHEDULERS
 from .server import IOServer, MetadataServer
 
@@ -76,6 +77,23 @@ class PVFSConfig:
     cache_idle_flush_s: float = 0.02
     #: Memory-copy rate the cache absorbs writes and serves hits at.
     cache_mem_Bps: float = 800 * MIB
+    #: Copies of every strip, on ``replicas`` consecutive servers (rotated
+    #: placement; see :meth:`StripingLayout.replica_chain`).  1 — the seed
+    #: behaviour, bit-identical — means no redundancy: an outage stalls
+    #: clients and a kill loses data.  With 2+ the volume rides through
+    #: outages in degraded mode and rebuilds in the background.
+    replicas: int = 1
+    #: Redundancy code.  Only ``"none"`` (full copies) is modelled; parity
+    #: schemes change the small-write path fundamentally (read-modify-write
+    #: cycles) and are rejected rather than silently approximated.
+    parity: str = "none"
+    #: Rate the background rebuild pulls missed bytes from peer replicas
+    #: (or re-drives lost cache data from clients) at.
+    rebuild_Bps: float = 32 * MIB
+    #: Rebuild transfer granularity: extents are drained from the missed
+    #: ledger in chunks of at most this many bytes, so rebuild traffic
+    #: interleaves with foreground I/O instead of monopolising the disk.
+    rebuild_chunk_B: int = 1 * MIB
 
     def __post_init__(self) -> None:
         if not math.isfinite(self.retry_initial_s) or self.retry_initial_s <= 0:
@@ -108,6 +126,22 @@ class PVFSConfig:
             raise ValueError("cache_idle_flush_s must be positive")
         if self.cache_mem_Bps <= 0:
             raise ValueError("cache_mem_Bps must be positive")
+        if not 1 <= self.replicas <= self.nservers:
+            raise ValueError(
+                f"replicas must be in [1, nservers={self.nservers}], "
+                f"got {self.replicas}"
+            )
+        if self.parity != "none":
+            raise ValueError(
+                f"parity={self.parity!r} is not modelled: parity codes turn "
+                "small writes into read-modify-write cycles, which this "
+                "replication layer does not capture; only 'none' (full "
+                "copies) is supported"
+            )
+        if not math.isfinite(self.rebuild_Bps) or self.rebuild_Bps <= 0:
+            raise ValueError("rebuild_Bps must be positive and finite")
+        if self.rebuild_chunk_B <= 0:
+            raise ValueError("rebuild_chunk_B must be positive")
 
     @classmethod
     def feynman(cls, store_data: bool = False) -> "PVFSConfig":
@@ -115,7 +149,11 @@ class PVFSConfig:
         return cls(store_data=store_data)
 
     def layout(self) -> StripingLayout:
-        return StripingLayout(strip_size=self.strip_size, nservers=self.nservers)
+        return StripingLayout(
+            strip_size=self.strip_size,
+            nservers=self.nservers,
+            replicas=self.replicas,
+        )
 
 
 class PVFSFile:
@@ -179,7 +217,26 @@ class FileSystem:
         # Pristine disk models, kept so a degradation window can be lifted
         # exactly (degrade_server compounds and is permanent by design).
         self._pristine_disks: List[DiskModel] = [s.disk for s in self.servers]
-        self.fault_stats: Dict[str, float] = {"retries": 0.0, "retry_wait_s": 0.0}
+        self.fault_stats: Dict[str, float] = {
+            "retries": 0.0,
+            "retry_wait_s": 0.0,
+            "degraded_writes": 0.0,
+            "degraded_write_bytes": 0.0,
+            "read_failovers": 0.0,
+            "dead_replica_skips": 0.0,
+            "sync_skips": 0.0,
+            "rebuilds": 0.0,
+            "rebuild_bytes": 0.0,
+            "cache_lost_bytes": 0.0,
+            "abandoned_bytes": 0.0,
+        }
+        self.recorder = recorder
+        self.nreplicas = cfg.replicas
+        #: Per-server ledgers of bytes acked to clients but not durable on
+        #: that server (degraded writes + lost cache data), created lazily
+        #: so healthy replicas=1 runs never touch them.
+        self.missed: Dict[int, MissedLedger] = {}
+        self._rebuild_active: set = set()
 
     def __repr__(self) -> str:
         return f"<FileSystem servers={len(self.servers)} files={len(self.files)}>"
@@ -221,12 +278,121 @@ class FileSystem:
         self.servers[server_id].disk = self._pristine_disks[server_id]
 
     def fail_server(self, server_id: int) -> None:
-        """Begin an outage: clients back off and retry until restore."""
-        self.servers[server_id].fail()
+        """Begin an outage: clients back off and retry until restore.
+
+        With ``replicas > 1`` clients instead fail over to the other
+        members of each strip's chain, and the skipped copies are recorded
+        for background rebuild.  Dirty write-back-cache data on the failed
+        server is *lost* (the buffer is volatile) and ledgered the same
+        way, so the restored daemon re-drives it from clients.
+        """
+        server = self.servers[server_id]
+        if server.dead:
+            return
+        dropped = server.fail()
+        self._ledger_extents(server_id, [(lo, hi - lo) for lo, hi in dropped])
+        if dropped:
+            self.fault_stats["cache_lost_bytes"] += sum(
+                hi - lo for lo, hi in dropped
+            )
+
+    def kill_server(self, server_id: int) -> None:
+        """Remove a server permanently (hardware death, not an outage).
+
+        Requires ``replicas >= 2`` to be survivable — the config layer
+        enforces that for planned kills; callers poking a replicas=1
+        volume lose whatever lived there.  The dead server's missed ledger
+        is abandoned: no rebuild will ever run, the surviving chain
+        members are the data's only home.
+        """
+        server = self.servers[server_id]
+        if server.dead:
+            return
+        dropped = server.fail(permanent=True)
+        # Cache data dropped at kill time passes through the ledger (so the
+        # checker's missed/abandoned accounting stays exact) and is then
+        # abandoned with everything else.
+        self._ledger_extents(server_id, [(lo, hi - lo) for lo, hi in dropped])
+        if dropped:
+            self.fault_stats["cache_lost_bytes"] += sum(
+                hi - lo for lo, hi in dropped
+            )
+        ledger = self.missed.get(server_id)
+        abandoned = ledger.abandon() if ledger is not None else 0
+        if abandoned:
+            self.fault_stats["abandoned_bytes"] += abandoned
+        c = self.env.check
+        if c.enabled:
+            c.server_dead(server_id, abandoned)
 
     def restore_server(self, server_id: int) -> None:
-        """End an outage."""
-        self.servers[server_id].restore()
+        """End an outage; start a background rebuild if bytes are missing."""
+        server = self.servers[server_id]
+        server.restore()
+        if not server.up:  # permanently dead — restore is a no-op
+            return
+        ledger = self.missed.get(server_id)
+        if ledger is not None and not ledger.empty:
+            if server_id not in self._rebuild_active:
+                self._rebuild_active.add(server_id)
+                self.env.process(
+                    self._rebuild(server), name=f"rebuild-s{server_id}"
+                )
+
+    def _ledger_extents(self, server_id: int, regions: List[Region]) -> None:
+        """Record regions acked-but-not-durable on ``server_id``."""
+        regions = [(o, l) for o, l in regions if l > 0]
+        if not regions:
+            return
+        ledger = self.missed.get(server_id)
+        if ledger is None:
+            ledger = self.missed[server_id] = MissedLedger()
+        grown = ledger.record(regions)
+        if grown:
+            c = self.env.check
+            if c.enabled:
+                c.replica_missed(server_id, grown)
+
+    def _rebuild(self, server: IOServer):
+        """Process fragment: close ``server``'s durability gap in the background.
+
+        Missed extents drain in rate-limited chunks — each chunk pays a
+        transfer delay (peer pull for replica copies, client re-send for
+        lost cache data) and then lands through the normal disk stack,
+        bypassing the volatile cache.  A second outage mid-rebuild requeues
+        the in-flight chunk and stops; the next restore resumes.
+        """
+        sid = server.server_id
+        ledger = self.missed[sid]
+        cfg = self.config
+        started = self.env.now
+        moved = 0
+        self.fault_stats["rebuilds"] += 1.0
+        c = self.env.check
+        while server.up and not ledger.empty:
+            chunk = ledger.drain(cfg.rebuild_chunk_B)
+            nbytes = sum(length for _, length in chunk)
+            yield self.env.timeout(nbytes / cfg.rebuild_Bps)
+            if not server.up:
+                ledger.requeue(chunk)
+                if server.dead:
+                    # Killed mid-rebuild: the kill already abandoned the
+                    # ledger, so the requeued in-flight chunk follows it.
+                    dropped = ledger.abandon()
+                    if dropped:
+                        self.fault_stats["abandoned_bytes"] += dropped
+                        if c.enabled:
+                            c.server_dead(sid, dropped)
+                break
+            yield from server.service_rebuild(chunk)
+            ledger.mark_rebuilt(nbytes)
+            moved += nbytes
+            self.fault_stats["rebuild_bytes"] += nbytes
+            if c.enabled:
+                c.replica_rebuilt(sid, nbytes)
+        self._rebuild_active.discard(sid)
+        if moved and self.recorder is not None:
+            self.recorder.record(-(sid + 1), "server_rebuild", started, self.env.now)
 
     # -- namespace ------------------------------------------------------------
     def open(self, client: int, path: str, create: bool = True):
@@ -300,7 +466,10 @@ class FileSystem:
                 chunk = phys[start : start + self.config.listio_max_regions]
                 subrequests.append((self.servers[server_id], chunk))
 
-        yield from self._issue_parallel(client, subrequests, is_read=False)
+        if self.nreplicas > 1:
+            yield from self._issue_replicated(client, subrequests, is_read=False)
+        else:
+            yield from self._issue_parallel(client, subrequests, is_read=False)
 
     def read(self, client: int, file: PVFSFile, offset: int, length: int):
         """Process fragment: one contiguous read; returns bytes when stored."""
@@ -323,20 +492,37 @@ class FileSystem:
             for start in range(0, len(phys), self.config.listio_max_regions):
                 chunk = phys[start : start + self.config.listio_max_regions]
                 subrequests.append((self.servers[server_id], chunk))
-        yield from self._issue_parallel(client, subrequests, is_read=True)
+        if self.nreplicas > 1:
+            yield from self._issue_replicated(client, subrequests, is_read=True)
+        else:
+            yield from self._issue_parallel(client, subrequests, is_read=True)
         if file.bytestore.store_data:
             return [file.bytestore.read(offset, length) for offset, length in regions]
         return None
 
     def sync(self, client: int, file: PVFSFile):
-        """Process fragment: flush on every server (MPI_File_sync target)."""
-        procs = [
-            self.env.process(
-                self._sync_one(client, server), name=f"sync-s{server.server_id}"
+        """Process fragment: flush on every server (MPI_File_sync target).
+
+        With ``replicas > 1`` a down server is skipped rather than waited
+        for — its data already rode the surviving chain members and its
+        own copy is in the missed ledger, so stalling the sync would buy
+        nothing.  Dead servers are always skipped.  With the seed config
+        (``replicas=1``) the seed behaviour — wait out the outage — is
+        preserved exactly.
+        """
+        procs = []
+        for server in self.servers:
+            if server.dead or (not server.up and self.nreplicas > 1):
+                self.fault_stats["sync_skips"] += 1.0
+                continue
+            procs.append(
+                self.env.process(
+                    self._sync_one(client, server),
+                    name=f"sync-s{server.server_id}",
+                )
             )
-            for server in self.servers
-        ]
-        yield self.env.all_of(procs)
+        if procs:
+            yield self.env.all_of(procs)
 
     # -- internals -----------------------------------------------------------------
     def _round_trip_metadata(self):
@@ -441,6 +627,186 @@ class FileSystem:
             m = self.env.metrics
             if m.enabled:
                 m.inc("pvfs.retries", 1.0, server=server.server_id)
+            yield self.env.timeout(delay)
+            delay = min(delay * cfg.retry_backoff, cfg.retry_cap_s)
+
+    # -- replicated I/O -----------------------------------------------------
+    def _issue_replicated(
+        self,
+        client: int,
+        subrequests: List[Tuple[IOServer, List[Tuple[int, int]]]],
+        is_read: bool,
+    ):
+        """Replicated twin of :meth:`_issue_parallel` (``replicas > 1`` only)."""
+        if not subrequests:
+            return
+        make = self._one_replicated_read if is_read else self._one_replicated_write
+        procs = [
+            self.env.process(
+                make(client, server, chunk),
+                name=f"io-c{client}-s{server.server_id}",
+            )
+            for server, chunk in subrequests
+        ]
+        yield self.env.all_of(procs)
+
+    def _one_replicated_write(
+        self,
+        client: int,
+        primary: IOServer,
+        phys_regions: List[Tuple[int, int]],
+    ):
+        """Chain-replicated write of one per-server chunk.
+
+        The client streams header+payload to the chain head (the first
+        *live* chain member); each live member store-and-forwards to the
+        next over the server NICs.  The write completes when every live
+        replica has serviced its copy — down-but-alive members are skipped
+        and their copy ledgered for rebuild (degraded mode); dead members
+        are skipped outright.  Liveness is snapshotted when the request is
+        admitted: members that die mid-chain still complete in-flight work,
+        matching the outage model everywhere else.
+        """
+        net = self.config.network
+        nbytes = sum(length for _, length in phys_regions)
+        header = self.config.request_header_B + 16 * len(phys_regions)
+        chain = self.layout.replica_chain(primary.server_id)
+
+        while True:
+            live = [
+                (slot, self.servers[sid])
+                for slot, sid in enumerate(chain)
+                if self.servers[sid].up
+            ]
+            if live:
+                break
+            yield from self._await_replica_set(chain)
+
+        missed = [
+            (slot, sid)
+            for slot, sid in enumerate(chain)
+            if not self.servers[sid].up and not self.servers[sid].dead
+        ]
+        ndead = len(chain) - len(live) - len(missed)
+        if missed:
+            for slot, sid in missed:
+                self._ledger_extents(
+                    sid, StripingLayout.replica_regions(phys_regions, slot)
+                )
+            self.fault_stats["degraded_writes"] += 1.0
+            self.fault_stats["degraded_write_bytes"] += float(nbytes * len(missed))
+            m = self.env.metrics
+            if m.enabled:
+                m.inc("pvfs.degraded_writes", 1.0, server=primary.server_id)
+        if ndead:
+            self.fault_stats["dead_replica_skips"] += float(ndead)
+        c = self.env.check
+        if c.enabled:
+            c.replica_write(
+                primary.server_id, nbytes, len(live), len(missed), ndead
+            )
+
+        yield from self._client_tx(client, header + nbytes)
+        yield self.env.timeout(net.latency_s)
+        previous: Optional[IOServer] = None
+        for position, (slot, member) in enumerate(live):
+            if previous is not None:
+                # Store-and-forward hop: the forwarder serializes the copy
+                # out of its NIC before the receiver takes it in.
+                with previous.net_out.request() as out_slot:
+                    yield out_slot
+                    yield self.env.timeout(net.serialization_time(header + nbytes))
+                yield self.env.timeout(net.latency_s)
+            with member.net_in.request() as in_slot:
+                yield in_slot
+                yield self.env.timeout(net.serialization_time(header + nbytes))
+            yield from member.service_write(
+                StripingLayout.replica_regions(phys_regions, slot), is_read=False
+            )
+            if position > 0:
+                member.count_replica_bytes(nbytes)
+            previous = member
+        yield self.env.timeout(net.latency_s)
+
+    def _one_replicated_read(
+        self,
+        client: int,
+        primary: IOServer,
+        phys_regions: List[Tuple[int, int]],
+    ):
+        """Read one chunk from the first clean live replica of the chain.
+
+        A replica is *clean* when none of the requested regions overlap an
+        outstanding missed extent on that server (a degraded write it has
+        not yet rebuilt).  When no clean live replica exists the client
+        backs off with the same bounded exponential policy as outages and
+        rescans — rebuild or restore eventually produces one.
+        """
+        net = self.config.network
+        cfg = self.config
+        nbytes = sum(length for _, length in phys_regions)
+        header = self.config.request_header_B + 16 * len(phys_regions)
+        chain = self.layout.replica_chain(primary.server_id)
+        delay = cfg.retry_initial_s
+
+        while True:
+            choice = None
+            for slot, sid in enumerate(chain):
+                member = self.servers[sid]
+                if not member.up:
+                    continue
+                regions_r = StripingLayout.replica_regions(phys_regions, slot)
+                ledger = self.missed.get(sid)
+                if ledger is not None and ledger.overlaps(regions_r):
+                    continue
+                choice = (slot, member, regions_r)
+                break
+            if choice is not None:
+                break
+            if all(self.servers[sid].dead for sid in chain):
+                raise SimulationError(
+                    f"replica chain {chain} is entirely dead — data lost"
+                )
+            self.fault_stats["retries"] += 1.0
+            self.fault_stats["retry_wait_s"] += delay
+            m = self.env.metrics
+            if m.enabled:
+                m.inc("pvfs.retries", 1.0, server=chain[0])
+            yield self.env.timeout(delay)
+            delay = min(delay * cfg.retry_backoff, cfg.retry_cap_s)
+
+        slot, member, regions_r = choice
+        if slot != 0:
+            self.fault_stats["read_failovers"] += 1.0
+            m = self.env.metrics
+            if m.enabled:
+                m.inc("pvfs.read_failovers", 1.0, server=member.server_id)
+        yield from self._client_tx(client, header)
+        yield self.env.timeout(net.latency_s)
+        yield from member.service_write(regions_r, is_read=True)
+        with member.net_out.request() as out_slot:
+            yield out_slot
+            yield self.env.timeout(net.serialization_time(nbytes))
+        yield self.env.timeout(net.latency_s)
+
+    def _await_replica_set(self, chain: List[int]):
+        """Process fragment: back off until *any* chain member is live.
+
+        Raises :class:`SimulationError` when every member is permanently
+        dead — the data is gone and stalling forever would just hide it.
+        """
+        cfg = self.config
+        delay = cfg.retry_initial_s
+        while not any(self.servers[sid].up for sid in chain):
+            if all(self.servers[sid].dead for sid in chain):
+                raise SimulationError(
+                    f"replica chain {chain} is entirely dead — data lost"
+                )
+            self.fault_stats["retries"] += 1.0
+            self.fault_stats["retry_wait_s"] += delay
+            m = self.env.metrics
+            if m.enabled:
+                m.inc("pvfs.retries", 1.0, server=chain[0])
             yield self.env.timeout(delay)
             delay = min(delay * cfg.retry_backoff, cfg.retry_cap_s)
 

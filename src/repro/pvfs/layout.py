@@ -4,6 +4,15 @@ PVFS2 round-robin striping (``simple_stripe``): the file is cut into strips
 of ``strip_size`` bytes; strip ``i`` lives on server ``i % nservers`` at
 physical position ``(i // nservers) * strip_size`` plus the in-strip offset.
 The paper's deployment: 16 servers, 64 KiB strips, i.e. a 1 MiB stripe.
+
+Replication (``replicas > 1``) uses *rotated placement* (chained
+declustering): copy ``r`` of every strip whose primary lives on server
+``p`` is stored on server ``(p + r) % nservers``, inside a per-chain-slot
+partition of that server's address space (``r * REPLICA_SLOT_B`` plus the
+primary physical offset).  Rotation spreads each server's replica load
+evenly over its successors, so losing one server raises every survivor's
+load by ``1/(replicas-1)`` of the victim's — the classic argument for
+chained declustering over mirrored pairs.
 """
 
 from __future__ import annotations
@@ -12,6 +21,13 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Tuple
 
 Region = Tuple[int, int]  # (offset, length) in bytes
+
+#: Per-chain-slot partition stride on each server's disk.  Replica copies
+#: live at ``r * REPLICA_SLOT_B + primary_physical_offset`` so chain slot
+#: ``r`` never collides with primary data or with other slots.  The disk
+#: model charges seeks by discontiguity, not distance, so the stride's
+#: magnitude costs nothing; it only has to exceed any primary offset.
+REPLICA_SLOT_B = 1 << 40
 
 
 @dataclass(frozen=True)
@@ -31,16 +47,30 @@ class Piece:
 class StripingLayout:
     """Round-robin strip placement over ``nservers`` servers."""
 
-    def __init__(self, strip_size: int = 64 * 1024, nservers: int = 16) -> None:
+    def __init__(
+        self,
+        strip_size: int = 64 * 1024,
+        nservers: int = 16,
+        replicas: int = 1,
+    ) -> None:
         if strip_size <= 0:
             raise ValueError("strip_size must be positive")
         if nservers <= 0:
             raise ValueError("nservers must be positive")
+        if not 1 <= replicas <= nservers:
+            raise ValueError(
+                f"replicas must be in [1, nservers={nservers}], got {replicas}"
+            )
         self.strip_size = strip_size
         self.nservers = nservers
+        self.replicas = replicas
 
     def __repr__(self) -> str:
-        return f"StripingLayout(strip_size={self.strip_size}, nservers={self.nservers})"
+        extra = f", replicas={self.replicas}" if self.replicas > 1 else ""
+        return (
+            f"StripingLayout(strip_size={self.strip_size}, "
+            f"nservers={self.nservers}{extra})"
+        )
 
     @property
     def stripe_size(self) -> int:
@@ -100,3 +130,38 @@ class StripingLayout:
     def servers_touched(self, regions: Iterable[Region]) -> List[int]:
         """Sorted list of servers holding any byte of ``regions``."""
         return sorted(self.map_regions(regions).keys())
+
+    # -- replication ----------------------------------------------------------
+    def replica_chain(self, primary: int) -> List[int]:
+        """Ordered replica set for strips whose primary is ``primary``.
+
+        Slot 0 is the primary itself; slot ``r`` is the rotated successor
+        ``(primary + r) % nservers``.  Every strip with the same primary
+        shares one chain, so a per-server subrequest replicates as a unit.
+        """
+        if not 0 <= primary < self.nservers:
+            raise ValueError(f"primary {primary} outside [0, {self.nservers})")
+        return [(primary + r) % self.nservers for r in range(self.replicas)]
+
+    @staticmethod
+    def replica_physical(physical_offset: int, slot: int) -> int:
+        """Server-local offset of chain slot ``slot``'s copy of a byte."""
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        return slot * REPLICA_SLOT_B + physical_offset
+
+    @classmethod
+    def replica_regions(
+        cls, regions: Iterable[Region], slot: int
+    ) -> List[Region]:
+        """Physical regions shifted into chain slot ``slot``'s partition.
+
+        Slot 0 is the identity (primary data stays where the plain layout
+        put it — which is what keeps ``replicas=1`` bit-identical).
+        """
+        if slot == 0:
+            return list(regions)
+        return [
+            (cls.replica_physical(offset, slot), length)
+            for offset, length in regions
+        ]

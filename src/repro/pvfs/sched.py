@@ -162,3 +162,17 @@ class DiskQueue:
         for waiter in self.waiting:
             waiter.passes += 1
         chosen.event.succeed()
+
+    def reset(self) -> None:
+        """Forget pre-restart scheduling state (daemon restart).
+
+        A rebooted daemon's elevator starts from scratch: aging counters
+        accumulated before the outage are gone, so the post-restart grant
+        order for the surviving waiters must match what a *fresh* elevator
+        would choose given the same waiting set.  Relative arrival order
+        (the FIFO tiebreak) is a property of the requests, not the daemon,
+        so ``order`` values are left alone — a fresh queue would number
+        the same arrivals in the same relative order.
+        """
+        for waiter in self.waiting:
+            waiter.passes = 0

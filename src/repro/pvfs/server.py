@@ -40,6 +40,16 @@ class ServerStats:
     syncs: int = 0
     busy_s: float = 0.0
     outages: int = 0
+    #: Bytes received as non-primary replica copies (chain forwarding) —
+    #: the write-amplification cost of ``replicas > 1``.
+    replica_bytes: int = 0
+    #: Bytes re-driven onto this server by background rebuild after an
+    #: outage (peer pull for replica copies, client re-drive for lost
+    #: cache data).
+    rebuild_bytes: int = 0
+    #: Dirty write-back-cache bytes dropped when this server failed (a
+    #: volatile cache loses its contents on crash).
+    cache_lost_bytes: int = 0
 
 
 class IOServer:
@@ -72,6 +82,9 @@ class IOServer:
         #: complete (the daemon finishes in-flight work before dying in
         #: this model; a stricter model would replay them).
         self.up = True
+        #: Permanently killed (``ServerKill`` fault): never restored, never
+        #: rebuilt, excluded from replica chains from the kill onward.
+        self.dead = False
         # The reordering queue exists only when a non-FIFO policy or the
         # cache asks for it; otherwise the bare ``disk_res`` Resource path
         # runs — bit-identical to the seed, zero new events.
@@ -115,6 +128,11 @@ class IOServer:
         self._g_cache_dirty = m.gauge("pvfs.cache_dirty_bytes", server=server_id)
         self._h_cache_flush = m.histogram("pvfs.cache_flush_bytes", server=server_id)
         self._h_queue_depth = m.histogram("pvfs.disk_queue_depth", server=server_id)
+        # Replication / recovery instruments (all zero with replicas=1 and
+        # no faults).
+        self._c_cache_lost = m.counter("pvfs.cache_lost_bytes", server=server_id)
+        self._c_replica_bytes = m.counter("pvfs.replica_bytes", server=server_id)
+        self._c_rebuild_bytes = m.counter("pvfs.rebuild_bytes", server=server_id)
 
     def __repr__(self) -> str:
         state = "" if self.up else " DOWN"
@@ -128,15 +146,49 @@ class IOServer:
             f"head={self.head_position}>"
         )
 
-    def fail(self) -> None:
-        """Mark the server unreachable (an outage window begins)."""
+    def fail(self, permanent: bool = False) -> List[Tuple[int, int]]:
+        """Mark the server unreachable (an outage window — or forever).
+
+        The write-back cache is *volatile*: a failing daemon drops every
+        dirty extent on the floor.  The dropped ``[start, end)`` extents
+        are returned so the :class:`~repro.pvfs.filesystem.FileSystem`
+        can ledger them for re-drive/rebuild; the loss is counted in
+        ``pvfs.cache_lost_bytes`` and the dirty-byte gauge zeroes.
+        """
+        already_down = not self.up
         self.up = False
-        self.stats.outages += 1
+        if permanent:
+            self.dead = True
+        if not already_down:
+            self.stats.outages += 1
+        dropped: List[Tuple[int, int]] = []
+        if self.cache is not None and self.cache.dirty_bytes:
+            lost_bytes = self.cache.dirty_bytes
+            dropped = self.cache.drop_dirty()
+            self.stats.cache_lost_bytes += lost_bytes
+            if self._m_enabled:
+                self._c_cache_lost.add(lost_bytes)
+                self._g_cache_dirty.set(0.0)
+            c = self.env.check
+            if c.enabled:
+                c.cache_lost(self.server_id, lost_bytes)
+                c.cache_state(self.server_id, self.cache.dirty_runs, 0)
+        return dropped
 
     def restore(self) -> None:
-        """Bring the server back; the disk head rehomes after the restart."""
+        """Bring the server back; the daemon restarts from scratch.
+
+        The disk head rehomes and the disk queue's scheduling state
+        (elevator aging counters) resets — a rebooted daemon remembers
+        nothing about the pass counts it owed pre-outage arrivals.  A
+        permanently killed server stays down.
+        """
+        if self.dead:
+            return
         self.up = True
         self.head_position = 0
+        if self.disk_queue is not None:
+            self.disk_queue.reset()
 
     def _disk_service(self, regions: List[Tuple[int, int]], is_read: bool):
         """Process fragment: service ``regions``; the disk must be held."""
@@ -218,6 +270,29 @@ class IOServer:
             if self._m_enabled:
                 self._c_cache_misses.add(len(regions))
         yield from self._acquire_and_service(regions, is_read)
+
+    def count_replica_bytes(self, nbytes: int) -> None:
+        """Account ``nbytes`` received as a non-primary replica copy."""
+        self.stats.replica_bytes += nbytes
+        if self._m_enabled:
+            self._c_replica_bytes.add(nbytes)
+
+    def service_rebuild(self, regions: List[Tuple[int, int]]):
+        """Process fragment: land re-driven recovery bytes on the platter.
+
+        Deliberately bypasses the write-back cache: recovery writes exist
+        to close a durability gap, so staging them in the volatile buffer
+        (where a second failure would lose them again) would defeat the
+        point — real rebuilds use direct I/O for the same reason.
+        """
+        nbytes = sum(length for _, length in regions)
+        c = self.env.check
+        if c.enabled:
+            c.server_write_in(self.server_id, nbytes)
+        yield from self._acquire_and_service(regions, is_read=False)
+        self.stats.rebuild_bytes += nbytes
+        if self._m_enabled:
+            self._c_rebuild_bytes.add(nbytes)
 
     def service_sync(self):
         """Process fragment: flush request (one per MPI_File_sync).

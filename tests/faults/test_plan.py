@@ -9,6 +9,7 @@ from repro.faults import (
     FaultPlan,
     FaultToleranceConfig,
     MessageLoss,
+    ServerKill,
     ServerOutage,
     ServerSlowdown,
     WorkerCrash,
@@ -133,3 +134,76 @@ class TestJson:
         with open(path, "w") as fh:
             plan.to_json(fh)
         assert load_fault_plan(str(path)) == plan
+
+
+class TestServerKill:
+    def test_negative_server_rejected(self):
+        with pytest.raises(ValueError, match="server_id"):
+            ServerKill(server_id=-1, at_time=1.0)
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(ValueError):
+            ServerKill(server_id=0, at_time=float("nan"))
+
+    def test_plan_with_kills_is_not_empty(self):
+        plan = FaultPlan(server_kills=(ServerKill(server_id=0, at_time=5.0),))
+        assert not plan.empty
+        assert not plan.needs_tolerance  # server faults need no MPI tolerance
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            server_kills=(
+                ServerKill(server_id=2, at_time=8.5),
+                ServerKill(server_id=0, at_time=12.0),
+            ),
+            server_outages=(ServerOutage(server_id=1, start=3.0, duration=2.0),),
+        )
+        buf = io.StringIO()
+        plan.to_json(buf)
+        text = buf.getvalue()
+        assert "server_kills" in text
+        assert FaultPlan.from_json(io.StringIO(text)) == plan
+
+    def test_invalid_kill_inside_json_rejected(self):
+        doc = '{"server_kills": [{"server_id": -3, "at_time": 1.0}]}'
+        with pytest.raises(ValueError, match="server_id"):
+            FaultPlan.from_json(io.StringIO(doc))
+
+
+class TestKillConfigValidation:
+    """SimulationConfig refuses unsurvivable kill plans up front."""
+
+    def _config(self, kills, **pvfs_kwargs):
+        from repro.core import SimulationConfig
+        from repro.pvfs import PVFSConfig
+
+        return SimulationConfig(
+            nprocs=4,
+            nqueries=2,
+            nfragments=4,
+            fault_plan=FaultPlan(server_kills=tuple(kills)),
+            pvfs=PVFSConfig(**pvfs_kwargs),
+        )
+
+    def test_kill_on_unreplicated_volume_rejected(self):
+        with pytest.raises(ValueError, match="replicas=1"):
+            self._config([ServerKill(server_id=0, at_time=1.0)])
+
+    def test_kill_with_replication_accepted(self):
+        cfg = self._config([ServerKill(server_id=0, at_time=1.0)], replicas=2)
+        assert cfg.fault_plan.server_kills[0].server_id == 0
+
+    def test_killing_a_whole_chain_rejected(self):
+        # replicas=2, nservers=8 (default): chain of primary 3 is {3, 4}.
+        with pytest.raises(ValueError, match="every replica"):
+            self._config(
+                [
+                    ServerKill(server_id=3, at_time=1.0),
+                    ServerKill(server_id=4, at_time=2.0),
+                ],
+                replicas=2,
+            )
+
+    def test_out_of_range_kill_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            self._config([ServerKill(server_id=99, at_time=1.0)], replicas=2)

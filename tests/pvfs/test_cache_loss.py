@@ -1,0 +1,141 @@
+"""Satellite regression: a failing server loses its volatile write cache.
+
+The seed bug: ``IOServer.fail()`` kept dirty write-back-cache extents
+alive across the outage, so data that never reached the disk silently
+"survived" the crash.  The fix drops the dirty set at fail time, zeroes
+the cache gauge, counts ``pvfs.cache_lost_bytes``, and ledgers the lost
+extents so the restored daemon re-drives them (from chain peers when
+replicated, from clients otherwise).
+"""
+
+from dataclasses import replace
+
+from repro.core import S3aSim, SimulationConfig
+from repro.faults import FaultPlan, ServerOutage
+from repro.mpi.network import NetworkConfig
+from repro.pvfs import FileSystem, PVFSConfig
+
+KIB, MIB = 1024, 1024 * 1024
+
+
+def fast_net():
+    return NetworkConfig(latency_s=1e-6, bandwidth_Bps=1000 * MIB, cpu_overhead_s=0)
+
+
+def make_fs(env, **kwargs):
+    defaults = dict(
+        nservers=4,
+        strip_size=64 * KIB,
+        network=fast_net(),
+        store_data=True,
+        client_pipeline_Bps=1000 * MIB,
+        server_cache_B=4 * MIB,
+    )
+    defaults.update(kwargs)
+    return FileSystem(env, PVFSConfig(**defaults))
+
+
+def run(env, fragment):
+    return env.run(env.process(fragment))
+
+
+class TestCacheDropOnFail:
+    def test_dirty_extents_are_dropped_and_counted(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        fs = make_fs(env)
+
+        def proc():
+            f = yield from fs.open(0, "/a")
+            yield from fs.write(0, f, 0, 64 * KIB)
+
+        run(env, proc())
+        server = fs.servers[0]
+        assert server.cache is not None and server.cache.dirty_bytes > 0
+        lost_expected = server.cache.dirty_bytes
+
+        fs.fail_server(0)
+        assert server.cache.dirty_bytes == 0  # gauge zeroed, not just hidden
+        assert server.cache.dirty_runs == []
+        assert server.stats.cache_lost_bytes == lost_expected
+        assert fs.fault_stats["cache_lost_bytes"] == lost_expected
+        # The loss is ledgered for re-drive when the daemon returns.
+        assert fs.missed[0].outstanding_bytes() >= lost_expected
+
+    def test_clean_cache_loses_nothing(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        fs = make_fs(env)
+
+        def proc():
+            f = yield from fs.open(0, "/a")
+            yield from fs.write(0, f, 0, 64 * KIB)
+            yield from fs.sync(0, f)  # flush: cache now clean
+
+        run(env, proc())
+        fs.fail_server(0)
+        assert fs.servers[0].stats.cache_lost_bytes == 0
+        assert fs.fault_stats["cache_lost_bytes"] == 0.0
+
+    def test_redrive_closes_the_ledger(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        fs = make_fs(env, replicas=2)
+
+        def proc():
+            f = yield from fs.open(0, "/a")
+            yield from fs.write(0, f, 0, 64 * KIB)
+            fs.fail_server(0)
+            lost = fs.servers[0].stats.cache_lost_bytes
+            assert lost > 0
+            fs.restore_server(0)
+            yield env.timeout(60.0)
+            assert fs.missed[0].empty
+            assert fs.servers[0].stats.rebuild_bytes >= lost
+
+        run(env, proc())
+
+
+class TestEndToEndRedrive:
+    """A mid-run outage with a dirty cache must not cost a single byte.
+
+    ``store_data=True`` makes completeness byte-exact; the invariant
+    checker additionally proves the per-server conservation law
+    ``write_in == disk_written + dirty + merged + lost``.
+    """
+
+    SMALL = dict(nprocs=4, nqueries=3, nfragments=6)
+    # The io phase of this workload spans roughly t=6.6..24.3s; the outage
+    # must start inside it to catch a dirty cache.
+    PLAN = FaultPlan(server_outages=(ServerOutage(server_id=0, start=8.0, duration=3.0),))
+
+    def test_replicated_run_survives_cache_loss(self):
+        cfg = SimulationConfig(
+            strategy="ww-posix",
+            store_data=True,
+            check=True,
+            fault_plan=self.PLAN,
+            pvfs=PVFSConfig(server_cache_B=4 * MIB, replicas=2),
+            **self.SMALL,
+        )
+        app = S3aSim(cfg)
+        result = app.run()  # any InvariantViolation fails the test here
+        assert result.file_stats.complete
+        assert result.fault_stats["cache_lost_bytes"] > 0
+        summary = app.world.env.check.summary()
+        assert summary["replica_outstanding_bytes"] == 0  # rebuild finished
+
+    def test_unreplicated_run_still_completes(self):
+        cfg = SimulationConfig(
+            strategy="ww-posix",
+            store_data=True,
+            check=True,
+            fault_plan=self.PLAN,
+            pvfs=PVFSConfig(server_cache_B=4 * MIB),
+            **self.SMALL,
+        )
+        result = S3aSim(cfg).run()  # checker raises on any broken law
+        assert result.file_stats.complete
