@@ -1,0 +1,113 @@
+"""Smoke-diff the heap and calendar schedulers on identical workloads.
+
+The calendar queue is a pure performance feature: both backends use the
+same ``(time, priority, eid)`` total order, so a run under
+``scheduler="calendar"`` must be *bit-identical* to the default heap —
+same elapsed time, same phase breakdowns, same server and fault stats.
+This script runs a spread of configurations (including a fault plan and
+fluid bulk transfers) under both backends and diffs the full result
+fingerprints, exiting non-zero on the first divergence.  CI runs it as a
+cheap end-to-end determinism gate; the pytest equivalence suite
+(``tests/integration/test_scheduler_equivalence.py``) covers the same
+property with more granular diagnostics.
+
+Usage::
+
+    python benchmarks/scheduler_diff.py [--verbose]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import S3aSim, SimulationConfig  # noqa: E402
+from repro.faults import FaultPlan, ServerOutage, WorkerCrash  # noqa: E402
+from repro.pvfs import PVFSConfig  # noqa: E402
+
+MIB = 1024 * 1024
+
+
+def _configs():
+    base = dict(nprocs=8, nqueries=3, nfragments=12)
+    yield "mw", SimulationConfig(strategy="mw", **base)
+    yield "ww-coll+sync", SimulationConfig(
+        strategy="ww-coll", query_sync=True, **base
+    )
+    plan = FaultPlan(
+        server_outages=(ServerOutage(server_id=0, start=6.0, duration=2.0),),
+        worker_crashes=(WorkerCrash(rank=1, at_time=4.0, downtime_s=2.0),),
+    )
+    yield "ww-list+faults", SimulationConfig(
+        strategy="ww-list",
+        store_data=True,
+        check=True,
+        fault_plan=plan,
+        pvfs=PVFSConfig(server_cache_B=4 * MIB, replicas=2),
+        **base,
+    )
+    fluid = SimulationConfig(strategy="mw", **base)
+    yield "mw+fluid", fluid.with_(
+        network=replace(
+            fluid.network, eager_threshold_B=2048, fluid_threshold_B=4096
+        )
+    )
+    # Medium scale: enough churn to force calendar resizes mid-run (the
+    # regime that exposed the resize re-anchoring bug).
+    yield "ww-coll@32", SimulationConfig(
+        strategy="ww-coll", nprocs=32, nqueries=4, nfragments=16
+    )
+
+
+def _fingerprint(result, app):
+    return (
+        result.elapsed,
+        tuple(sorted(result.master.as_dict().items())),
+        tuple(tuple(sorted(w.as_dict().items())) for w in result.workers),
+        result.file_stats,
+        tuple(sorted(result.server_stats.items())),
+        tuple(sorted(result.fault_stats.items())),
+        app.fh.file.bytestore.extents(),
+    )
+
+
+def _run(config, scheduler):
+    app = S3aSim(config.with_(scheduler=scheduler))
+    t0 = time.perf_counter()
+    result = app.run()
+    return _fingerprint(result, app), time.perf_counter() - t0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--verbose", action="store_true", help="print per-config timings"
+    )
+    args = parser.parse_args(argv)
+    status = 0
+    for name, config in _configs():
+        heap_fp, heap_s = _run(config, "heap")
+        cal_fp, cal_s = _run(config, "calendar")
+        ok = heap_fp == cal_fp
+        flag = "identical" if ok else "DIVERGED"
+        if args.verbose or not ok:
+            print(
+                f"{name:16s} heap={heap_s:6.2f}s calendar={cal_s:6.2f}s  {flag}"
+            )
+        if not ok:
+            for i, (h, c) in enumerate(zip(heap_fp, cal_fp)):
+                if h != c:
+                    print(f"  field {i}: heap={h!r}")
+                    print(f"  field {i}: calendar={c!r}")
+            status = 1
+    print("SCHEDULER DIFF", "PASSED" if status == 0 else "FAILED")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ from ..mpi.world import MpiWorld
 from ..mpiio.file import MPIIOFile
 from ..obs.metrics import MetricsRegistry
 from ..pvfs.filesystem import FileSystem, PVFSFile
+from ..sim.environment import Environment
 from .config import SimulationConfig, Workload
 from .master import Master
 from .report import FileStats, RunResult
@@ -29,7 +30,11 @@ class S3aSim:
     def __init__(self, config: SimulationConfig, recorder=None) -> None:
         self.config = config
         self.recorder = recorder
-        self.world = MpiWorld(nranks=config.nprocs, network=config.network)
+        self.world = MpiWorld(
+            nranks=config.nprocs,
+            network=config.network,
+            env=Environment(scheduler=config.scheduler),
+        )
         if config.collect_metrics:
             # Attach before the FileSystem exists: IOServer binds its
             # counter handles at construction time.
@@ -160,6 +165,16 @@ class S3aSim:
         if metrics_registry.enabled:
             metrics_registry.set_gauge("run.elapsed_seconds", elapsed)
             metrics_registry.set_gauge("run.nprocs", float(cfg.nprocs))
+            env = self.world.env
+            if env._cal is not None:
+                # Kernel counters are plain ints incremented in the hot
+                # loop; exported once here instead of per event.
+                metrics_registry.set_gauge(
+                    "sim.calendar_batches", float(env.batches)
+                )
+                metrics_registry.set_gauge(
+                    "sim.calendar_resizes", float(env._cal.resizes)
+                )
         metrics = metrics_registry.snapshot()
         checker = self.world.env.check
         if checker.enabled:

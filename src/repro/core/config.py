@@ -17,6 +17,7 @@ from typing import Optional
 from ..faults.plan import FaultPlan, FaultToleranceConfig
 from ..mpi.network import NetworkConfig
 from ..pvfs.filesystem import PVFSConfig
+from ..sim.environment import SCHEDULERS
 from ..sim.rng import RandomStreams
 from ..workload.compute import ComputeModel, MergeModel
 from ..workload.database import FragmentedDatabase
@@ -90,6 +91,14 @@ class SimulationConfig:
     #: virtual time and raises ``InvariantViolation`` on the first breach.
     check: bool = False
 
+    #: Event-queue backend for the simulation kernel: ``"heap"`` (the
+    #: seed's binary heap) or ``"calendar"`` (calendar queue with O(1)
+    #: expected schedule/pop and same-timestamp batching).  Both produce
+    #: bit-identical event orders — the tie-break total order
+    #: ``(time, priority, eid)`` is preserved exactly — so this is purely
+    #: a performance knob; "heap" stays the default for continuity.
+    scheduler: str = "heap"
+
     #: The run's failure schedule.  The default (empty) plan injects
     #: nothing and keeps the simulation bit-identical to a fault-free
     #: build — the tolerance machinery only activates when needed.
@@ -115,6 +124,10 @@ class SimulationConfig:
                 f"(multiple of write_every={self.write_every})"
             )
         get_strategy(self.strategy)  # validates the name
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"scheduler must be one of {SCHEDULERS}, got {self.scheduler!r}"
+            )
         for crash in self.fault_plan.worker_crashes:
             if not 1 <= crash.rank < self.nprocs:
                 raise ValueError(

@@ -6,7 +6,8 @@ above this package (MPI, PVFS2, MPI-IO, S3aSim) is expressed in terms of
 these primitives.
 """
 
-from .environment import Environment
+from .calendar import CalendarQueue
+from .environment import Environment, SCHEDULERS
 from .errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
 from .process import Process
@@ -23,6 +24,8 @@ from .rng import RandomStreams
 __all__ = [
     "AllOf",
     "AnyOf",
+    "CalendarQueue",
+    "SCHEDULERS",
     "Condition",
     "ConditionValue",
     "Container",

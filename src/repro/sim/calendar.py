@@ -1,0 +1,208 @@
+"""Calendar-queue event scheduler (Brown 1988) for the DES kernel.
+
+The default kernel keeps pending events in a binary heap: O(log n)
+per operation with constant factors dominated by tuple comparisons.  At
+the scale the roadmap targets (1000+ ranks, 128+ servers) the pending set
+holds tens of thousands of events and the heap becomes the hot spot.  A
+calendar queue buckets events by timestamp — like a desk calendar, bucket
+``i`` holds every event whose time falls on "day" ``i`` of some "year" —
+giving O(1) expected enqueue and dequeue when the bucket width tracks the
+average inter-event gap.  The structure resizes itself (doubling/halving
+the number of buckets and re-estimating the width from a sample of the
+earliest events) as the event population grows and shrinks.
+
+Two properties matter for correctness:
+
+* **Total order.**  Entries are the same ``(time, priority, eid)`` tuples
+  the heap uses, and dequeues return them in exactly that order, so a
+  calendar-scheduled run is event-for-event identical to a heap-scheduled
+  one (``benchmarks/scheduler_diff.py`` and the equivalence property
+  tests pin this).
+* **Batched dequeue.**  :meth:`pop_batch` removes *every* entry sharing
+  the minimum timestamp in one operation (they necessarily share a
+  bucket), sorted by ``(priority, eid)``.  The environment drains the
+  batch through a plain list — one clock advance and zero queue
+  operations per same-timestamp event, which is the common case at scale
+  (synchronized phases schedule thousands of events at identical times).
+
+An event's "day" is ``int(time / width)``; day ``d`` lives in bucket
+``d % nbuckets``.  The dequeue scan tracks the integer day rather than a
+floating-point bucket boundary so the due test (``int(t / width) <= day``)
+is exactly the computation enqueue used — no accumulated float drift can
+ever pop a next-year event ahead of a this-year one.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_INF = float("inf")
+
+#: Smallest bucket count; resizing never shrinks below this.
+MIN_BUCKETS = 8
+
+#: Number of earliest-event gaps sampled when re-estimating bucket width.
+_WIDTH_SAMPLE = 32
+
+
+class CalendarQueue:
+    """An auto-resizing calendar queue over ``(time, priority, eid, event)``
+    entries.
+
+    The caller (the :class:`~repro.sim.environment.Environment`) guarantees
+    times are finite, non-negative, and never less than the last popped
+    batch's timestamp — the simulation clock only moves forward.
+    """
+
+    __slots__ = (
+        "_buckets",
+        "_nbuckets",
+        "_width",
+        "_size",
+        "_day",
+        "_floor",
+        "resizes",
+    )
+
+    def __init__(self, width: float = 1.0, nbuckets: int = MIN_BUCKETS) -> None:
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if nbuckets < 1:
+            raise ValueError("nbuckets must be positive")
+        self._nbuckets = nbuckets
+        self._width = width
+        self._buckets: List[List[tuple]] = [[] for _ in range(nbuckets)]
+        self._size = 0
+        # Scan position: the integer "day" of the last popped batch.
+        self._day = 0
+        # Largest timestamp ever popped: the caller may still push any time
+        # ABOVE this, so it — not the current pending minimum — is the only
+        # safe re-anchor point for ``_day`` after a resize.  Anchoring to
+        # the pending minimum once left ``_day`` ahead of a later push into
+        # the gap between the clock and that minimum, and the scan then
+        # returned batches out of order.
+        self._floor = 0.0
+        #: Number of automatic resizes (exported as ``sim.calendar_resizes``).
+        self.resizes = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __repr__(self) -> str:
+        return (
+            f"<CalendarQueue size={self._size} buckets={self._nbuckets} "
+            f"width={self._width:.3g} resizes={self.resizes}>"
+        )
+
+    # -- enqueue -----------------------------------------------------------
+    def push(self, entry: tuple) -> None:
+        """Insert an ``(time, priority, eid, event)`` entry."""
+        self._buckets[int(entry[0] / self._width) % self._nbuckets].append(entry)
+        self._size += 1
+        if self._size > 2 * self._nbuckets:
+            self._resize(2 * self._nbuckets)
+
+    # -- dequeue -----------------------------------------------------------
+    def pop_batch(self) -> List[tuple]:
+        """Remove and return all entries sharing the minimum time.
+
+        The batch is sorted by the full entry tuple (time is equal within
+        a batch, so effectively by ``(priority, eid)``).  Returns an empty
+        list when the queue is empty.
+        """
+        size = self._size
+        if not size:
+            return []
+        buckets = self._buckets
+        n = self._nbuckets
+        width = self._width
+        day = self._day
+        best = None
+        # Scan forward from the current day; an event is due at the scan
+        # position only if its own day has been reached (later events in
+        # the same bucket belong to future years and are skipped).
+        for _ in range(n):
+            bucket = buckets[day % n]
+            if bucket:
+                for entry in bucket:
+                    if int(entry[0] / width) <= day and (
+                        best is None or entry < best
+                    ):
+                        best = entry
+                if best is not None:
+                    break
+            day += 1
+        else:
+            # A full year scanned without a hit: the events are sparse and
+            # far away.  Fall back to a direct min search, then re-anchor
+            # the scan at the winner's day.
+            for bucket in buckets:
+                for entry in bucket:
+                    if best is None or entry < best:
+                        best = entry
+            assert best is not None
+            day = int(best[0] / width)
+
+        t = best[0]
+        bucket = buckets[day % n]
+        if len(bucket) == 1:
+            batch = [best]
+            bucket.clear()
+        else:
+            batch = [entry for entry in bucket if entry[0] == t]
+            if len(batch) == len(bucket):
+                bucket.clear()
+                batch.sort()
+            else:
+                bucket[:] = [entry for entry in bucket if entry[0] != t]
+                batch.sort()
+        self._size = size - len(batch)
+        self._day = day
+        self._floor = t
+        if self._size < self._nbuckets // 2 and self._nbuckets > MIN_BUCKETS:
+            self._resize(max(MIN_BUCKETS, self._nbuckets // 2))
+        return batch
+
+    def peek_time(self) -> float:
+        """Minimum pending timestamp, or +inf when empty (read-only)."""
+        if not self._size:
+            return _INF
+        best = _INF
+        for bucket in self._buckets:
+            for entry in bucket:
+                if entry[0] < best:
+                    best = entry[0]
+        return best
+
+    # -- resizing ----------------------------------------------------------
+    def _estimate_width(self, entries: List[tuple]) -> float:
+        """Bucket width from the spread of the earliest pending events.
+
+        Brown's rule: width ≈ 3× the mean gap between consecutive events
+        near the head, so a bucket holds a handful of events and the scan
+        rarely crosses empty buckets.  Deterministic — it reads only the
+        queue contents.
+        """
+        if len(entries) < 2:
+            return self._width
+        sample = sorted(entry[0] for entry in entries)[:_WIDTH_SAMPLE]
+        span = sample[-1] - sample[0]
+        if span <= 0.0:
+            # Everything coincides: keep the current width.
+            return self._width
+        return 3.0 * span / (len(sample) - 1)
+
+    def _resize(self, nbuckets: int) -> None:
+        entries = [entry for bucket in self._buckets for entry in bucket]
+        width = self._estimate_width(entries)
+        self._width = width
+        self._nbuckets = nbuckets
+        self._buckets = [[] for _ in range(nbuckets)]
+        for entry in entries:
+            self._buckets[int(entry[0] / width) % nbuckets].append(entry)
+        # Re-anchor the scan at the last popped timestamp's day under the
+        # NEW width.  The caller may still push any time above that floor,
+        # so anchoring to the (possibly later) pending minimum would let a
+        # subsequent push land behind the scan and dequeue out of order.
+        self._day = int(self._floor / width)
+        self.resizes += 1

@@ -146,7 +146,19 @@ class Timeout(Event):
         self.delay = delay
         self._ok = True
         self._value = value
-        heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
+        cal = env._cal
+        if cal is None:
+            heappush(env._queue, (env._now + delay, NORMAL, next(env._eid), self))
+        else:
+            # Calendar scheduler: entries at the current batch timestamp
+            # join the pending list (O(1), in eid order); later ones go to
+            # the calendar.  Compare times, not ``delay == 0`` — a delay
+            # below one ulp of ``now`` lands on the current timestamp.
+            t = env._now + delay
+            if t == env._batch_time:
+                env._pending.append((t, NORMAL, next(env._eid), self))
+            else:
+                cal.push((t, NORMAL, next(env._eid), self))
 
     def _desc(self) -> str:
         return f"delay={self.delay}"
@@ -252,6 +264,13 @@ class Condition(Event):
 
     def _check(self, event: Event) -> None:
         if self.triggered:
+            # The condition already fired (e.g. an AnyOf satisfied by a
+            # sibling at this same timestamp).  A *failed* straggler still
+            # needs defusing: the condition is the event's waiter, and
+            # without this the environment re-raises the failure as
+            # unhandled and kills the whole run.
+            if not event._ok:
+                event._defused = True
             return
         self._count += 1
         if not event._ok:

@@ -308,3 +308,81 @@ class TestFabricBackoffRelease:
             env.run(proc)
         assert net.faults.stats.link_failures == 1
         assert net.faults.stats.drops == 4  # initial attempt + 3 retries
+
+
+class TestOverlappingLossWindows:
+    """Pin the LinkFaults contract for overlapping windows: the *first
+    active spec in declaration order* governs a crossing — its drop
+    probability, its backoff schedule, and its retry budget — even when a
+    later-declared window is also active (and even when that one is
+    harsher).  MODELING.md documents this contract; changing it silently
+    would change every multi-window fault plan's timing.
+    """
+
+    def _two_window_net(self, env, rng_values, first, second):
+        from repro.mpi.network import LinkFaults
+
+        cfg = NetworkConfig(latency_s=0, bandwidth_Bps=1 * MIB, cpu_overhead_s=0)
+        net = Network(env, 2, cfg)
+        net.install_faults(LinkFaults([first, second], _ScriptedRng(rng_values)))
+        return net
+
+    def test_first_declared_window_governs_overlap(self, env):
+        from repro.faults import MessageLoss
+
+        # Both windows active at t=0; the first has a tame 10% drop rate,
+        # the second drops (almost) everything.  A draw of 0.5 would be a
+        # drop under the second window but must NOT drop under the first.
+        first = MessageLoss(drop_prob=0.1, start=0.0, end=10.0)
+        second = MessageLoss(drop_prob=0.99, start=0.0, end=10.0)
+        net = self._two_window_net(env, [0.5], first, second)
+
+        def proc():
+            yield from net.transfer(0, 1, 1000)
+
+        env.run(env.process(proc()))
+        assert net.faults.stats.drops == 0
+
+    def test_first_active_window_sets_backoff_schedule(self, env):
+        from repro.faults import MessageLoss
+
+        # The first-declared window is over by t=0.5; the second (slow
+        # retransmit timer) is the first *active* spec and must provide
+        # the backoff schedule for a drop inside it.
+        early = MessageLoss(
+            drop_prob=0.5, start=0.0, end=0.5, retransmit_timeout_s=1e-3
+        )
+        late = MessageLoss(
+            drop_prob=0.5, start=1.0, end=10.0, retransmit_timeout_s=3.0
+        )
+        net = self._two_window_net(env, [0.0, 0.9], early, late)
+        done = {}
+
+        def proc():
+            yield env.timeout(2.0)  # inside the late window only
+            yield from net.transfer(0, 1, 1000)
+            done["t"] = env.now
+
+        env.run(env.process(proc()))
+        assert net.faults.stats.drops == 1
+        # Dropped at ~2.0, retransmitted after the LATE window's 3.0 s
+        # timeout (not the early window's 1 ms), delivered after that.
+        assert done["t"] == pytest.approx(5.0, abs=0.01)
+
+    def test_zero_prob_window_is_skipped(self, env):
+        from repro.faults import MessageLoss
+
+        # A drop_prob=0 window never governs: the active-spec scan skips
+        # it, so the later lossy window still applies.
+        inert = MessageLoss(drop_prob=0.0, start=0.0, end=10.0)
+        lossy = MessageLoss(
+            drop_prob=0.5, start=0.0, end=10.0, retransmit_timeout_s=1e-3
+        )
+        net = self._two_window_net(env, [0.0, 0.9], inert, lossy)
+
+        def proc():
+            yield from net.transfer(0, 1, 1000)
+
+        env.run(env.process(proc()))
+        assert net.faults.stats.drops == 1
+        assert net.faults.stats.retransmits == 1

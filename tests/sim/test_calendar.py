@@ -1,0 +1,299 @@
+"""CalendarQueue unit tests and heap-equivalence properties.
+
+The calendar scheduler is only correct if it is *invisible*: a run under
+``scheduler="calendar"`` must process events in exactly the heap's
+``(time, priority, eid)`` order.  The property tests here drain randomized
+workloads through both backends and demand identical traces.
+"""
+
+import heapq
+import random
+
+import pytest
+
+from repro.sim import CalendarQueue, Environment, SCHEDULERS
+from repro.sim.calendar import MIN_BUCKETS
+
+
+class _Ev:
+    """Stand-in payload (never compared: eid is unique per entry)."""
+
+    __slots__ = ()
+
+
+def _drain(cal):
+    out = []
+    while len(cal):
+        batch = cal.pop_batch()
+        assert batch == sorted(batch)
+        # All entries of one batch share the minimum timestamp.
+        assert len({e[0] for e in batch}) == 1
+        out.extend(batch)
+    return out
+
+
+class TestCalendarQueue:
+    def test_empty_pop(self):
+        cal = CalendarQueue()
+        assert cal.pop_batch() == []
+        assert cal.peek_time() == float("inf")
+        assert len(cal) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ValueError):
+            CalendarQueue(nbuckets=0)
+
+    def test_single_entry(self):
+        cal = CalendarQueue()
+        entry = (3.5, 1, 0, _Ev())
+        cal.push(entry)
+        assert cal.peek_time() == 3.5
+        assert cal.pop_batch() == [entry]
+        assert len(cal) == 0
+
+    def test_batch_groups_equal_times(self):
+        cal = CalendarQueue()
+        ev = _Ev()
+        cal.push((1.0, 1, 2, ev))
+        cal.push((2.0, 1, 3, ev))
+        cal.push((1.0, 0, 1, ev))
+        cal.push((1.0, 1, 0, ev))
+        batch = cal.pop_batch()
+        assert [e[:3] for e in batch] == [(1.0, 0, 1), (1.0, 1, 0), (1.0, 1, 2)]
+        assert [e[:3] for e in cal.pop_batch()] == [(2.0, 1, 3)]
+
+    def test_sorted_drain_random(self):
+        rng = random.Random(7)
+        ev = _Ev()
+        entries = [
+            (round(rng.uniform(0, 100), 3), rng.choice((0, 1)), eid, ev)
+            for eid in range(500)
+        ]
+        cal = CalendarQueue()
+        for entry in entries:
+            cal.push(entry)
+        assert _drain(cal) == sorted(entries, key=lambda e: e[:3])
+
+    def test_resize_up_and_down(self):
+        cal = CalendarQueue()
+        ev = _Ev()
+        for eid in range(200):
+            cal.push((float(eid), 1, eid, ev))
+        assert cal.resizes > 0
+        assert cal._nbuckets > MIN_BUCKETS
+        drained = _drain(cal)
+        assert [e[2] for e in drained] == list(range(200))
+        # Draining shrank the structure back down.
+        assert cal._nbuckets == MIN_BUCKETS
+
+    def test_interleaved_push_pop_monotone(self):
+        """Pushes between pops (never into the past) stay ordered."""
+        rng = random.Random(21)
+        cal = CalendarQueue()
+        ev = _Ev()
+        eid = 0
+        now = 0.0
+        for _ in range(50):
+            cal.push((now + rng.uniform(0, 10), 1, eid, ev))
+            eid += 1
+        popped = []
+        while len(cal):
+            batch = cal.pop_batch()
+            popped.extend(batch)
+            now = batch[0][0]
+            if rng.random() < 0.7:
+                for _ in range(rng.randrange(3)):
+                    cal.push((now + rng.uniform(0.001, 10), 1, eid, ev))
+                    eid += 1
+        times = [e[0] for e in popped]
+        assert times == sorted(times)
+
+    def test_sparse_far_future_fallback(self):
+        """Events many 'years' ahead trigger the direct-min fallback."""
+        cal = CalendarQueue(width=0.001)
+        ev = _Ev()
+        cal.push((0.0005, 1, 0, ev))
+        cal.push((500.0, 1, 1, ev))
+        cal.push((1e6, 1, 2, ev))
+        assert [e[2] for e in _drain(cal)] == [0, 1, 2]
+
+    def test_push_into_gap_after_resize(self):
+        """Regression: a resize must not anchor the scan ahead of times
+        the caller may still push.
+
+        Pushing a far cluster triggers a grow-resize; the scan anchor must
+        stay at the last *popped* time (here: nothing popped, so 0), not
+        jump to the pending minimum — a later push into the gap below that
+        minimum is legal and must still come out first.
+        """
+        cal = CalendarQueue()
+        ev = _Ev()
+        for eid in range(2 * MIN_BUCKETS + 4):
+            cal.push((100.0 + eid, 1, eid, ev))
+        assert cal.resizes >= 1
+        cal.push((1.0, 1, 999, ev))
+        times = [e[0] for e in _drain(cal)]
+        assert times[0] == 1.0
+        assert times == sorted(times)
+
+    def test_push_into_gap_after_pop_resize(self):
+        """Same property across a shrink-resize triggered by a pop: pushes
+        between the popped time and the pending minimum stay ordered."""
+        rng = random.Random(7)
+        cal = CalendarQueue()
+        ev = _Ev()
+        eid = 0
+        # Grow well past MIN_BUCKETS so the drain forces shrink-resizes.
+        for _ in range(200):
+            cal.push((rng.uniform(0, 50), 1, eid, ev))
+            eid += 1
+        popped = []
+        while len(cal):
+            batch = cal.pop_batch()
+            popped.extend(batch)
+            now = batch[0][0]
+            # Push just above the clock — typically far below the pending
+            # minimum late in the drain, exercising the gap.
+            if rng.random() < 0.5:
+                cal.push((now + rng.uniform(1e-6, 0.01), 1, eid, ev))
+                eid += 1
+        times = [e[0] for e in popped]
+        assert times == sorted(times)
+
+    def test_identical_times_mass(self):
+        """Degenerate width estimation: everything at one timestamp."""
+        cal = CalendarQueue()
+        ev = _Ev()
+        for eid in range(100):
+            cal.push((5.0, 1, eid, ev))
+        batch = cal.pop_batch()
+        assert len(batch) == 100
+        assert [e[2] for e in batch] == list(range(100))
+        assert len(cal) == 0
+
+
+class TestSchedulerEquivalence:
+    """heap and calendar environments must be event-for-event identical."""
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            Environment(scheduler="fifo")
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_basic_run(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        trace = []
+
+        def proc(env, name, delays):
+            for d in delays:
+                yield env.timeout(d)
+                trace.append((env.now, name))
+
+        env.process(proc(env, "a", [1, 2, 3]))
+        env.process(proc(env, "b", [2, 2, 2]))
+        env.run()
+        assert trace == [
+            (1, "a"), (2, "b"), (3, "a"), (4, "b"), (6, "a"), (6, "b")
+        ]
+
+    @staticmethod
+    def _mixed_workload(env, trace, seed):
+        """Timers, same-time collisions, zero delays, stores, interrupts."""
+        from repro.sim import Store
+
+        rng = random.Random(seed)
+        store = Store(env)
+
+        def timer(env, name):
+            for _ in range(rng.randrange(1, 6)):
+                yield env.timeout(round(rng.uniform(0, 5), 1))
+                trace.append((env.now, "t", name))
+
+        def producer(env):
+            for i in range(10):
+                yield env.timeout(0.5)
+                yield store.put(i)
+
+        def consumer(env, name):
+            for _ in range(5):
+                item = yield store.get()
+                trace.append((env.now, "c", name, item))
+                yield env.timeout(0)  # zero-delay cascade
+
+        def waiter(env):
+            t1 = env.timeout(2.0, "x")
+            t2 = env.timeout(2.0, "y")
+            got = yield t1 | t2
+            trace.append((env.now, "w", len(got.events)))
+
+        for i in range(8):
+            env.process(timer(env, i))
+        env.process(producer(env))
+        env.process(consumer(env, "c1"))
+        env.process(consumer(env, "c2"))
+        env.process(waiter(env))
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_mixed_workload_identical(self, seed):
+        traces = {}
+        for scheduler in SCHEDULERS:
+            env = Environment(scheduler=scheduler)
+            trace = []
+            self._mixed_workload(env, trace, seed)
+            env.run()
+            traces[scheduler] = (trace, env.now, next(env._eid))
+        assert traces["heap"] == traces["calendar"]
+
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_resumable_run_until_identical(self, seed):
+        """Stopping and resuming at times must not diverge the backends."""
+        traces = {}
+        for scheduler in SCHEDULERS:
+            env = Environment(scheduler=scheduler)
+            trace = []
+            self._mixed_workload(env, trace, seed)
+            env.run(until=1.5)
+            env.run(until=3.0)
+            env.run()
+            traces[scheduler] = (trace, env.now, next(env._eid))
+        assert traces["heap"] == traces["calendar"]
+
+    def test_urgent_mid_batch(self):
+        """A process started from within a batch (URGENT init) runs at the
+        same position under both backends."""
+        traces = {}
+        for scheduler in SCHEDULERS:
+            env = Environment(scheduler=scheduler)
+            trace = []
+
+            def child(env):
+                trace.append((env.now, "child"))
+                yield env.timeout(1)
+                trace.append((env.now, "child-end"))
+
+            def spawner(env):
+                yield env.timeout(2)
+                trace.append((env.now, "spawn"))
+                env.process(child(env))
+                yield env.timeout(0)
+                trace.append((env.now, "after"))
+
+            def bystander(env):
+                yield env.timeout(2)
+                trace.append((env.now, "bystander"))
+
+            env.process(spawner(env))
+            env.process(bystander(env))
+            env.run()
+            traces[scheduler] = trace
+        assert traces["heap"] == traces["calendar"]
+
+    def test_queue_size_and_peek(self):
+        env = Environment(scheduler="calendar")
+        assert env.peek() == float("inf")
+        env.timeout(5)
+        env.timeout(1)
+        assert env.queue_size == 2
+        assert env.peek() == 1.0

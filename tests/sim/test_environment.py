@@ -100,6 +100,61 @@ class TestSameTimeOrdering:
         assert order == ["a", "b", "c"]
 
 
+class TestRunUntilFailedEvent:
+    """run(until=event) must defuse a failed event in both orders.
+
+    When the awaited event fails *during* the run, _stop_simulation
+    defuses it before re-raising (the caller took responsibility by
+    receiving the exception).  Regression: the already-processed branch
+    re-raised *without* defusing — harmless in isolation, but
+    inconsistent, and it left the event looking unhandled to any later
+    audit of the object.
+    """
+
+    @staticmethod
+    def _failing_event(env):
+        bad = env.event()
+
+        def failer(env):
+            yield env.timeout(1)
+            bad.fail(RuntimeError("boom"))
+
+        env.process(failer(env))
+        return bad
+
+    def test_failure_during_run(self, env):
+        bad = self._failing_event(env)
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=bad)
+        assert bad._defused
+
+    def test_failure_already_processed(self, env):
+        bad = self._failing_event(env)
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=bad)
+        # Second run on the now-processed failed event: same behaviour,
+        # and the event stays defused.
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=bad)
+        assert bad._defused
+
+    def test_already_processed_defuses_fresh_reference(self, env):
+        """A failed event processed while *another* waiter held it still
+        defuses when later passed to run(until=...)."""
+        bad = self._failing_event(env)
+
+        def watcher(env):
+            try:
+                yield bad
+            except RuntimeError:
+                return "saw it"
+
+        assert env.run(env.process(watcher(env))) == "saw it"
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=bad)
+        assert bad._defused
+
+
 class TestRunReturnValues:
     def test_run_returns_event_value(self, env):
         def proc(env):

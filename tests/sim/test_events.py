@@ -188,6 +188,53 @@ class TestConditions:
         env.process(failer(env))
         assert env.run(env.process(waiter(env))) == "handled"
 
+    def test_anyof_sibling_failure_after_trigger_is_defused(self, env):
+        """Regression: a failed sub-event processed *after* its AnyOf
+        already fired must not crash the run.
+
+        Two events share a timestamp: the first (by eid) succeeds and
+        satisfies the AnyOf; the second fails.  When the failure is
+        processed, the condition is already triggered — its _check must
+        still defuse the failure, because the condition is that event's
+        only waiter.  The old kernel returned early without defusing and
+        the environment re-raised the failure as unhandled, killing the
+        whole simulation.
+        """
+        good = env.event()
+        bad = env.event()
+
+        def trigger(env):
+            yield env.timeout(1)
+            # Same timestamp, good first in eid order.
+            good.succeed("fine")
+            bad.fail(RuntimeError("sibling"))
+
+        def waiter(env):
+            result = yield env.any_of([good, bad])
+            return result[good]
+
+        env.process(trigger(env))
+        p = env.process(waiter(env))
+        # Crashes with the sibling's RuntimeError on the old kernel.
+        assert env.run(p) == "fine"
+
+    def test_anyof_sibling_failure_operator_form(self, env):
+        """Same contract through the ``|`` operator and reversed order."""
+        good = env.event()
+        bad = env.event()
+
+        def trigger(env):
+            yield env.timeout(1)
+            good.succeed(1)
+            bad.fail(ValueError("nope"))
+
+        def waiter(env):
+            got = yield good | bad
+            return good in got
+
+        env.process(trigger(env))
+        assert env.run(env.process(waiter(env))) is True
+
     def test_condition_value_mapping(self, env):
         t1 = env.timeout(1, value=10)
         t2 = env.timeout(2, value=20)

@@ -106,7 +106,7 @@ class TestResource:
         env.process(holder(env))
         p = env.process(impatient(env))
         assert env.run(p) == "gave-up"
-        assert res.queue == []
+        assert list(res.queue) == []
 
 
 class TestPriorityResource:
@@ -415,6 +415,135 @@ class TestContainerOrdering:
         env.process(producer(env))
         env.run(until=5)
         assert served == ["big", "small"]
+
+
+class _ReferenceStore:
+    """The seed's Store dispatch: a full getters × items fixpoint rescan
+    after every operation.  O(getters × items) per op but obviously
+    correct — the optimized targeted-rescan Store must grant in exactly
+    this order.
+    """
+
+    def __init__(self, capacity=float("inf")):
+        self.capacity = capacity
+        self.items = []
+        self.getters = []  # (gid, filter)
+        self.putters = []  # (pid, item)
+        self.grants = []   # ("put", pid) / ("get", gid, item) in grant order
+
+    def put(self, pid, item):
+        self.putters.append((pid, item))
+        self._dispatch()
+
+    def get(self, gid, flt=None):
+        self.getters.append((gid, flt))
+        self._dispatch()
+
+    def _dispatch(self):
+        progressed = True
+        while progressed:
+            progressed = False
+            while self.putters and len(self.items) < self.capacity:
+                pid, item = self.putters.pop(0)
+                self.items.append(item)
+                self.grants.append(("put", pid))
+                progressed = True
+            remaining = []
+            for gid, flt in self.getters:
+                for idx, item in enumerate(self.items):
+                    if flt is None or flt(item):
+                        self.items.pop(idx)
+                        self.grants.append(("get", gid, item))
+                        progressed = True
+                        break
+                else:
+                    remaining.append((gid, flt))
+            self.getters = remaining
+
+
+class TestStoreMatchesReference:
+    """Property test: random op sequences grant identically to the
+    reference fixpoint dispatch (order included)."""
+
+    FILTERS = {
+        None: None,
+        "even": lambda i: i % 2 == 0,
+        "big": lambda i: i >= 5,
+        "never": lambda i: False,
+    }
+
+    def _run_sequence(self, ops, capacity):
+        import itertools
+
+        env = Environment()
+        store = Store(env, capacity=capacity)
+        grants = []
+
+        def do_put(env, pid, item):
+            yield store.put(item)
+            grants.append(("put", pid))
+
+        def do_get(env, gid, flt):
+            item = yield store.get(flt)
+            grants.append(("get", gid, item))
+
+        ref = _ReferenceStore(capacity)
+        pid = itertools.count()
+        gid = itertools.count()
+        for op, arg in ops:
+            if op == "put":
+                i = next(pid)
+                env.process(do_put(env, i, arg))
+                env.run()
+                ref.put(i, arg)
+            else:
+                i = next(gid)
+                env.process(do_get(env, i, self.FILTERS[arg]))
+                env.run()
+                ref.get(i, self.FILTERS[arg])
+        return grants, ref.grants, sorted(store.items), sorted(ref.items)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_ops_grant_identically(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        capacity = rng.choice([2, 3, float("inf")])
+        ops = []
+        for _ in range(60):
+            if rng.random() < 0.55:
+                ops.append(("put", rng.randrange(10)))
+            else:
+                ops.append(("get", rng.choice([None, "even", "big", "never"])))
+        got, want, items_got, items_want = self._run_sequence(ops, capacity)
+        assert got == want
+        assert items_got == items_want
+
+
+class TestResourceFifoProperty:
+    def test_grant_order_is_arrival_order_under_churn(self, env):
+        """Random request/release interleavings grant strictly FIFO."""
+        import random
+
+        rng = random.Random(3)
+        res = Resource(env, capacity=2)
+        granted = []
+
+        def user(env, name):
+            yield env.timeout(round(rng.uniform(0, 2), 3))
+            with res.request() as req:
+                arrival = (env.now, name)
+                yield req
+                granted.append(arrival)
+                yield env.timeout(round(rng.uniform(0.1, 1), 3))
+
+        for i in range(40):
+            env.process(user(env, i))
+        env.run()
+        # Arrival order == (arrival time, spawn order) here because ties
+        # in arrival time queue in process-creation order.
+        assert granted == sorted(granted)
+        assert len(granted) == 40
 
 
 class TestInterruptSafety:
