@@ -26,6 +26,7 @@ from .sweeps import (
     PAPER_PROCESS_COUNTS,
     SweepPoint,
     SweepResult,
+    arrival_sweep,
     compute_speed_sweep,
     process_scaling_sweep,
     replica_sweep,
@@ -53,6 +54,7 @@ __all__ = [
     "ReplicatedMeasurement",
     "SweepPoint",
     "SweepResult",
+    "arrival_sweep",
     "compare_replicated",
     "compute_speed_sweep",
     "crossover_x",

@@ -234,6 +234,45 @@ def server_cache_sweep(
     return _execute_sweep("server_cache_mib", specs, jobs, progress, reporter)
 
 
+def arrival_sweep(
+    base: SimulationConfig,
+    rates: Sequence[float],
+    strategies: Sequence[str] = ALL_STRATEGIES,
+    sync_options: Sequence[bool] = (False,),
+    nprocs: Optional[int] = None,
+    progress: ProgressHook = None,
+    jobs: int = 1,
+    reporter: OutcomeHook = None,
+) -> SweepResult:
+    """Serve-mode axis: completion latency vs offered load per strategy.
+
+    ``base.arrival`` must be set (it supplies the arrival process,
+    admission policy, and horizon); ``x`` is the offered rate in queries
+    per second.  The interesting output is each point's
+    ``result.serve_stats`` — admitted/rejected counts and the latency
+    percentiles — which diverge across strategies as the rate approaches
+    saturation.
+    """
+    if base.arrival is None:
+        raise ValueError("arrival_sweep needs base.arrival set")
+    specs = []
+    for rate in rates:
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        arrival = replace(base.arrival, rate=float(rate))
+        for query_sync in sync_options:
+            for strategy in strategies:
+                config = base.with_(
+                    strategy=strategy, query_sync=query_sync, arrival=arrival
+                )
+                if nprocs is not None:
+                    config = config.with_(nprocs=nprocs)
+                specs.append(
+                    PointSpec(key=(strategy, query_sync, float(rate)), config=config)
+                )
+    return _execute_sweep("arrival_rate", specs, jobs, progress, reporter)
+
+
 def replica_sweep(
     base: SimulationConfig,
     replica_counts: Sequence[int] = (1, 2, 3),

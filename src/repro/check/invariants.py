@@ -138,7 +138,19 @@ class NullChecker:
     ) -> None:
         pass
 
-    def finalize(self, now: float, recorder=None, fault_free: bool = True) -> None:
+    def arrival(self, outcome: str) -> None:
+        pass
+
+    def arrival_completed(self) -> None:
+        pass
+
+    def finalize(
+        self,
+        now: float,
+        recorder=None,
+        fault_free: bool = True,
+        open_queries: Optional[int] = None,
+    ) -> None:
         pass
 
     def __repr__(self) -> str:
@@ -219,6 +231,18 @@ class InvariantChecker:
         # Offset-layout cursor: None until the first block (supports
         # resumed runs, whose first base is nonzero).
         self._offset_cursor: Optional[int] = None
+        # Serve-mode arrival ledger.  "admitted" counts admission *events*
+        # (a shed slot's takeover is a fresh admission of the new arrival),
+        # so every offered arrival lands in exactly one of admitted or
+        # rejected, and every admission event ends as completed, shed, or
+        # still-open at the end of the run.
+        self.arrivals: Dict[str, int] = {
+            "offered": 0,
+            "admitted": 0,
+            "rejected": 0,
+            "shed": 0,
+            "completed": 0,
+        }
 
     def __repr__(self) -> str:
         return f"<InvariantChecker checks={self.checks}>"
@@ -566,8 +590,51 @@ class InvariantChecker:
                 nsizes=nsizes,
             )
 
+    # -- serve layer --------------------------------------------------------
+    def arrival(self, outcome: str) -> None:
+        """One admission-control event: offered/admitted/rejected/shed."""
+        self.checks += 1
+        if outcome not in self.arrivals:
+            self._fail(
+                "serve",
+                "arrival-outcome",
+                f"unknown arrival outcome {outcome!r}",
+                outcome=outcome,
+            )
+        self.arrivals[outcome] += 1
+        self._arrival_laws()
+
+    def arrival_completed(self) -> None:
+        """An admitted query became result-durable."""
+        self.checks += 1
+        self.arrivals["completed"] += 1
+        self._arrival_laws()
+
+    def _arrival_laws(self) -> None:
+        a = self.arrivals
+        if a["admitted"] + a["rejected"] > a["offered"]:
+            self._fail(
+                "serve",
+                "arrival-conservation",
+                "more arrivals decided than offered",
+                **a,
+            )
+        if a["completed"] + a["shed"] > a["admitted"]:
+            self._fail(
+                "serve",
+                "arrival-conservation",
+                "more queries completed+shed than admission events",
+                **a,
+            )
+
     # -- end-of-run conservation --------------------------------------------
-    def finalize(self, now: float, recorder=None, fault_free: bool = True) -> None:
+    def finalize(
+        self,
+        now: float,
+        recorder=None,
+        fault_free: bool = True,
+        open_queries: Optional[int] = None,
+    ) -> None:
         """Run the global laws once the simulation has stopped.
 
         ``fault_free`` selects strict equalities: with an empty fault plan
@@ -580,8 +647,33 @@ class InvariantChecker:
         """
         self._finalize_mpi(fault_free)
         self._finalize_servers()
+        self._finalize_arrivals(open_queries)
         if recorder is not None:
             self._finalize_trace(recorder, now)
+
+    def _finalize_arrivals(self, open_queries: Optional[int]) -> None:
+        a = self.arrivals
+        if not a["offered"]:
+            return
+        if a["admitted"] + a["rejected"] != a["offered"]:
+            self._fail(
+                "serve",
+                "arrival-conservation",
+                "every offered arrival must be admitted or rejected "
+                "(decisions are synchronous)",
+                **a,
+            )
+        if open_queries is not None:
+            open_events = a["admitted"] - a["shed"] - a["completed"]
+            if open_events != open_queries:
+                self._fail(
+                    "serve",
+                    "arrival-conservation",
+                    f"admission ledger leaves {open_events} open queries "
+                    f"but the master holds {open_queries}",
+                    open_queries=open_queries,
+                    **a,
+                )
 
     def _finalize_mpi(self, fault_free: bool) -> None:
         if fault_free and self.tx_bytes != self.rx_bytes + self.dropped_bytes:
@@ -735,6 +827,7 @@ class InvariantChecker:
                 }
                 for sid, led in sorted(self.servers.items())
             },
+            "arrivals": dict(self.arrivals),
             "replica_writes": self.replica_writes,
             "replica_acked_bytes": self.replica_acked_bytes,
             "replica_outstanding_bytes": sum(

@@ -16,6 +16,9 @@ even though no single output is known in advance:
 * ``empty-faults`` — an explicitly empty fault plan is bit-identical to
   the default no-plan run, and re-running either reproduces it exactly
   (no hidden global state).
+* ``arrivals`` — an open-loop arrival process at rate → ∞ with a pending
+  bound of ``nqueries`` converges to the closed-batch output file (every
+  query offered at t≈0, none rejected).
 
 Every relation runs with the cross-layer invariant checker enabled
 (:mod:`repro.check.invariants`), so a case that breaks a conservation law
@@ -47,6 +50,7 @@ from ..core.strategies import STRATEGIES
 from ..exec.engine import PointSpec, run_points
 from ..faults.plan import FaultPlan
 from ..pvfs.filesystem import PVFSConfig
+from ..serve.arrivals import ArrivalConfig
 from ..workload.results import ResultModel
 
 ARTIFACT_FORMAT = "s3asim-check-repro-1"
@@ -227,6 +231,44 @@ def relation_replicas(case: CheckCase) -> Optional[str]:
     return None
 
 
+def relation_arrivals(case: CheckCase) -> Optional[str]:
+    """Arrivals at rate → ∞ must converge to the closed-batch output.
+
+    With an effectively infinite Poisson rate and a pending bound of
+    ``nqueries``, every query is offered at t≈0 and admitted, so the serve
+    run degenerates into the batch run: same admitted count, no
+    rejections, and a byte-identical output file.  (Timing differs — the
+    arrival machinery exchanges acks — so only content is compared.)
+    """
+    base = build_config(case, write_every=1)
+    _, extents_batch, digest_batch = _run_signature(base)
+    serve_cfg = base.with_(
+        arrival=ArrivalConfig(
+            process="poisson", rate=1e9, max_pending=case.nqueries
+        )
+    )
+    app = S3aSim(serve_cfg)
+    result = app.run()
+    stats = result.serve_stats
+    if stats.get("admitted") != float(case.nqueries):
+        return (
+            f"rate→∞ serve run admitted {stats.get('admitted')} of "
+            f"{case.nqueries} queries"
+        )
+    if stats.get("rejected") or stats.get("shed"):
+        return (
+            f"rate→∞ serve run rejected/shed arrivals with "
+            f"max_pending == nqueries: {stats}"
+        )
+    extents_serve, digest_serve = output_signature(app)
+    if (extents_batch, digest_batch) != (extents_serve, digest_serve):
+        return (
+            f"serve output diverged from the closed batch: "
+            f"{digest_batch[:12]} != {digest_serve[:12]}"
+        )
+    return None
+
+
 def relation_empty_faults(case: CheckCase) -> Optional[str]:
     """No plan, an explicit empty plan, and a re-run must agree exactly."""
     first = _run_signature(build_config(case))
@@ -252,6 +294,7 @@ RELATIONS: Dict[str, Relation] = {
     "replicas": relation_replicas,
     "jobs": relation_jobs,
     "empty-faults": relation_empty_faults,
+    "arrivals": relation_arrivals,
 }
 
 

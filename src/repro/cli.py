@@ -28,6 +28,7 @@ from typing import List, Optional
 
 from .analysis import (
     FIG2_RATIOS_PCT,
+    arrival_sweep,
     compute_speed_sweep,
     overall_table,
     phase_table,
@@ -44,6 +45,7 @@ from .core.phases import Phase
 from .core.strategies import STRATEGIES
 from .exec import PointSpec, ProgressReporter, aggregate_point_metrics, run_points
 from .obs import MetricsSnapshot, export_metrics_csv, export_metrics_json
+from .serve import ADMISSION_POLICIES, ARRIVAL_PROCESSES, ArrivalConfig
 from .trace import TraceRecorder, export_json, render_timeline
 from .workload import ComputeModel, load_workload_kwargs, save_workload
 
@@ -138,9 +140,59 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "serialization holds (default: off, every transfer on the "
         "packet path)",
     )
+    parser.add_argument(
+        "--arrival",
+        choices=list(ARRIVAL_PROCESSES),
+        default=None,
+        help="serve mode: inject queries via this open-loop arrival process "
+        "instead of the pre-loaded closed batch (default: batch mode)",
+    )
+    parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=20.0,
+        metavar="QPS",
+        help="serve mode: mean offered load in queries per second",
+    )
+    parser.add_argument(
+        "--arrival-horizon",
+        type=float,
+        default=None,
+        metavar="S",
+        help="serve mode: stop generating arrivals after this many simulated "
+        "seconds (default: stop after --nqueries arrivals)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="serve mode: admission bound on queries admitted but not yet "
+        "durable; arrivals beyond it are rejected or shed",
+    )
+    parser.add_argument(
+        "--admission",
+        choices=list(ADMISSION_POLICIES),
+        default="reject",
+        help="serve mode: what to do with an arrival when the pending queue "
+        "is full (reject it, or shed the youngest unstarted query)",
+    )
+    parser.add_argument(
+        "--priority-fraction",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="serve mode: fraction of arrivals tagged priority and queued "
+        "ahead of normal work (ignored by ww-coll, whose collective "
+        "writes require FIFO assignment)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> SimulationConfig:
+    if getattr(args, "jobs", 1) < 1:
+        raise SystemExit(
+            "--jobs must be >= 1 (1 = run inline, N = process pool of N)"
+        )
     preset = get_preset(args.cluster)
     pvfs_overrides = {}
     if getattr(args, "disk_sched", None) is not None:
@@ -178,6 +230,18 @@ def _config_from(args: argparse.Namespace) -> SimulationConfig:
     )
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if getattr(args, "arrival", None):
+        try:
+            kwargs["arrival"] = ArrivalConfig(
+                process=args.arrival,
+                rate=args.arrival_rate,
+                horizon_s=args.arrival_horizon,
+                max_pending=args.max_pending,
+                policy=args.admission,
+                priority_fraction=args.priority_fraction,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"invalid arrival configuration: {exc}")
     if getattr(args, "workload", None):
         with open(args.workload) as fh:
             loaded = load_workload_kwargs(fh)
@@ -192,7 +256,10 @@ def _config_from(args: argparse.Namespace) -> SimulationConfig:
         kwargs.update(loaded)
     if getattr(args, "fault_plan", None):
         kwargs["fault_plan"] = load_fault_plan(args.fault_plan)
-    config = SimulationConfig(**kwargs)
+    try:
+        config = SimulationConfig(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     if getattr(args, "scenario", None):
         config = get_scenario(args.scenario, config)
     return config
@@ -238,6 +305,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"output file: {fstat.total_bytes} bytes in {fstat.nextents} extent(s), "
         f"expected {fstat.expected_bytes}, complete={fstat.complete}"
     )
+    if result.serve_stats:
+        print()
+        _print_serve_stats(result.serve_stats)
     if result.fault_stats:
         print()
         print("faults/recovery:")
@@ -246,6 +316,73 @@ def _cmd_run(args: argparse.Namespace) -> int:
             if value:
                 print(f"  {name:24s} {value:g}")
     return 0 if fstat.complete else 1
+
+
+def _print_serve_stats(serve: dict) -> None:
+    """Admission counters and completion-latency percentiles of one run."""
+    print(
+        f"arrivals: offered={serve.get('offered', 0):g} "
+        f"admitted={serve.get('admitted', 0):g} "
+        f"rejected={serve.get('rejected', 0):g} "
+        f"shed={serve.get('shed', 0):g} "
+        f"completed={serve.get('completed', 0):g} "
+        f"pending={serve.get('pending', 0):g}"
+    )
+    print(
+        f"latency:  mean={serve.get('latency_mean_s', 0):.3f}s "
+        f"p50={serve.get('latency_p50_s', 0):.3f}s "
+        f"p95={serve.get('latency_p95_s', 0):.3f}s "
+        f"p99={serve.get('latency_p99_s', 0):.3f}s "
+        f"max={serve.get('latency_max_s', 0):.3f}s"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Online service mode: open-loop arrivals against the running master."""
+    if not getattr(args, "arrival", None):
+        args.arrival = args.preset
+    cfg = _config_from(args).with_(collect_metrics=True)
+    app = S3aSim(cfg)
+    result = app.run(until=args.until)
+    print(result.summary_line())
+    _print_serve_stats(result.serve_stats)
+    checker = app.world.env.check
+    if checker.enabled:
+        summary = checker.summary()
+        arrivals = summary.get("arrivals", {})
+        print(
+            f"invariants: {summary['checks']} checks passed "
+            f"(arrival law offered={arrivals.get('offered', 0)} = "
+            f"admitted+rejected={arrivals.get('admitted', 0)}"
+            f"+{arrivals.get('rejected', 0)})"
+        )
+    if args.json:
+        import json as _json
+
+        with open(args.json, "w") as fh:
+            _json.dump(result.as_dict(), fh, indent=2)
+        print(f"result exported to {args.json}")
+    if args.until is not None:
+        return 0  # a horizon cutoff legitimately leaves pending queries
+    return 0 if result.file_stats.complete else 1
+
+
+def _print_latency_table(sweep) -> None:
+    """Offered-load-vs-latency rows, one per (strategy, rate) point."""
+    print(
+        f"{'strategy':10s} {'rate qps':>9s} {'offered':>8s} {'admitted':>9s} "
+        f"{'rejected':>9s} {'shed':>6s} {'p50 s':>8s} {'p95 s':>8s} {'p99 s':>8s}"
+    )
+    for strategy in sweep.strategies():
+        for x, result in sweep.series(strategy, False):
+            s = result.serve_stats
+            print(
+                f"{strategy:10s} {x:>9g} {s.get('offered', 0):>8g} "
+                f"{s.get('admitted', 0):>9g} {s.get('rejected', 0):>9g} "
+                f"{s.get('shed', 0):>6g} {s.get('latency_p50_s', 0):>8.3f} "
+                f"{s.get('latency_p95_s', 0):>8.3f} "
+                f"{s.get('latency_p99_s', 0):>8.3f}"
+            )
 
 
 def _print_server_table(snapshot: MetricsSnapshot, strategy: str) -> None:
@@ -385,6 +522,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"--- {strategy} ---")
         _print_server_table(snapshot, strategy)
         _print_server_stack(snapshot, strategy)
+        if outcome.result.serve_stats:
+            _print_serve_stats(outcome.result.serve_stats)
         print()
         print("per-rank phase seconds:")
         _print_phase_table(snapshot, strategy)
@@ -511,6 +650,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             reporter=reporter,
         )
         headline_x = None  # no paper figure to ratio against
+    elif args.axis == "arrival":  # serve mode: offered load in queries/s
+        rates = [float(x) for x in args.rates.split(",")]
+        base = cfg
+        if base.arrival is None:
+            # The common arrival flags still shape the sweep's base config
+            # even when --arrival itself was omitted.
+            base = base.with_(
+                arrival=ArrivalConfig(
+                    process="poisson",
+                    rate=args.arrival_rate,
+                    horizon_s=args.arrival_horizon,
+                    max_pending=args.max_pending,
+                    policy=args.admission,
+                    priority_fraction=args.priority_fraction,
+                )
+            )
+        # Serve mode sweeps one sync option (sync gating is a batch-mode
+        # knob), so 4 strategies per rate.
+        reporter = _sweep_reporter(args, len(rates) * 4)
+        sweep = arrival_sweep(
+            base,
+            rates=rates,
+            nprocs=args.nprocs,
+            progress=progress,
+            jobs=args.jobs,
+            reporter=reporter,
+        )
+        headline_x = None  # latency table below instead of ratio tables
     else:  # replicas: per-stripe replica count
         counts = [int(x) for x in args.replica_counts.split(",")]
         reporter = _sweep_reporter(args, len(counts) * npoints_per_x)
@@ -523,9 +690,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             reporter=reporter,
         )
         headline_x = None  # no paper figure to ratio against
-    for query_sync in (False, True):
-        print(overall_table(sweep, query_sync))
+    if args.axis == "arrival":
+        _print_latency_table(sweep)
         print()
+    else:
+        for query_sync in (False, True):
+            print(overall_table(sweep, query_sync))
+            print()
     if args.phases:
         for strategy in sweep.strategies():
             for query_sync in (False, True):
@@ -562,6 +733,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_hybrid(args: argparse.Namespace) -> int:
     cfg = _config_from(args)
+    if cfg.arrival is not None:
+        raise SystemExit(
+            "hybrid mode pre-partitions the closed batch and cannot take "
+            "open-loop arrivals; drop --arrival"
+        )
     result = HybridS3aSim(cfg, args.partitions).run()
     print(result.summary_line())
     for index, part in enumerate(result.partition_results):
@@ -647,8 +823,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.set_defaults(func=_cmd_run)
 
+    p_serve = sub.add_parser(
+        "serve",
+        help="online service mode: open-loop arrivals with admission control",
+    )
+    _add_common(p_serve)
+    p_serve.add_argument(
+        "--preset",
+        choices=list(ARRIVAL_PROCESSES),
+        default="poisson",
+        help="arrival process to use when --arrival is not given",
+    )
+    p_serve.add_argument(
+        "--until",
+        type=float,
+        default=None,
+        metavar="S",
+        help="cut the run off at this simulated time (pending queries' "
+        "latency is discarded, not fabricated)",
+    )
+    p_serve.add_argument("--json", help="export the full result to this JSON file")
+    p_serve.set_defaults(func=_cmd_serve)
+
     p_sweep = sub.add_parser("sweep", help="run a parameter sweep (Fig 2/5)")
-    p_sweep.add_argument("axis", choices=["processes", "speed", "cache", "replicas"])
+    p_sweep.add_argument(
+        "axis", choices=["processes", "speed", "cache", "replicas", "arrival"]
+    )
     _add_common(p_sweep)
     p_sweep.add_argument("--counts", default="2,4,8,16,32,48,64,96")
     p_sweep.add_argument("--speeds", default="0.1,0.2,0.4,0.8,1.6,3.2,6.4,12.8,25.6")
@@ -661,6 +861,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--replica-counts",
         default="1,2,3",
         help="per-stripe replica counts for the replicas axis",
+    )
+    p_sweep.add_argument(
+        "--rates",
+        default="5,10,20,40",
+        help="offered loads (queries/s) for the arrival axis",
     )
     p_sweep.add_argument("--phases", action="store_true", help="print phase tables")
     p_sweep.add_argument("--verbose", action="store_true")
@@ -722,7 +927,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument(
         "--relations",
         help="comma-separated relation subset (default: all); choose from "
-        "strategies,query-sync,server-stack,replicas,jobs,empty-faults",
+        "strategies,query-sync,server-stack,replicas,jobs,empty-faults,"
+        "arrivals",
     )
     p_check.add_argument(
         "--artifact-dir",

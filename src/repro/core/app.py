@@ -16,6 +16,7 @@ from ..mpi.world import MpiWorld
 from ..mpiio.file import MPIIOFile
 from ..obs.metrics import MetricsRegistry
 from ..pvfs.filesystem import FileSystem, PVFSFile
+from ..serve.arrivals import arrival_process
 from ..sim.environment import Environment
 from .config import SimulationConfig, Workload
 from .master import Master
@@ -68,8 +69,14 @@ class S3aSim:
         # collective writes and query-sync barriers happen here.
         self.wcomm = self.world.comm.sub(list(range(1, config.nprocs)))
 
-    def run(self) -> RunResult:
-        """Execute the simulation and return the collected result."""
+    def run(self, until: Optional[float] = None) -> RunResult:
+        """Execute the simulation and return the collected result.
+
+        ``until`` cuts the run off at that simulated time (serve-mode
+        horizon experiments); phase reports are then synthesized from the
+        live timers and still-open trace intervals are cleaned up, so the
+        partial result is still well-formed.
+        """
         cfg = self.config
 
         resume_block_sizes = None
@@ -112,15 +119,55 @@ class S3aSim:
         if injector is not None:
             injector.start()
 
-        reports = self.world.run()
+        if cfg.arrival is not None:
+            self.world.env.process(
+                arrival_process(
+                    self.world.env,
+                    master,
+                    cfg.arrival,
+                    cfg.streams(),
+                    cfg.nqueries,
+                ),
+                name="arrivals",
+            )
+
+        reports = self.world.run(until=until)
         elapsed = self.world.env.now
+        cutoff = any(report is None for report in reports.values())
+        if cutoff:
+            # ``until`` fired first: synthesize phase reports from the live
+            # timers and close every dangling trace interval (still-pending
+            # queries' latency bars are discarded, not fabricated).
+            if self.recorder is not None:
+                if master.serve is not None:
+                    for q in list(master.serve.arrival_t):
+                        self.recorder.discard(0, state=f"serve_q{q}")
+                for rank in range(cfg.nprocs):
+                    self.recorder.abort(rank, elapsed)
+            reports = {
+                0: reports[0] if reports[0] is not None else master.timer.report()
+            } | {
+                r: (
+                    reports[r]
+                    if reports[r] is not None
+                    else workers[r - 1].timer.report()
+                )
+                for r in range(1, cfg.nprocs)
+            }
 
         bytestore = self.fh.file.bytestore
         resume_base = sum(
             self.workload.results.query_total_bytes(q)
             for q in range(cfg.resume_from_query)
         )
-        expected = self.workload.results.run_total_bytes() - resume_base
+        if master.serve is not None:
+            # Serve mode: only the queries actually admitted produce bytes.
+            expected = sum(
+                self.workload.results.query_total_bytes(q)
+                for q in range(master.serve.admitted)
+            )
+        else:
+            expected = self.workload.results.run_total_bytes() - resume_base
         # A fresh run must tile [0, expected); a resumed run tiles
         # [resume_base, resume_base + expected) — one gapless extent either
         # way.
@@ -161,9 +208,19 @@ class S3aSim:
             if injector is not None:
                 fault_stats.update(injector.stats())
                 fault_events = list(injector.events)
+        serve_stats: dict = {}
+        if master.serve is not None:
+            serve_stats = master.serve.stats()
         metrics_registry = self.world.env.metrics
         if metrics_registry.enabled:
             metrics_registry.set_gauge("run.elapsed_seconds", elapsed)
+            if master.serve is not None:
+                s = master.serve
+                metrics_registry.inc("serve.offered", float(s.offered))
+                metrics_registry.inc("serve.admitted", float(s.admitted))
+                metrics_registry.inc("serve.rejected", float(s.rejected))
+                metrics_registry.inc("serve.shed", float(s.shed))
+                metrics_registry.inc("serve.completed", float(s.completed))
             metrics_registry.set_gauge("run.nprocs", float(cfg.nprocs))
             env = self.world.env
             if env._cal is not None:
@@ -184,7 +241,14 @@ class S3aSim:
             checker.finalize(
                 now=elapsed,
                 recorder=self.recorder,
-                fault_free=cfg.fault_plan.empty,
+                # A cutoff legitimately strands in-flight messages, so the
+                # strict equalities only apply to runs that finished.
+                fault_free=cfg.fault_plan.empty and not cutoff,
+                open_queries=(
+                    master.serve.admitted - master.serve.completed
+                    if master.serve is not None
+                    else None
+                ),
             )
         return RunResult(
             strategy=cfg.strategy,
@@ -199,6 +263,7 @@ class S3aSim:
             fault_stats=fault_stats,
             fault_events=fault_events,
             metrics=metrics,
+            serve_stats=serve_stats,
         )
 
 

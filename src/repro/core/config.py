@@ -17,13 +17,14 @@ from typing import Optional
 from ..faults.plan import FaultPlan, FaultToleranceConfig
 from ..mpi.network import NetworkConfig
 from ..pvfs.filesystem import PVFSConfig
+from ..serve.arrivals import ArrivalConfig
 from ..sim.environment import SCHEDULERS
 from ..sim.rng import RandomStreams
 from ..workload.compute import ComputeModel, MergeModel
 from ..workload.database import FragmentedDatabase
 from ..workload.histogram import BoxHistogram
 from ..workload.nt import NT_HISTOGRAM, NT_QUERY_HISTOGRAM
-from ..workload.queries import QuerySet
+from ..workload.queries import LAZY_THRESHOLD, LazyQuerySet, QuerySet
 from ..workload.results import ResultGenerator, ResultModel
 from .strategies import IOStrategy, get_strategy
 
@@ -99,6 +100,13 @@ class SimulationConfig:
     #: a performance knob; "heap" stays the default for continuity.
     scheduler: str = "heap"
 
+    #: Open-loop service mode: queries stream in from a seeded arrival
+    #: process instead of being pre-loaded (``repro.serve``).  ``None``
+    #: (the default) is the paper's closed batch, bit-identical to the
+    #: seed; when set, ``nqueries`` bounds the number of *offered*
+    #: arrivals and the admitted count is decided at run time.
+    arrival: Optional[ArrivalConfig] = None
+
     #: The run's failure schedule.  The default (empty) plan injects
     #: nothing and keeps the simulation bit-identical to a fault-free
     #: build — the tolerance machinery only activates when needed.
@@ -124,6 +132,18 @@ class SimulationConfig:
                 f"(multiple of write_every={self.write_every})"
             )
         get_strategy(self.strategy)  # validates the name
+        if self.arrival is not None:
+            if self.write_every != 1:
+                raise ValueError(
+                    "serve mode requires write_every=1 (each admitted "
+                    "query is its own write group)"
+                )
+            if self.resume_from_query != 0:
+                raise ValueError("serve mode cannot resume a partial run")
+            if not self.fault_plan.empty or self.fault_tolerance is not None:
+                raise ValueError(
+                    "serve mode does not compose with fault injection yet"
+                )
         if self.scheduler not in SCHEDULERS:
             raise ValueError(
                 f"scheduler must be one of {SCHEDULERS}, got {self.scheduler!r}"
@@ -218,7 +238,10 @@ class SimulationConfig:
 
     def build_workload(self) -> "Workload":
         streams = self.streams()
-        queries = QuerySet.generate(self.query_histogram, self.nqueries, streams)
+        if self.arrival is not None and self.nqueries > LAZY_THRESHOLD:
+            queries = LazyQuerySet(self.query_histogram, self.nqueries, streams)
+        else:
+            queries = QuerySet.generate(self.query_histogram, self.nqueries, streams)
         database = FragmentedDatabase(
             self.db_histogram, self.nfragments, self.db_total_bytes, streams
         )
@@ -243,6 +266,6 @@ class SimulationConfig:
 class Workload:
     """The generated inputs of one run (all deterministic in the seed)."""
 
-    queries: QuerySet
+    queries: "QuerySet"  # or LazyQuerySet (interface-compatible) in serve mode
     database: FragmentedDatabase
     results: ResultGenerator

@@ -43,6 +43,7 @@ import numpy as np
 
 from .. import mpi
 from ..mpiio.file import MPIIOFile
+from ..serve.state import ServeState
 from .config import SimulationConfig
 from .offsets import OffsetLedger, ScoredBatchMeta, merge_query
 from .phases import Phase, PhaseTimer
@@ -51,6 +52,7 @@ from .protocol import (
     NOTICE_BYTES,
     OffsetEntry,
     OffsetMessage,
+    Release,
     ScoreMessage,
     TAG_ASSIGN,
     TAG_HEARTBEAT,
@@ -93,14 +95,26 @@ class Master:
         self.fh = fh
         self.strategy = cfg.io_strategy()
         self.timer = PhaseTimer(comm.env, rank=comm.rank, recorder=recorder)
+        self.recorder = recorder
 
-        # Task queue in (query, fragment) order; a resumed run skips the
-        # queries already written by the failed run.
-        self.tasks: List[TaskAssignment] = [
-            TaskAssignment(q, f)
-            for q in range(cfg.resume_from_query, cfg.nqueries)
-            for f in range(cfg.nfragments)
-        ]
+        # Serve mode (open-loop arrivals): the task queue starts empty and
+        # grows as queries are admitted; batch mode pre-loads it in
+        # (query, fragment) order (a resumed run skips the queries already
+        # written by the failed run).
+        self.serve: Optional[ServeState] = (
+            ServeState(cfg.arrival) if cfg.arrival is not None else None
+        )
+        #: Worker-writing serve runs need on-disk acknowledgements to stamp
+        #: result-durable latency (MW knows at its own write return).
+        self.serve_acks = self.serve is not None and self.strategy.parallel_io
+        if self.serve is not None:
+            self.tasks: List[TaskAssignment] = []
+        else:
+            self.tasks = [
+                TaskAssignment(q, f)
+                for q in range(cfg.resume_from_query, cfg.nqueries)
+                for f in range(cfg.nfragments)
+            ]
         self.next_task = 0
 
         # Gathered score metadata: query -> fragment -> meta.
@@ -168,15 +182,25 @@ class Master:
     def _tasks_exhausted(self) -> bool:
         return self.next_task >= len(self.tasks)
 
+    def _groups_target(self) -> int:
+        """Write groups this run must dispatch (dynamic in serve mode)."""
+        if self.serve is not None:
+            return self.serve.admitted
+        return self.cfg.ngroups
+
     def _release_ok(self) -> bool:
         """May a worker be told "no more work"?
 
         Without fault tolerance: always (the exhaustion check suffices).
-        With it: only once nothing can ever create work again — all groups
-        dispatched, every issued write acknowledged, nothing awaiting
-        reissue.  Past this point any crash loses zero bytes, so a
-        released worker never needs recalling.
+        In serve mode: only once the arrival process has finished — until
+        then any arrival may create work, and the released worker would
+        miss it.  With fault tolerance: only once nothing can ever create
+        work again — all groups dispatched, every issued write
+        acknowledged, nothing awaiting reissue.  Past this point any crash
+        loses zero bytes, so a released worker never needs recalling.
         """
+        if self.serve is not None:
+            return self.serve.arrivals_done
         if not self.ft_active:
             return True
         return (
@@ -187,9 +211,16 @@ class Master:
 
     def _finished(self) -> bool:
         base = (
-            self.groups_dispatched >= self.cfg.ngroups
+            self.groups_dispatched >= self._groups_target()
             and self.done_workers >= self.cfg.nworkers
         )
+        if self.serve is not None:
+            return (
+                base
+                and self.serve.arrivals_done
+                and not self.serve.outstanding
+                and self._tasks_exhausted()
+            )
         if not self.ft_active:
             return base
         return (
@@ -220,8 +251,9 @@ class Master:
         request_recv = comm.irecv(tag=TAG_REQUEST)
         score_recv = comm.irecv(tag=TAG_SCORES)
         ack_recv = None
-        if self.ft_active:
+        if self.ft_active or self.serve_acks:
             ack_recv = comm.irecv(tag=TAG_WRITE_ACK)
+        if self.ft_active:
             comm.env.process(self._watchdog(), name="master-watchdog")
 
         while not self._finished():
@@ -231,10 +263,12 @@ class Master:
                 break
 
             # Wait for the next worker message (request or scores; plus
-            # write acks and watchdog wake-ups under fault tolerance).
+            # write acks and watchdog wake-ups under fault tolerance, and
+            # arrival wake-ups in serve mode).
             events = [request_recv.done_event, score_recv.done_event]
-            if self.ft_active:
+            if ack_recv is not None:
                 events.append(ack_recv.done_event)
+            if self.ft_active or self.serve is not None:
                 self._wake = comm.env.event()
                 events.append(self._wake)
             start = comm.env.now
@@ -266,13 +300,12 @@ class Master:
 
     # -- progress: serve deferred requests, dispatch completed groups ---------
     def _make_progress(self):
-        cfg = self.cfg
         moved = True
         while moved:
             moved = False
             # Dispatch completed groups in order.
             while (
-                self.groups_dispatched < cfg.ngroups
+                self.groups_dispatched < self._groups_target()
                 and self._group_complete(self.groups_dispatched)
             ):
                 yield from self._dispatch_group(self.groups_dispatched)
@@ -315,6 +348,9 @@ class Master:
         task = self.tasks[self.next_task]
         self.next_task += 1
         self.task_owner[(task.query_id, task.fragment_id)] = worker
+        if self.serve is not None:
+            # A started query has work in flight and can no longer be shed.
+            self.serve.started.add(task.query_id)
         yield from self.timer.measure(
             Phase.DATA_DISTRIBUTION,
             self.comm.send(worker, TAG_ASSIGN, ASSIGN_BYTES, task),
@@ -322,9 +358,14 @@ class Master:
 
     def _send_no_more_work(self, worker: int):
         self.done_set.add(worker)
+        payload = (
+            Release(final_groups=self.serve.admitted)
+            if self.serve is not None
+            else None
+        )
         yield from self.timer.measure(
             Phase.DATA_DISTRIBUTION,
-            self.comm.send(worker, TAG_ASSIGN, ASSIGN_BYTES, None),
+            self.comm.send(worker, TAG_ASSIGN, ASSIGN_BYTES, payload),
         )
 
     # -- score handling ---------------------------------------------------------------
@@ -428,6 +469,17 @@ class Master:
                 # has, the duplicate-score path discards its output).
                 self._count("reissues_cancelled")
                 self._unqueue(key)
+            if self.serve is not None:
+                # Worker-writing: a query is result-durable once every one
+                # of its fragment batches has been acknowledged on disk.
+                q = key[0]
+                left = self.serve.outstanding.get(q)
+                if left is not None:
+                    if left <= 1:
+                        del self.serve.outstanding[q]
+                        self._query_durable(q)
+                    else:
+                        self.serve.outstanding[q] = left - 1
 
     # -- group dispatch ----------------------------------------------------------------
     def _dispatch_group(self, group: int):
@@ -463,6 +515,13 @@ class Master:
 
     def _send_offsets(self, group: int):
         per_worker, _ = self._merge_group(group)
+        if self.serve is not None:
+            # Latency stops at result-durable: count the batches whose
+            # on-disk acks this group's queries are waiting for.
+            for entries_list in per_worker.values():
+                for entry in entries_list:
+                    s = self.serve.outstanding
+                    s[entry.query_id] = s.get(entry.query_id, 0) + 1
         broadcast = self.strategy.collective or self.cfg.query_sync
         targets = (
             range(1, self.cfg.nprocs) if broadcast else sorted(per_worker.keys())
@@ -490,6 +549,9 @@ class Master:
                 Phase.IO,
                 self.fh.write_at(self.comm.global_rank, base, block_size, data),
             )
+            if self.serve is not None:
+                # MW: the master's own write return is result-durable.
+                self._query_durable(q)
 
     def _merge_group_mw(self, group: int):
         blocks = []
@@ -527,6 +589,111 @@ class Master:
             )
         if False:  # pragma: no cover - keeps this a generator
             yield None
+
+    # -- serve mode: arrivals, admission, latency --------------------------------
+    def on_arrival(self, priority: bool) -> None:
+        """Admission decision for one arrival (synchronous, open loop).
+
+        An arrival that finds the pending queue full is either turned away
+        (``reject``) or — under ``shed`` — takes over the slot of the
+        youngest not-yet-started non-priority query, whose id it reuses
+        (the workload is a pure function of the query id, so the slot's
+        content is unchanged; only its arrival stamp and lane move).
+        """
+        s = self.serve
+        env = self.comm.env
+        s.offered += 1
+        c = env.check
+        if c.enabled:
+            c.arrival("offered")
+        if s.pending < s.cfg.max_pending:
+            self._admit(priority)
+        elif s.cfg.policy == "shed":
+            victim = self._try_shed()
+            if victim is None:
+                s.rejected += 1
+                if c.enabled:
+                    c.arrival("rejected")
+            else:
+                s.shed += 1
+                if c.enabled:
+                    c.arrival("shed")
+                s.arrival_t[victim] = env.now
+                s.priority.discard(victim)
+                if priority:
+                    s.priority.add(victim)
+                if self.recorder is not None:
+                    self.recorder.discard(0, state=f"serve_q{victim}")
+                    self.recorder.begin(0, f"serve_q{victim}", env.now)
+                self._enqueue_query(victim, priority)
+                if c.enabled:
+                    c.arrival("admitted")
+        else:
+            s.rejected += 1
+            if c.enabled:
+                c.arrival("rejected")
+        self._wakeup()
+
+    def arrivals_finished(self) -> None:
+        """The arrival process is done; the admitted count is now final."""
+        self.serve.arrivals_done = True
+        self._wakeup()
+
+    def _admit(self, priority: bool) -> None:
+        s = self.serve
+        q = s.admitted
+        s.admitted += 1
+        s.arrival_t[q] = self.comm.env.now
+        if priority:
+            s.priority.add(q)
+        if self.recorder is not None:
+            self.recorder.begin(0, f"serve_q{q}", self.comm.env.now)
+        self._enqueue_query(q, priority)
+        c = self.comm.env.check
+        if c.enabled:
+            c.arrival("admitted")
+
+    def _enqueue_query(self, q: int, priority: bool) -> None:
+        new = [TaskAssignment(q, f) for f in range(self.cfg.nfragments)]
+        if priority and not self.strategy.gates_assignment:
+            # Priority lane: jump the unassigned queue.  Suppressed under
+            # WW-Coll, whose group gate only opens in FIFO query order —
+            # front-inserting a later query's tasks would deadlock it.
+            self.tasks[self.next_task : self.next_task] = new
+        else:
+            self.tasks.extend(new)
+
+    def _try_shed(self) -> Optional[int]:
+        """Pick and evict the youngest sheddable query; return its id."""
+        s = self.serve
+        for q in range(s.admitted - 1, -1, -1):
+            if q in s.started or q in s.priority or q not in s.arrival_t:
+                continue
+            # Remove its (still unassigned) tasks from the queue.
+            self.tasks = self.tasks[: self.next_task] + [
+                t for t in self.tasks[self.next_task :] if t.query_id != q
+            ]
+            return q
+        return None
+
+    def _query_durable(self, q: int) -> None:
+        """Arrival → result-durable: stamp the completion latency."""
+        s = self.serve
+        now = self.comm.env.now
+        latency = now - s.arrival_t.pop(q)
+        s.latency.observe(latency)
+        s.completed += 1
+        s.started.discard(q)
+        s.priority.discard(q)
+        m = self.comm.env.metrics
+        if m.enabled:
+            m.observe("serve.latency_seconds", latency)
+        if self.recorder is not None:
+            self.recorder.end(0, f"serve_q{q}", now)
+        c = self.comm.env.check
+        if c.enabled:
+            c.arrival_completed()
+        self._wakeup()
 
     # -- fault tolerance: detection and recovery --------------------------------
     def _watchdog(self):

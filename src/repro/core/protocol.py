@@ -102,6 +102,18 @@ class OffsetMessage:
 
 
 @dataclass(frozen=True)
+class Release:
+    """Master → worker: "no more work" in serve mode.
+
+    The batch protocol terminates workers with a bare ``None``; under
+    open-loop arrivals the worker also needs the *dynamic* final group
+    count (the number of admitted queries, unknowable from the config) so
+    its I/O termination condition can close over the right bound."""
+
+    final_groups: int
+
+
+@dataclass(frozen=True)
 class WrittenNotice:
     """Master → worker: group's results are on disk (MW + query sync)."""
 

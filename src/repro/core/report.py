@@ -49,6 +49,10 @@ class RunResult:
     #: Full metrics snapshot, present iff the run collected metrics
     #: (``SimulationConfig.collect_metrics=True``).
     metrics: Optional[MetricsSnapshot] = None
+    #: Serve-mode summary (empty on batch runs): offered/admitted/rejected/
+    #: shed/completed/pending counts plus completion-latency mean and
+    #: p50/p95/p99/max in seconds.
+    serve_stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def worker_mean(self) -> PhaseReport:
@@ -85,6 +89,7 @@ class RunResult:
             },
             "servers": self.server_stats,
             "faults": self.fault_stats,
+            **({"serve": self.serve_stats} if self.serve_stats else {}),
             **(
                 {"metrics": self.metrics.as_dict()}
                 if self.metrics is not None

@@ -36,6 +36,7 @@ from .protocol import (
     Heartbeat,
     MASTER_RANK,
     OffsetMessage,
+    Release,
     REQUEST_BYTES,
     Rejoin,
     ScoreMessage,
@@ -80,6 +81,14 @@ class Worker:
         # group ids (a resumed run starts past the already-written groups).
         self.groups_handled = cfg.resume_group
         self.groups_synced = cfg.resume_group
+
+        # -- serve mode -------------------------------------------------------
+        #: Worker-writing serve runs acknowledge writes so the master can
+        #: stamp result-durable latency.
+        self.serve_acks = cfg.arrival is not None and self.strategy.parallel_io
+        #: Dynamic group count from the master's Release (serve mode); the
+        #: static ``cfg.ngroups`` bound applies until it arrives.
+        self.final_groups: Optional[int] = None
 
         self.offset_recv = None
         self.notice_recv = None
@@ -242,6 +251,10 @@ class Worker:
         if assignment is None:
             self.no_more_work = True
             return
+        if isinstance(assignment, Release):
+            self.final_groups = assignment.final_groups
+            self.no_more_work = True
+            return
         yield from self._do_task(assignment)
 
     def _do_task(self, task: TaskAssignment):
@@ -371,7 +384,7 @@ class Worker:
                 self.fh.write_at_list(self.comm.global_rank, regions, datas),
             )
         self.groups_handled = max(self.groups_handled, message.group + 1)
-        if self.ft_active and written:
+        if (self.ft_active or self.serve_acks) and written:
             self._send_ack(written)
 
         if cfg.query_sync:
@@ -440,13 +453,20 @@ class Worker:
         self.groups_synced = max(self.groups_synced, notice.group + 1)
 
     # -- termination -------------------------------------------------------------------
+    def _effective_groups(self) -> int:
+        """The run's final group count (dynamic in serve mode)."""
+        if self.final_groups is not None:
+            return self.final_groups
+        return self.cfg.ngroups
+
     def _io_finished(self) -> bool:
         cfg = self.cfg
+        ngroups = self._effective_groups()
         if self.strategy.master_writes:
-            return (not cfg.query_sync) or self.groups_synced >= cfg.ngroups
+            return (not cfg.query_sync) or self.groups_synced >= ngroups
         if self.strategy.collective or cfg.query_sync:
             # Every group produces a message to every worker.
-            synced_ok = (not cfg.query_sync) or self.groups_synced >= cfg.ngroups
-            return self.groups_handled >= cfg.ngroups and not self.stored and synced_ok
+            synced_ok = (not cfg.query_sync) or self.groups_synced >= ngroups
+            return self.groups_handled >= ngroups and not self.stored and synced_ok
         # Individual, no sync: done once everything stored has been written.
         return not self.stored and self.no_more_work

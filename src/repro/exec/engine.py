@@ -152,11 +152,17 @@ def run_points(
 ) -> List[PointOutcome]:
     """Execute every spec and return outcomes in submission order.
 
-    ``jobs <= 1`` runs inline (no pool, no pickling); ``jobs > 1`` fans out
+    ``jobs == 1`` runs inline (no pool, no pickling); ``jobs > 1`` fans out
     across a process pool.  ``progress`` is called once per point as it
     completes — in completion order, which under parallel execution need
     not match submission order.
     """
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(
+            f"jobs must be >= 1 (1 = run inline, N = process pool of N), "
+            f"got {jobs}"
+        )
     specs = list(specs)
     if jobs <= 1 or len(specs) <= 1:
         outcomes = []
@@ -255,8 +261,14 @@ class ProgressReporter:
             return
         self._last_print = now
         elapsed = now - self._t0
-        rate = self.done / elapsed if elapsed > 0 else 0.0
-        eta = (self.total - self.done) / rate if rate > 0 else float("inf")
+        # Clamp the elapsed divisor: the first completion can land within
+        # the clock's resolution of t0, and remaining/rate on an epsilon
+        # elapsed prints absurd ETAs ("eta 0.0s" for an hour-long sweep).
+        rate = self.done / max(elapsed, 1e-9)
+        remaining = max(self.total - self.done, 0)
+        eta = remaining / rate
+        if elapsed < 1e-3 and not finished:
+            eta = float("inf")  # too early to estimate; prints "?"
         failed = f", {self.failed} failed" if self.failed else ""
         line = (
             f"[{self.label}] {self.done}/{self.total} points{failed}  "

@@ -302,6 +302,36 @@ class HistogramSummary:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the log2 bucket vector.
+
+        The rank is located by a cumulative walk over the buckets, then
+        linearly interpolated within the bucket's ``(lower, upper]`` span
+        (clamped to the exact observed ``min``/``max``, which also bounds
+        the overflow bucket).  Because bucket edges grow by powers of two,
+        the estimate is within a factor of 2 of the true order statistic;
+        see MODELING.md for the error bound.
+        """
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        target = q * self.count
+        cumulative = 0
+        for index, n in enumerate(self.buckets):
+            if not n:
+                continue
+            lower = bucket_bound(index - 1) if index else 0.0
+            lower = max(lower, self.min)
+            upper = min(bucket_bound(index), self.max)
+            if cumulative + n >= target:
+                fraction = (target - cumulative) / n
+                return lower + fraction * (upper - lower)
+            cumulative += n
+        return self.max
+
     def merged(self, other: "HistogramSummary") -> "HistogramSummary":
         if not self.count:
             return other

@@ -1,0 +1,86 @@
+"""Serve-mode bookkeeping shared by the master and the app runner.
+
+:class:`ServeState` holds everything the open-loop service layer adds on
+top of the batch master: admission counters, per-query arrival stamps, the
+priority set, the outstanding-write map (worker-writing durability), and
+the completion-latency histogram.  It is pure bookkeeping — it schedules
+nothing — so the master's event sequence with ``arrival=None`` is
+untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..obs.metrics import DurationHistogram, HistogramSummary
+from .arrivals import ArrivalConfig
+
+
+class ServeState:
+    """Mutable service-layer state of one run's master."""
+
+    __slots__ = (
+        "cfg",
+        "arrival_t",
+        "priority",
+        "started",
+        "outstanding",
+        "offered",
+        "admitted",
+        "rejected",
+        "shed",
+        "completed",
+        "arrivals_done",
+        "latency",
+    )
+
+    def __init__(self, cfg: ArrivalConfig) -> None:
+        self.cfg = cfg
+        #: query id -> arrival time of its current owner (shed slots are
+        #: re-stamped when a new arrival takes them over).
+        self.arrival_t: Dict[int, float] = {}
+        self.priority: Set[int] = set()
+        #: Queries with at least one task already assigned (unsheddable).
+        self.started: Set[int] = set()
+        #: query id -> fragments issued but not yet acknowledged durable
+        #: (worker-writing strategies only).
+        self.outstanding: Dict[int, int] = {}
+        self.offered = 0
+        self.admitted = 0  # == next query id; slots, not admission events
+        self.rejected = 0
+        self.shed = 0
+        self.completed = 0
+        self.arrivals_done = False
+        self.latency = DurationHistogram("serve.latency_seconds", ())
+
+    @property
+    def pending(self) -> int:
+        """Admitted queries not yet durable (the admission-bounded count)."""
+        return self.admitted - self.completed
+
+    def latency_summary(self) -> HistogramSummary:
+        h = self.latency
+        return HistogramSummary(
+            count=h.count,
+            total=h.total,
+            min=h.min if h.count else 0.0,
+            max=h.max if h.count else 0.0,
+            buckets=tuple(h.buckets),
+        )
+
+    def stats(self) -> Dict[str, float]:
+        """The ``RunResult.serve_stats`` dictionary."""
+        summary = self.latency_summary()
+        return {
+            "offered": float(self.offered),
+            "admitted": float(self.admitted),
+            "rejected": float(self.rejected),
+            "shed": float(self.shed),
+            "completed": float(self.completed),
+            "pending": float(self.pending),
+            "latency_mean_s": summary.mean,
+            "latency_p50_s": summary.quantile(0.50),
+            "latency_p95_s": summary.quantile(0.95),
+            "latency_p99_s": summary.quantile(0.99),
+            "latency_max_s": summary.max,
+        }

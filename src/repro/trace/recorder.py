@@ -78,12 +78,19 @@ class TraceRecorder:
             closed.append(interval)
         return closed
 
-    def discard(self, rank: int) -> int:
-        """Drop every open interval for ``rank`` without recording it.
+    def discard(self, rank: int, state: Optional[str] = None) -> int:
+        """Drop open intervals for ``rank`` without recording them.
 
+        With ``state``, only that one interval is dropped (used when an
+        admitted query is shed or a cutoff run abandons still-pending
+        queries — their wait must not appear as a closed latency bar).
         Returns the number of intervals discarded.
         """
-        keys = [k for k in self._open if k[0] == rank]
+        keys = [
+            k
+            for k in self._open
+            if k[0] == rank and (state is None or k[1] == state)
+        ]
         for key in keys:
             del self._open[key]
         return len(keys)

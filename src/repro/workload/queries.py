@@ -56,3 +56,59 @@ class QuerySet:
 
     def sizes(self) -> np.ndarray:
         return np.array([q.nbytes for q in self.queries], dtype=np.int64)
+
+
+#: Above this many queries, serve mode switches from the eager
+#: :meth:`QuerySet.generate` to :class:`LazyQuerySet` so a ~1M-query
+#: arrival run never materializes the whole size vector up front.
+LAZY_THRESHOLD = 65536
+
+
+class LazyQuerySet:
+    """A :class:`QuerySet`-compatible view that samples sizes in chunks.
+
+    Chunk ``c`` draws from the ``("queries", "sizes", c)`` stream, so any
+    prefix of queries is deterministic in (seed, histogram) regardless of
+    how many are eventually admitted.  Note the chunked draws are *not*
+    bit-identical to the eager single-draw path — which is why the switch
+    only happens above :data:`LAZY_THRESHOLD`, far beyond every golden
+    config.
+    """
+
+    CHUNK = 4096
+
+    def __init__(
+        self, histogram: BoxHistogram, nqueries: int, streams: RandomStreams
+    ) -> None:
+        if nqueries <= 0:
+            raise ValueError("nqueries must be positive")
+        self.histogram = histogram
+        self.nqueries = nqueries
+        self._spawn = streams.spawn("queries")
+        self._chunks: dict = {}
+
+    def _chunk(self, index: int) -> np.ndarray:
+        chunk = self._chunks.get(index)
+        if chunk is None:
+            count = min(self.CHUNK, self.nqueries - index * self.CHUNK)
+            rng = self._spawn.stream("sizes", index)
+            chunk = self._chunks[index] = self.histogram.sample(rng, count)
+        return chunk
+
+    def __len__(self) -> int:
+        return self.nqueries
+
+    def __getitem__(self, query_id: int) -> Query:
+        if not 0 <= query_id < self.nqueries:
+            raise IndexError(query_id)
+        chunk = self._chunk(query_id // self.CHUNK)
+        return Query(query_id, int(chunk[query_id % self.CHUNK]))
+
+    def __iter__(self):
+        return (self[i] for i in range(self.nqueries))
+
+    def total_bytes(self) -> int:
+        return int(sum(int(self._chunk(c).sum()) for c in range(-(-self.nqueries // self.CHUNK))))
+
+    def sizes(self) -> np.ndarray:
+        return np.array([self[i].nbytes for i in range(self.nqueries)], dtype=np.int64)

@@ -1,0 +1,72 @@
+"""Engine guard rails: jobs validation and ETA sanity.
+
+``run_points(jobs=0)`` used to fall through to a bare pool-size error (or
+an inline no-op), and the first completion landing within the clock's
+resolution of t0 divided by an epsilon elapsed and printed absurd ETAs.
+"""
+
+import io
+import time
+
+import pytest
+
+from repro.exec import PointOutcome, ProgressReporter, run_points
+
+
+def outcome():
+    return PointOutcome(key=("p",))
+
+
+@pytest.mark.parametrize("jobs", [0, -1, -100])
+def test_run_points_rejects_nonpositive_jobs(jobs):
+    with pytest.raises(ValueError, match="jobs must be >= 1"):
+        run_points([], jobs=jobs)
+
+
+def test_run_points_accepts_float_integral_jobs():
+    assert run_points([], jobs=1) == []
+    assert run_points([], jobs=2.0) == []
+
+
+def test_zero_elapsed_prints_unknown_eta():
+    # A completion within the clock's resolution of t0 must print "?",
+    # not an epsilon-divided estimate.
+    stream = io.StringIO()
+    reporter = ProgressReporter(total=1000, stream=stream)
+    reporter._t0 = time.monotonic()
+    reporter(outcome())
+    line = stream.getvalue()
+    assert "1/1000" in line
+    assert "eta ?" in line
+    assert "e+" not in line  # no scientific-notation monster ETA
+
+
+def test_final_point_prints_done():
+    stream = io.StringIO()
+    reporter = ProgressReporter(total=2, stream=stream)
+    reporter(outcome())
+    reporter(outcome())
+    assert "eta done" in stream.getvalue().splitlines()[-1]
+
+
+def test_total_zero_does_not_crash():
+    stream = io.StringIO()
+    reporter = ProgressReporter(total=0, stream=stream)
+    reporter(outcome())  # defensive: a stray completion on an empty sweep
+    assert "1/0" in stream.getvalue()
+    assert "eta done" in stream.getvalue()
+
+
+def test_failed_outcomes_counted():
+    from repro.exec import PointFailure
+
+    stream = io.StringIO()
+    reporter = ProgressReporter(total=2, stream=stream)
+    reporter(
+        PointOutcome(
+            key=("p",),
+            failure=PointFailure(key=("p",), config={}, error="x", traceback=""),
+        )
+    )
+    reporter(outcome())
+    assert "1 failed" in stream.getvalue()

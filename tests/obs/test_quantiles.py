@@ -1,0 +1,104 @@
+"""Quantile estimation from log2 histogram buckets.
+
+The estimator reconstructs order statistics from the bucket vector alone,
+so its guarantee is relative, not absolute: bucket edges double, hence any
+estimate is within a factor of 2 of the true order statistic (and exact at
+q=0 and q=1, where the tracked min/max answer directly).
+"""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import DurationHistogram, HistogramSummary, bucket_bound
+
+
+def summarize(values):
+    h = DurationHistogram("test", ())
+    for v in values:
+        h.observe(v)
+    return HistogramSummary(
+        count=h.count,
+        total=h.total,
+        min=h.min if h.count else 0.0,
+        max=h.max if h.count else 0.0,
+        buckets=tuple(h.buckets),
+    )
+
+
+def true_quantile(values, q):
+    ordered = sorted(values)
+    index = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[index]
+
+
+def test_empty_histogram_quantile_is_zero():
+    assert summarize([]).quantile(0.5) == 0.0
+
+
+def test_extremes_are_exact():
+    s = summarize([0.5, 3.0, 17.0])
+    assert s.quantile(0.0) == 0.5
+    assert s.quantile(-1.0) == 0.5
+    assert s.quantile(1.0) == 17.0
+    assert s.quantile(2.0) == 17.0
+
+
+def test_single_observation_every_quantile():
+    s = summarize([4.2])
+    for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+        assert s.quantile(q) == pytest.approx(4.2, rel=1.0)
+    assert s.quantile(0.0) == 4.2
+    assert s.quantile(1.0) == 4.2
+
+
+def test_quantiles_are_monotone_in_q():
+    rng = random.Random(3)
+    s = summarize([rng.lognormvariate(0.0, 2.0) for _ in range(500)])
+    qs = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99]
+    estimates = [s.quantile(q) for q in qs]
+    assert estimates == sorted(estimates)
+
+
+def test_quantile_clamped_to_observed_range():
+    s = summarize([2.0, 2.5, 3.0])
+    for q in (0.1, 0.5, 0.9):
+        assert 2.0 <= s.quantile(q) <= 3.0
+
+
+@pytest.mark.parametrize("q", [0.1, 0.5, 0.9, 0.95, 0.99])
+@pytest.mark.parametrize(
+    "draw",
+    [
+        lambda rng: rng.uniform(0.001, 10.0),
+        lambda rng: rng.expovariate(0.2),
+        lambda rng: rng.lognormvariate(1.0, 1.5),
+    ],
+    ids=["uniform", "exponential", "lognormal"],
+)
+def test_relative_error_within_2x(q, draw):
+    # The documented bound: log2 buckets put the estimate in the same
+    # power-of-two bucket as the true order statistic, so it is off by at
+    # most a factor of 2 either way.
+    rng = random.Random(11)
+    values = [draw(rng) for _ in range(2000)]
+    estimate = summarize(values).quantile(q)
+    truth = true_quantile(values, q)
+    assert truth / 2.0 <= estimate <= truth * 2.0
+
+
+def test_interpolation_inside_one_bucket():
+    # 100 identical values: every quantile collapses to that value.
+    s = summarize([1.5] * 100)
+    assert s.quantile(0.5) == pytest.approx(1.5, rel=1.0)
+    assert s.min == s.max == 1.5
+
+
+def test_overflow_bucket_clamps_to_max():
+    # Values beyond the last finite bucket edge still produce finite
+    # estimates bounded by the exact max.
+    top = bucket_bound(38) * 10.0
+    s = summarize([top, top * 2.0])
+    assert s.quantile(0.99) <= top * 2.0
+    assert s.quantile(0.99) > 0.0
+    assert s.quantile(1.0) == top * 2.0
