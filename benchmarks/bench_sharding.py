@@ -1,0 +1,133 @@
+"""Multi-master sharding — where M masters beat one on tail latency.
+
+The paper's topology has a single master, and its master-writes (mw)
+strategy funnels every result byte through that one rank's NIC and one
+serial writer.  This bench serves the same saturating Poisson load
+through 1, 2, 4, and 8 masters (same total rank count, same *global*
+admission capacity — ``max_pending`` is split across the shards) and
+records the merged p50/p99 completion latency per master count.
+
+Shape checked — the p99 crossover:
+
+* Under **mw**, sharding is a large tail-latency win: each extra master
+  adds an independent result funnel and writer, and p99 collapses until
+  the shards run out of workers (8 masters on 24 ranks leaves 2 workers
+  each, and the curve flattens or turns).
+* Under **ww-list**, the workers already write directly and the master
+  was never the bottleneck, so sharding only costs worker ranks: one
+  master stays best and p99 *rises* with M.
+* At light load neither effect matters — queries never queue, every
+  topology serves them at essentially the same latency — so the win is a
+  saturation phenomenon, not a constant factor.
+"""
+
+import math
+
+import pytest
+
+from repro.core import SimulationConfig, run_simulation
+from repro.serve import ArrivalConfig
+from repro.shard import ShardConfig
+
+from conftest import FULL, write_output
+
+NPROCS = 24
+MASTER_COUNTS = (1, 2, 4, 8)
+#: Global admission capacity, split evenly across the masters so every
+#: topology may hold the same number of in-flight queries.
+TOTAL_PENDING = 32
+SERVE_QUERIES = 96 if FULL else 48
+NFRAGMENTS = 16 if FULL else 8
+#: Offered loads (queries/s): well below service rate, and a standing
+#: queue.  The crossover only exists at the saturating rate.
+LIGHT_RATE = 0.05
+SATURATING_RATE = 4.0
+
+
+def run_point(strategy, masters, rate):
+    arrival = ArrivalConfig(
+        process="poisson",
+        rate=rate,
+        max_pending=max(TOTAL_PENDING // masters, 1),
+    )
+    shard = ShardConfig(nshards=masters, placement="hash") if masters > 1 else None
+    cfg = SimulationConfig(
+        strategy=strategy,
+        nprocs=NPROCS,
+        nqueries=SERVE_QUERIES,
+        nfragments=NFRAGMENTS,
+        arrival=arrival,
+        shard=shard,
+    )
+    return run_simulation(cfg)
+
+
+def fmt(value):
+    return "-" if isinstance(value, float) and math.isnan(value) else f"{value:.2f}"
+
+
+@pytest.mark.benchmark(group="sharding")
+def test_sharding_p99_crossover(benchmark):
+    """Saturating load: mw's p99 collapses with masters, ww-list's rises."""
+
+    def sweep():
+        rows = {}
+        for strategy in ("mw", "ww-list"):
+            for rate in (LIGHT_RATE, SATURATING_RATE):
+                for masters in MASTER_COUNTS:
+                    result = run_point(strategy, masters, rate)
+                    s = result.serve_stats
+                    rows[(strategy, rate, masters)] = dict(
+                        completed=s["completed"],
+                        rejected=s["rejected"],
+                        p50=s["latency_p50_s"],
+                        p99=s["latency_p99_s"],
+                        steals=s.get("steals", 0.0),
+                        imbalance=s.get("imbalance", 1.0),
+                        elapsed=result.elapsed,
+                    )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"{'strategy':9s} {'rate qps':>8s} {'masters':>7s} {'completed':>9s} "
+        f"{'rejected':>8s} {'p50 s':>8s} {'p99 s':>8s} {'steals':>6s} "
+        f"{'imbal':>6s} {'drain s':>8s}"
+    ]
+    for (strategy, rate, masters), r in rows.items():
+        lines.append(
+            f"{strategy:9s} {rate:>8g} {masters:>7d} {r['completed']:>9g} "
+            f"{r['rejected']:>8g} {fmt(r['p50']):>8s} {fmt(r['p99']):>8s} "
+            f"{r['steals']:>6g} {r['imbalance']:>6.2f} {r['elapsed']:>8.2f}"
+        )
+
+    mw = {m: rows[("mw", SATURATING_RATE, m)] for m in MASTER_COUNTS}
+    ww = {m: rows[("ww-list", SATURATING_RATE, m)] for m in MASTER_COUNTS}
+    best_mw = min(MASTER_COUNTS, key=lambda m: mw[m]["p99"])
+    lines.append("")
+    lines.append(
+        f"saturating mw: best p99 at {best_mw} masters "
+        f"({fmt(mw[best_mw]['p99'])}s vs {fmt(mw[1]['p99'])}s single-master, "
+        f"{mw[1]['p99'] / mw[best_mw]['p99']:.2f}x)"
+    )
+    lines.append(
+        f"saturating ww-list: single master stays best "
+        f"({fmt(ww[1]['p99'])}s vs {fmt(min(ww[m]['p99'] for m in (2, 4, 8)))}s "
+        f"sharded minimum)"
+    )
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_output("sharding_crossover.txt", text)
+
+    # The crossover itself: with master-writes, every sharded topology
+    # beats the single master's tail at saturation...
+    for masters in (2, 4, 8):
+        assert mw[masters]["p99"] < mw[1]["p99"]
+    # ...by a healthy margin at the best point...
+    assert mw[best_mw]["p99"] < 0.7 * mw[1]["p99"]
+    # ...while worker-writing never needed the help.
+    assert ww[1]["p99"] <= min(ww[m]["p99"] for m in (2, 4, 8))
+    # Light load: no queueing, so sharding moves mw's p99 by little.
+    light = {m: rows[("mw", LIGHT_RATE, m)]["p99"] for m in MASTER_COUNTS}
+    assert max(light.values()) < 0.5 * mw[1]["p99"]

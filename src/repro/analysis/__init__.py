@@ -28,6 +28,7 @@ from .sweeps import (
     SweepResult,
     arrival_sweep,
     compute_speed_sweep,
+    masters_sweep,
     process_scaling_sweep,
     replica_sweep,
     server_cache_sweep,
@@ -59,6 +60,7 @@ __all__ = [
     "compute_speed_sweep",
     "crossover_x",
     "export_csv",
+    "masters_sweep",
     "export_json",
     "line_chart",
     "overall_table",

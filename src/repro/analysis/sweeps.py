@@ -273,6 +273,57 @@ def arrival_sweep(
     return _execute_sweep("arrival_rate", specs, jobs, progress, reporter)
 
 
+def masters_sweep(
+    base: SimulationConfig,
+    master_counts: Sequence[int] = (1, 2, 4, 8),
+    strategies: Sequence[str] = ALL_STRATEGIES,
+    sync_options: Sequence[bool] = (False,),
+    nprocs: Optional[int] = None,
+    progress: ProgressHook = None,
+    jobs: int = 1,
+    reporter: OutcomeHook = None,
+) -> SweepResult:
+    """Sharding axis: latency and throughput vs number of masters.
+
+    ``x`` is the master count — 1 is the seed's single-master topology
+    (``shard=None``, bit-identical to every earlier run); each extra
+    master splits the same ``nprocs`` into an independent shard with its
+    own worker pool, sharing the network and the PVFS volume.  The
+    interesting outputs are the merged latency percentiles (does sharding
+    relieve the single master's admission bottleneck under saturating
+    load?) and ``serve_stats["imbalance"]`` (how well placement plus
+    work-stealing spreads the queries).
+
+    ``base.arrival`` must be set; sharding only exists in serve mode.
+    """
+    if base.arrival is None:
+        raise ValueError("masters_sweep needs base.arrival set")
+    from ..shard.state import ShardConfig
+
+    shard_base = base.shard or ShardConfig()
+    specs = []
+    for masters in master_counts:
+        if masters < 1:
+            raise ValueError(f"master count must be >= 1, got {masters}")
+        shard = (
+            replace(shard_base, nshards=int(masters)) if masters > 1 else None
+        )
+        for query_sync in sync_options:
+            for strategy in strategies:
+                config = base.with_(
+                    strategy=strategy, query_sync=query_sync, shard=shard
+                )
+                if nprocs is not None:
+                    config = config.with_(nprocs=nprocs)
+                specs.append(
+                    PointSpec(
+                        key=(strategy, query_sync, float(masters)),
+                        config=config,
+                    )
+                )
+    return _execute_sweep("masters", specs, jobs, progress, reporter)
+
+
 def replica_sweep(
     base: SimulationConfig,
     replica_counts: Sequence[int] = (1, 2, 3),

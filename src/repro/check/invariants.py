@@ -129,7 +129,13 @@ class NullChecker:
         pass
 
     def offsets_assigned(
-        self, query_id, base, block_size, offsets_by_fragment, sizes_by_fragment
+        self,
+        query_id,
+        base,
+        block_size,
+        offsets_by_fragment,
+        sizes_by_fragment,
+        shard: int = 0,
     ) -> None:
         pass
 
@@ -138,10 +144,10 @@ class NullChecker:
     ) -> None:
         pass
 
-    def arrival(self, outcome: str) -> None:
+    def arrival(self, outcome: str, shard: int = 0) -> None:
         pass
 
-    def arrival_completed(self) -> None:
+    def arrival_completed(self, shard: int = 0) -> None:
         pass
 
     def finalize(
@@ -149,7 +155,7 @@ class NullChecker:
         now: float,
         recorder=None,
         fault_free: bool = True,
-        open_queries: Optional[int] = None,
+        open_queries=None,
     ) -> None:
         pass
 
@@ -159,6 +165,20 @@ class NullChecker:
 
 #: The process-wide disabled checker (default on every Environment).
 NULL_CHECKER = NullChecker()
+
+#: Admission-ledger shape (global and per shard).  ``donated``/``stolen``
+#: only move in sharded runs: a donated query leaves its shard's pending
+#: set without completing; the same query re-enters the thief's ledger as
+#: one ``stolen`` plus one ``admitted`` event.
+_EMPTY_ARRIVALS: Dict[str, int] = {
+    "offered": 0,
+    "admitted": 0,
+    "rejected": 0,
+    "shed": 0,
+    "completed": 0,
+    "donated": 0,
+    "stolen": 0,
+}
 
 
 class _ServerLedger:
@@ -228,21 +248,18 @@ class InvariantChecker:
         self._chain_width: Optional[int] = None
         self.replica_writes = 0
         self.replica_acked_bytes = 0
-        # Offset-layout cursor: None until the first block (supports
+        # Offset-layout cursor per output file (one per shard; single-file
+        # runs only ever use shard 0): None until the first block (supports
         # resumed runs, whose first base is nonzero).
-        self._offset_cursor: Optional[int] = None
-        # Serve-mode arrival ledger.  "admitted" counts admission *events*
-        # (a shed slot's takeover is a fresh admission of the new arrival),
-        # so every offered arrival lands in exactly one of admitted or
-        # rejected, and every admission event ends as completed, shed, or
-        # still-open at the end of the run.
-        self.arrivals: Dict[str, int] = {
-            "offered": 0,
-            "admitted": 0,
-            "rejected": 0,
-            "shed": 0,
-            "completed": 0,
-        }
+        self._offset_cursor: Dict[int, Optional[int]] = {}
+        # Serve-mode arrival ledgers: one global, one per shard.
+        # "admitted" counts admission *events* (a shed slot's takeover is a
+        # fresh admission of the new arrival, and a stolen query is a fresh
+        # admission at the thief), so every offered-or-stolen arrival lands
+        # in exactly one of admitted or rejected, and every admission event
+        # ends as completed, shed, donated, or still-open at run end.
+        self.arrivals: Dict[str, int] = dict(_EMPTY_ARRIVALS)
+        self.shard_arrivals: Dict[int, Dict[str, int]] = {}
 
     def __repr__(self) -> str:
         return f"<InvariantChecker checks={self.checks}>"
@@ -517,20 +534,28 @@ class InvariantChecker:
 
     # -- offset layer -------------------------------------------------------
     def offsets_assigned(
-        self, query_id, base, block_size, offsets_by_fragment, sizes_by_fragment
+        self,
+        query_id,
+        base,
+        block_size,
+        offsets_by_fragment,
+        sizes_by_fragment,
+        shard: int = 0,
     ) -> None:
         self.checks += 1
         base = int(base)
         block_size = int(block_size)
-        if self._offset_cursor is not None and base != self._offset_cursor:
+        cursor = self._offset_cursor.get(shard)
+        if cursor is not None and base != cursor:
             self._fail(
                 "offsets",
                 "ledger-continuity",
                 f"query {query_id} block starts at {base}, expected "
-                f"{self._offset_cursor} (blocks must abut)",
+                f"{cursor} (blocks must abut)",
                 query=query_id,
+                shard=shard,
                 base=base,
-                expected=self._offset_cursor,
+                expected=cursor,
             )
         spans: List[Tuple[int, int]] = []
         for frag, offsets in offsets_by_fragment.items():
@@ -572,7 +597,7 @@ class InvariantChecker:
                 end=cursor,
                 expected=base + block_size,
             )
-        self._offset_cursor = base + block_size
+        self._offset_cursor[shard] = base + block_size
 
     def entry_alignment(
         self, query_id: int, fragment_id: int, noffsets: int, nsizes: int
@@ -591,8 +616,14 @@ class InvariantChecker:
             )
 
     # -- serve layer --------------------------------------------------------
-    def arrival(self, outcome: str) -> None:
-        """One admission-control event: offered/admitted/rejected/shed."""
+    def _shard_ledger(self, shard: int) -> Dict[str, int]:
+        ledger = self.shard_arrivals.get(shard)
+        if ledger is None:
+            ledger = self.shard_arrivals[shard] = dict(_EMPTY_ARRIVALS)
+        return ledger
+
+    def arrival(self, outcome: str, shard: int = 0) -> None:
+        """One admission event: offered/admitted/rejected/shed/donated/stolen."""
         self.checks += 1
         if outcome not in self.arrivals:
             self._fail(
@@ -602,29 +633,46 @@ class InvariantChecker:
                 outcome=outcome,
             )
         self.arrivals[outcome] += 1
+        self._shard_ledger(shard)[outcome] += 1
         self._arrival_laws()
 
-    def arrival_completed(self) -> None:
+    def arrival_completed(self, shard: int = 0) -> None:
         """An admitted query became result-durable."""
         self.checks += 1
         self.arrivals["completed"] += 1
+        self._shard_ledger(shard)["completed"] += 1
         self._arrival_laws()
 
     def _arrival_laws(self) -> None:
-        a = self.arrivals
-        if a["admitted"] + a["rejected"] > a["offered"]:
+        # The global laws, then the same laws per shard: a stolen query is
+        # an extra admission source (beyond offered arrivals), a donated
+        # query an extra way to leave the admitted set without completing.
+        for name, a in [("global", self.arrivals)] + [
+            (f"shard {s}", led) for s, led in self.shard_arrivals.items()
+        ]:
+            if a["admitted"] + a["rejected"] > a["offered"] + a["stolen"]:
+                self._fail(
+                    "serve",
+                    "arrival-conservation",
+                    f"{name}: more arrivals decided than offered+stolen",
+                    ledger=name,
+                    **a,
+                )
+            if a["completed"] + a["shed"] + a["donated"] > a["admitted"]:
+                self._fail(
+                    "serve",
+                    "arrival-conservation",
+                    f"{name}: more queries completed+shed+donated than "
+                    "admission events",
+                    ledger=name,
+                    **a,
+                )
+        if self.arrivals["stolen"] > self.arrivals["donated"]:
             self._fail(
                 "serve",
                 "arrival-conservation",
-                "more arrivals decided than offered",
-                **a,
-            )
-        if a["completed"] + a["shed"] > a["admitted"]:
-            self._fail(
-                "serve",
-                "arrival-conservation",
-                "more queries completed+shed than admission events",
-                **a,
+                "more queries stolen than donated",
+                **self.arrivals,
             )
 
     # -- end-of-run conservation --------------------------------------------
@@ -633,9 +681,13 @@ class InvariantChecker:
         now: float,
         recorder=None,
         fault_free: bool = True,
-        open_queries: Optional[int] = None,
+        open_queries=None,
     ) -> None:
         """Run the global laws once the simulation has stopped.
+
+        ``open_queries`` is the master's count of admitted-but-not-durable
+        queries — an int for single-master runs, a ``{shard: count}`` dict
+        for sharded runs (the ledger equality then holds per shard too).
 
         ``fault_free`` selects strict equalities: with an empty fault plan
         every non-OOB message is consumed by its receiver before the ranks
@@ -651,29 +703,53 @@ class InvariantChecker:
         if recorder is not None:
             self._finalize_trace(recorder, now)
 
-    def _finalize_arrivals(self, open_queries: Optional[int]) -> None:
-        a = self.arrivals
-        if not a["offered"]:
+    def _finalize_arrivals(self, open_queries) -> None:
+        if not self.arrivals["offered"]:
             return
-        if a["admitted"] + a["rejected"] != a["offered"]:
+        if self.arrivals["stolen"] != self.arrivals["donated"]:
             self._fail(
                 "serve",
                 "arrival-conservation",
-                "every offered arrival must be admitted or rejected "
-                "(decisions are synchronous)",
-                **a,
+                "donated queries not all re-admitted by a thief at end of run",
+                **self.arrivals,
             )
-        if open_queries is not None:
-            open_events = a["admitted"] - a["shed"] - a["completed"]
-            if open_events != open_queries:
+        open_by_shard: Dict[int, Optional[int]] = {}
+        if isinstance(open_queries, dict):
+            open_by_shard = dict(open_queries)
+        ledgers = [("global", self.arrivals, None)] + [
+            (f"shard {s}", led, s) for s, led in sorted(self.shard_arrivals.items())
+        ]
+        for name, a, shard in ledgers:
+            if a["admitted"] + a["rejected"] != a["offered"] + a["stolen"]:
                 self._fail(
                     "serve",
                     "arrival-conservation",
-                    f"admission ledger leaves {open_events} open queries "
-                    f"but the master holds {open_queries}",
-                    open_queries=open_queries,
+                    f"{name}: every offered or stolen arrival must be "
+                    "admitted or rejected (decisions are synchronous)",
+                    ledger=name,
                     **a,
                 )
+            expected = (
+                open_queries
+                if shard is None and not isinstance(open_queries, dict)
+                else open_by_shard.get(shard)
+                if shard is not None
+                else (sum(open_by_shard.values()) if open_by_shard else None)
+            )
+            if expected is not None:
+                open_events = (
+                    a["admitted"] - a["shed"] - a["donated"] - a["completed"]
+                )
+                if open_events != expected:
+                    self._fail(
+                        "serve",
+                        "arrival-conservation",
+                        f"{name}: admission ledger leaves {open_events} open "
+                        f"queries but the master holds {expected}",
+                        ledger=name,
+                        open_queries=expected,
+                        **a,
+                    )
 
     def _finalize_mpi(self, fault_free: bool) -> None:
         if fault_free and self.tx_bytes != self.rx_bytes + self.dropped_bytes:
@@ -828,6 +904,9 @@ class InvariantChecker:
                 for sid, led in sorted(self.servers.items())
             },
             "arrivals": dict(self.arrivals),
+            "shard_arrivals": {
+                s: dict(led) for s, led in sorted(self.shard_arrivals.items())
+            },
             "replica_writes": self.replica_writes,
             "replica_acked_bytes": self.replica_acked_bytes,
             "replica_outstanding_bytes": sum(

@@ -30,6 +30,7 @@ from .analysis import (
     FIG2_RATIOS_PCT,
     arrival_sweep,
     compute_speed_sweep,
+    masters_sweep,
     overall_table,
     phase_table,
     process_scaling_sweep,
@@ -45,7 +46,13 @@ from .core.phases import Phase
 from .core.strategies import STRATEGIES
 from .exec import PointSpec, ProgressReporter, aggregate_point_metrics, run_points
 from .obs import MetricsSnapshot, export_metrics_csv, export_metrics_json
-from .serve import ADMISSION_POLICIES, ARRIVAL_PROCESSES, ArrivalConfig
+from .serve import (
+    ADMISSION_POLICIES,
+    ARRIVAL_PROCESSES,
+    ArrivalConfig,
+    format_latency,
+)
+from .shard import PLACEMENTS, ShardConfig
 from .trace import TraceRecorder, export_json, render_timeline
 from .workload import ComputeModel, load_workload_kwargs, save_workload
 
@@ -186,6 +193,28 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "ahead of normal work (ignored by ww-coll, whose collective "
         "writes require FIFO assignment)",
     )
+    parser.add_argument(
+        "--masters",
+        type=int,
+        default=1,
+        metavar="M",
+        help="serve mode: shard the ranks into M independent master/worker "
+        "pools sharing the network and PVFS volume (1 = the seed's "
+        "single-master topology, bit-identical)",
+    )
+    parser.add_argument(
+        "--placement",
+        choices=list(PLACEMENTS),
+        default="hash",
+        help="sharded serve mode: how arrivals map to masters (hash of the "
+        "arrival index, or contiguous ranges — deliberately skewed, the "
+        "work-stealing showcase)",
+    )
+    parser.add_argument(
+        "--no-steal",
+        action="store_true",
+        help="sharded serve mode: disable work-stealing between masters",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> SimulationConfig:
@@ -242,6 +271,20 @@ def _config_from(args: argparse.Namespace) -> SimulationConfig:
             )
         except ValueError as exc:
             raise SystemExit(f"invalid arrival configuration: {exc}")
+    if getattr(args, "masters", 1) > 1:
+        if "arrival" not in kwargs:
+            raise SystemExit(
+                "--masters needs serve mode (give --arrival, or use "
+                "`s3asim serve`)"
+            )
+        try:
+            kwargs["shard"] = ShardConfig(
+                nshards=args.masters,
+                placement=getattr(args, "placement", "hash"),
+                steal=not getattr(args, "no_steal", False),
+            )
+        except ValueError as exc:
+            raise SystemExit(f"invalid shard configuration: {exc}")
     if getattr(args, "workload", None):
         with open(args.workload) as fh:
             loaded = load_workload_kwargs(fh)
@@ -318,22 +361,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if fstat.complete else 1
 
 
-def _print_serve_stats(serve: dict) -> None:
-    """Admission counters and completion-latency percentiles of one run."""
+def _print_serve_stats(serve: dict, indent: str = "") -> None:
+    """Admission counters and completion-latency percentiles of one run.
+
+    Latency fields are NaN when nothing completed (a cutoff before the
+    first durable query); they print as ``-``, not a fabricated 0.000.
+    """
+    transfers = ""
+    if serve.get("donated") or serve.get("stolen") or serve.get("steals"):
+        stolen = serve.get("stolen", serve.get("steals", 0))
+        transfers = (
+            f" donated={serve.get('donated', 0):g} stolen={stolen:g}"
+        )
     print(
-        f"arrivals: offered={serve.get('offered', 0):g} "
+        f"{indent}arrivals: offered={serve.get('offered', 0):g} "
         f"admitted={serve.get('admitted', 0):g} "
         f"rejected={serve.get('rejected', 0):g} "
         f"shed={serve.get('shed', 0):g} "
         f"completed={serve.get('completed', 0):g} "
         f"pending={serve.get('pending', 0):g}"
+        f"{transfers}"
     )
     print(
-        f"latency:  mean={serve.get('latency_mean_s', 0):.3f}s "
-        f"p50={serve.get('latency_p50_s', 0):.3f}s "
-        f"p95={serve.get('latency_p95_s', 0):.3f}s "
-        f"p99={serve.get('latency_p99_s', 0):.3f}s "
-        f"max={serve.get('latency_max_s', 0):.3f}s"
+        f"{indent}latency:  mean={format_latency(serve.get('latency_mean_s', 0.0))}s "
+        f"p50={format_latency(serve.get('latency_p50_s', 0.0))}s "
+        f"p95={format_latency(serve.get('latency_p95_s', 0.0))}s "
+        f"p99={format_latency(serve.get('latency_p99_s', 0.0))}s "
+        f"max={format_latency(serve.get('latency_max_s', 0.0))}s"
     )
 
 
@@ -342,17 +396,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not getattr(args, "arrival", None):
         args.arrival = args.preset
     cfg = _config_from(args).with_(collect_metrics=True)
-    app = S3aSim(cfg)
-    result = app.run(until=args.until)
-    print(result.summary_line())
-    _print_serve_stats(result.serve_stats)
-    checker = app.world.env.check
+    if cfg.shard is not None and cfg.shard.nshards > 1:
+        from .shard.group import MasterGroup
+
+        group = MasterGroup(cfg)
+        result = group.run(until=args.until)
+        print(result.summary_line())
+        _print_serve_stats(result.serve_stats)
+        for index, shard_stats in enumerate(result.shard_serve_stats):
+            print(f"shard {index}:")
+            _print_serve_stats(shard_stats, indent="  ")
+        env = group.world.env
+    else:
+        app = S3aSim(cfg)
+        result = app.run(until=args.until)
+        print(result.summary_line())
+        _print_serve_stats(result.serve_stats)
+        env = app.world.env
+    checker = env.check
     if checker.enabled:
         summary = checker.summary()
         arrivals = summary.get("arrivals", {})
+        stolen = arrivals.get("stolen", 0)
         print(
             f"invariants: {summary['checks']} checks passed "
-            f"(arrival law offered={arrivals.get('offered', 0)} = "
+            f"(arrival law offered+stolen={arrivals.get('offered', 0)}"
+            f"+{stolen} = "
             f"admitted+rejected={arrivals.get('admitted', 0)}"
             f"+{arrivals.get('rejected', 0)})"
         )
@@ -367,10 +436,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if result.file_stats.complete else 1
 
 
-def _print_latency_table(sweep) -> None:
-    """Offered-load-vs-latency rows, one per (strategy, rate) point."""
+def _print_latency_table(sweep, x_label: str = "rate qps") -> None:
+    """x-vs-latency rows, one per (strategy, x) serve-mode point."""
     print(
-        f"{'strategy':10s} {'rate qps':>9s} {'offered':>8s} {'admitted':>9s} "
+        f"{'strategy':10s} {x_label:>9s} {'offered':>8s} {'admitted':>9s} "
         f"{'rejected':>9s} {'shed':>6s} {'p50 s':>8s} {'p95 s':>8s} {'p99 s':>8s}"
     )
     for strategy in sweep.strategies():
@@ -379,9 +448,10 @@ def _print_latency_table(sweep) -> None:
             print(
                 f"{strategy:10s} {x:>9g} {s.get('offered', 0):>8g} "
                 f"{s.get('admitted', 0):>9g} {s.get('rejected', 0):>9g} "
-                f"{s.get('shed', 0):>6g} {s.get('latency_p50_s', 0):>8.3f} "
-                f"{s.get('latency_p95_s', 0):>8.3f} "
-                f"{s.get('latency_p99_s', 0):>8.3f}"
+                f"{s.get('shed', 0):>6g} "
+                f"{format_latency(s.get('latency_p50_s', 0.0)):>8s} "
+                f"{format_latency(s.get('latency_p95_s', 0.0)):>8s} "
+                f"{format_latency(s.get('latency_p99_s', 0.0)):>8s}"
             )
 
 
@@ -678,6 +748,32 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             reporter=reporter,
         )
         headline_x = None  # latency table below instead of ratio tables
+    elif args.axis == "masters":  # sharded serve mode: master count
+        counts = [int(x) for x in args.master_counts.split(",")]
+        base = cfg
+        if base.arrival is None:
+            # Same rule as the arrival axis: the serve flags shape the
+            # sweep even when --arrival itself was omitted.
+            base = base.with_(
+                arrival=ArrivalConfig(
+                    process="poisson",
+                    rate=args.arrival_rate,
+                    horizon_s=args.arrival_horizon,
+                    max_pending=args.max_pending,
+                    policy=args.admission,
+                    priority_fraction=args.priority_fraction,
+                )
+            )
+        reporter = _sweep_reporter(args, len(counts) * 4)
+        sweep = masters_sweep(
+            base,
+            master_counts=counts,
+            nprocs=args.nprocs,
+            progress=progress,
+            jobs=args.jobs,
+            reporter=reporter,
+        )
+        headline_x = None  # latency table below instead of ratio tables
     else:  # replicas: per-stripe replica count
         counts = [int(x) for x in args.replica_counts.split(",")]
         reporter = _sweep_reporter(args, len(counts) * npoints_per_x)
@@ -690,8 +786,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             reporter=reporter,
         )
         headline_x = None  # no paper figure to ratio against
-    if args.axis == "arrival":
-        _print_latency_table(sweep)
+    if args.axis in ("arrival", "masters"):
+        _print_latency_table(
+            sweep, x_label="masters" if args.axis == "masters" else "rate qps"
+        )
         print()
     else:
         for query_sync in (False, True):
@@ -847,7 +945,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_sweep = sub.add_parser("sweep", help="run a parameter sweep (Fig 2/5)")
     p_sweep.add_argument(
-        "axis", choices=["processes", "speed", "cache", "replicas", "arrival"]
+        "axis",
+        choices=["processes", "speed", "cache", "replicas", "arrival", "masters"],
     )
     _add_common(p_sweep)
     p_sweep.add_argument("--counts", default="2,4,8,16,32,48,64,96")
@@ -866,6 +965,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--rates",
         default="5,10,20,40",
         help="offered loads (queries/s) for the arrival axis",
+    )
+    p_sweep.add_argument(
+        "--master-counts",
+        default="1,2,4,8",
+        help="master counts for the masters axis (1 = unsharded seed)",
     )
     p_sweep.add_argument("--phases", action="store_true", help="print phase tables")
     p_sweep.add_argument("--verbose", action="store_true")

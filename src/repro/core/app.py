@@ -267,6 +267,16 @@ class S3aSim:
         )
 
 
-def run_simulation(config: SimulationConfig) -> RunResult:
-    """Convenience one-shot: build and run."""
+def run_simulation(config: SimulationConfig):
+    """Convenience one-shot: build and run.
+
+    Dispatches on ``config.shard``: a multi-master configuration runs
+    through :func:`repro.shard.group.run_sharded` and returns a
+    :class:`~repro.shard.group.ShardedRunResult`; everything else takes
+    the single-master path and returns a plain :class:`RunResult`.
+    """
+    if config.shard is not None and config.shard.nshards > 1:
+        from ..shard.group import run_sharded
+
+        return run_sharded(config)
     return S3aSim(config).run()

@@ -18,6 +18,7 @@ from ..faults.plan import FaultPlan, FaultToleranceConfig
 from ..mpi.network import NetworkConfig
 from ..pvfs.filesystem import PVFSConfig
 from ..serve.arrivals import ArrivalConfig
+from ..shard.state import ShardConfig
 from ..sim.environment import SCHEDULERS
 from ..sim.rng import RandomStreams
 from ..workload.compute import ComputeModel, MergeModel
@@ -107,6 +108,13 @@ class SimulationConfig:
     #: arrivals and the admitted count is decided at run time.
     arrival: Optional[ArrivalConfig] = None
 
+    #: Multi-master sharding (``repro.shard``): partition the ranks into
+    #: ``shard.nshards`` master+worker pools that share the network and
+    #: PVFS volume, with query placement at admission and work-stealing
+    #: between masters.  ``None`` (the default) is the single-master
+    #: runner, bit-identical to the seed.
+    shard: Optional[ShardConfig] = None
+
     #: The run's failure schedule.  The default (empty) plan injects
     #: nothing and keeps the simulation bit-identical to a fault-free
     #: build — the tolerance machinery only activates when needed.
@@ -143,6 +151,19 @@ class SimulationConfig:
             if not self.fault_plan.empty or self.fault_tolerance is not None:
                 raise ValueError(
                     "serve mode does not compose with fault injection yet"
+                )
+        if self.shard is not None and self.shard.nshards > 1:
+            if self.arrival is None:
+                raise ValueError(
+                    "multi-master sharding requires serve mode (set "
+                    "arrival): batch workloads have a static task list "
+                    "with nothing to place or steal"
+                )
+            if self.nprocs < 2 * self.shard.nshards:
+                raise ValueError(
+                    f"{self.shard.nshards} shards need at least "
+                    f"{2 * self.shard.nshards} processes (1 master + "
+                    ">= 1 worker each)"
                 )
         if self.scheduler not in SCHEDULERS:
             raise ValueError(

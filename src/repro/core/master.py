@@ -49,17 +49,23 @@ from .offsets import OffsetLedger, ScoredBatchMeta, merge_query
 from .phases import Phase, PhaseTimer
 from .protocol import (
     ASSIGN_BYTES,
+    Donate,
+    DonatedQuery,
     NOTICE_BYTES,
     OffsetEntry,
     OffsetMessage,
     Release,
     ScoreMessage,
+    STEAL_BYTES,
+    Steal,
     TAG_ASSIGN,
+    TAG_DONATE,
     TAG_HEARTBEAT,
     TAG_OFFSETS,
     TAG_REJOIN,
     TAG_REQUEST,
     TAG_SCORES,
+    TAG_STEAL,
     TAG_WRITE_ACK,
     TAG_WRITTEN,
     TaskAssignment,
@@ -94,7 +100,11 @@ class Master:
         self.cfg = cfg
         self.fh = fh
         self.strategy = cfg.io_strategy()
-        self.timer = PhaseTimer(comm.env, rank=comm.rank, recorder=recorder)
+        # Timer/trace rows are keyed by the *global* rank: in a sharded run
+        # every shard's master is local rank 0 of its sub-communicator, and
+        # per-rank rows must not collide.  Single-master runs use the world
+        # communicator, where global == local.
+        self.timer = PhaseTimer(comm.env, rank=comm.global_rank, recorder=recorder)
         self.recorder = recorder
 
         # Serve mode (open-loop arrivals): the task queue starts empty and
@@ -138,8 +148,25 @@ class Master:
                 self.ledger.base_for(q, size)
         self.groups_dispatched = cfg.resume_group
         self.pending_requests: deque = deque()
+        #: Mirror of ``pending_requests`` membership: the deque preserves
+        #: FIFO service order, the set answers "is this worker parked?" in
+        #: O(1) — a deque ``in`` test is a linear scan, quadratic across a
+        #: large worker pool's request stream.
+        self._pending_set: Set[int] = set()
         self.done_set: Set[int] = set()
         self.pending_sends: List = []
+
+        # -- multi-master sharding (attach_shard wires these) ---------------
+        #: This master's shard index (0 in single-master runs).
+        self.shard_id = 0
+        #: Master-to-master communicator view (sharded runs only).
+        self._mcomm = None
+        self._shard_cfg = None
+        #: True once this master's steal protocol has concluded (always
+        #: true outside sharded runs, so the termination conditions below
+        #: are untouched by default).
+        self._steal_done = True
+        self._steal_wake = None
 
         # -- fault tolerance ------------------------------------------------
         self.ft_active = cfg.fault_tolerance_active()
@@ -168,6 +195,29 @@ class Master:
         m = self.comm.env.metrics
         if m.enabled:
             m.inc(f"faults.{name}", n, rank=self.comm.rank)
+
+    def attach_shard(self, shard_id: int, mcomm, shard_cfg) -> None:
+        """Wire this master into a multi-master group (before ``run``).
+
+        ``mcomm`` is this master's view of the master-to-master
+        communicator (local rank == shard index); the steal protocol only
+        activates when the shard config enables it and peers exist.
+        """
+        self.shard_id = shard_id
+        self._mcomm = mcomm
+        self._shard_cfg = shard_cfg
+        if shard_cfg.steal and shard_cfg.nshards > 1:
+            self._steal_done = False
+
+    # -- pending-request parking (FIFO deque + O(1) membership set) --------
+    def _park(self, worker: int) -> None:
+        self.pending_requests.append(worker)
+        self._pending_set.add(worker)
+
+    def _pop_parked(self) -> int:
+        worker = self.pending_requests.popleft()
+        self._pending_set.discard(worker)
+        return worker
 
     # -- assignability ----------------------------------------------------
     def _task_assignable(self) -> bool:
@@ -200,7 +250,9 @@ class Master:
         loses zero bytes, so a released worker never needs recalling.
         """
         if self.serve is not None:
-            return self.serve.arrivals_done
+            # Sharded: also hold releases until this master's steal
+            # protocol concludes — a stolen query needs live workers.
+            return self.serve.arrivals_done and self._steal_done
         if not self.ft_active:
             return True
         return (
@@ -231,7 +283,10 @@ class Master:
         )
 
     def _group_complete(self, group: int) -> bool:
+        donated = self.serve.donated_q if self.serve is not None else ()
         for q in self.cfg.queries_in_group(group):
+            if q in donated:
+                continue  # donated away: a zero-size placeholder block
             got = self.received.get(q)
             if got is None or len(got) < self.cfg.nfragments:
                 return False
@@ -255,6 +310,12 @@ class Master:
             ack_recv = comm.irecv(tag=TAG_WRITE_ACK)
         if self.ft_active:
             comm.env.process(self._watchdog(), name="master-watchdog")
+        steal_recv = None
+        if self._mcomm is not None and not self._steal_done:
+            steal_recv = self._mcomm.irecv(tag=TAG_STEAL)
+            comm.env.process(
+                self._steal_loop(), name=f"steal-loop-{self.shard_id}"
+            )
 
         while not self._finished():
             yield from self._make_progress()
@@ -268,6 +329,8 @@ class Master:
             events = [request_recv.done_event, score_recv.done_event]
             if ack_recv is not None:
                 events.append(ack_recv.done_event)
+            if steal_recv is not None:
+                events.append(steal_recv.done_event)
             if self.ft_active or self.serve is not None:
                 self._wake = comm.env.event()
                 events.append(self._wake)
@@ -290,7 +353,21 @@ class Master:
                 ack_recv = comm.irecv(tag=TAG_WRITE_ACK)
                 self._handle_ack(ack)
 
+            if steal_recv is not None and steal_recv.completed:
+                probe: Steal = steal_recv.done_event.value
+                steal_recv = self._mcomm.irecv(tag=TAG_STEAL)
+                self._handle_steal(probe)
+
         self._watchdog_stop = True
+        if steal_recv is not None:
+            # Keep answering late probes (with empty donations) after this
+            # master has finished: a hungry peer's termination protocol
+            # waits on a reply from every shard.  A side process never
+            # gates the run's own termination.
+            comm.env.process(
+                self._steal_responder(steal_recv),
+                name=f"steal-responder-{self.shard_id}",
+            )
         # Drain any in-flight offset/notice sends before the final barrier.
         for send in self.pending_sends:
             yield from timer.measure(Phase.GATHER, send.wait())
@@ -313,7 +390,7 @@ class Master:
                 moved = True
             # Serve deferred work requests that became assignable.
             while self.pending_requests and self._task_assignable():
-                yield from self._respond(self.pending_requests.popleft())
+                yield from self._respond(self._pop_parked())
                 moved = True
             # Terminate waiting workers once no tasks remain (and, under
             # fault tolerance, once no crash could ever create new work).
@@ -322,8 +399,9 @@ class Master:
                 and self._tasks_exhausted()
                 and self._release_ok()
             ):
-                yield from self._send_no_more_work(self.pending_requests.popleft())
+                yield from self._send_no_more_work(self._pop_parked())
                 moved = True
+        self._steal_nudge()
 
     # -- request handling -----------------------------------------------------------
     def _handle_request(self, worker: int):
@@ -339,10 +417,11 @@ class Master:
             yield from self._respond(worker)
         elif self._tasks_exhausted() and self._release_ok():
             yield from self._send_no_more_work(worker)
-        elif worker not in self.pending_requests:
+        elif worker not in self._pending_set:
             # WW-Coll gating (or fault-tolerant release hold): park the
             # request until the group advances / release becomes safe.
-            self.pending_requests.append(worker)
+            self._park(worker)
+            self._steal_nudge()
 
     def _respond(self, worker: int):
         task = self.tasks[self.next_task]
@@ -495,6 +574,9 @@ class Master:
         per_worker: Dict[int, List[OffsetEntry]] = {}
         blocks = []
         for q in self.cfg.queries_in_group(group):
+            if self._query_donated(q):
+                self._ledger_placeholder(q)
+                continue
             batches = list(self.received[q].values())
             total = sum(b.total_bytes for b in batches)
             base = self.ledger.base_for(q, total)
@@ -504,6 +586,7 @@ class Master:
                 c.offsets_assigned(
                     q, base, block_size, offsets_by_frag,
                     {b.fragment_id: b.sizes for b in batches},
+                    shard=self.shard_id,
                 )
             blocks.append((q, base, block_size))
             for frag, offsets in offsets_by_frag.items():
@@ -556,6 +639,9 @@ class Master:
     def _merge_group_mw(self, group: int):
         blocks = []
         for q in self.cfg.queries_in_group(group):
+            if self._query_donated(q):
+                self._ledger_placeholder(q)
+                continue
             batches = list(self.received[q].values())
             total = sum(b.total_bytes for b in batches)
             base = self.ledger.base_for(q, total)
@@ -565,6 +651,7 @@ class Master:
                 c.offsets_assigned(
                     q, base, block_size, offsets_by_frag,
                     {b.fragment_id: b.sizes for b in batches},
+                    shard=self.shard_id,
                 )
             data: Optional[bytes] = None
             if self.cfg.store_data:
@@ -591,67 +678,77 @@ class Master:
             yield None
 
     # -- serve mode: arrivals, admission, latency --------------------------------
-    def on_arrival(self, priority: bool) -> None:
+    def on_arrival(self, priority: bool, content: Optional[int] = None) -> None:
         """Admission decision for one arrival (synchronous, open loop).
 
         An arrival that finds the pending queue full is either turned away
         (``reject``) or — under ``shed`` — takes over the slot of the
         youngest not-yet-started non-priority query, whose id it reuses
-        (the workload is a pure function of the query id, so the slot's
-        content is unchanged; only its arrival stamp and lane move).
+        (the workload is a pure function of the query id — or of the slot's
+        content id in sharded runs — so the slot's content is unchanged;
+        only its arrival stamp and lane move).
+
+        ``content`` is the global content id in sharded runs (placement
+        assigns each arrival a shard *and* a content id); ``None`` means
+        "the slot id", the single-master identity mapping.
         """
         s = self.serve
         env = self.comm.env
         s.offered += 1
         c = env.check
         if c.enabled:
-            c.arrival("offered")
+            c.arrival("offered", shard=self.shard_id)
         if s.pending < s.cfg.max_pending:
-            self._admit(priority)
+            self._admit(priority, content)
         elif s.cfg.policy == "shed":
             victim = self._try_shed()
             if victim is None:
                 s.rejected += 1
                 if c.enabled:
-                    c.arrival("rejected")
+                    c.arrival("rejected", shard=self.shard_id)
             else:
                 s.shed += 1
                 if c.enabled:
-                    c.arrival("shed")
+                    c.arrival("shed", shard=self.shard_id)
                 s.arrival_t[victim] = env.now
                 s.priority.discard(victim)
                 if priority:
                     s.priority.add(victim)
                 if self.recorder is not None:
-                    self.recorder.discard(0, state=f"serve_q{victim}")
-                    self.recorder.begin(0, f"serve_q{victim}", env.now)
+                    rank = self.comm.global_rank
+                    self.recorder.discard(rank, state=f"serve_q{victim}")
+                    self.recorder.begin(rank, f"serve_q{victim}", env.now)
                 self._enqueue_query(victim, priority)
                 if c.enabled:
-                    c.arrival("admitted")
+                    c.arrival("admitted", shard=self.shard_id)
         else:
             s.rejected += 1
             if c.enabled:
-                c.arrival("rejected")
+                c.arrival("rejected", shard=self.shard_id)
         self._wakeup()
 
     def arrivals_finished(self) -> None:
         """The arrival process is done; the admitted count is now final."""
         self.serve.arrivals_done = True
         self._wakeup()
+        self._steal_nudge()
 
-    def _admit(self, priority: bool) -> None:
+    def _admit(self, priority: bool, content: Optional[int] = None) -> None:
         s = self.serve
         q = s.admitted
         s.admitted += 1
         s.arrival_t[q] = self.comm.env.now
+        s.content[q] = q if content is None else content
         if priority:
             s.priority.add(q)
         if self.recorder is not None:
-            self.recorder.begin(0, f"serve_q{q}", self.comm.env.now)
+            self.recorder.begin(
+                self.comm.global_rank, f"serve_q{q}", self.comm.env.now
+            )
         self._enqueue_query(q, priority)
         c = self.comm.env.check
         if c.enabled:
-            c.arrival("admitted")
+            c.arrival("admitted", shard=self.shard_id)
 
     def _enqueue_query(self, q: int, priority: bool) -> None:
         new = [TaskAssignment(q, f) for f in range(self.cfg.nfragments)]
@@ -689,11 +786,183 @@ class Master:
         if m.enabled:
             m.observe("serve.latency_seconds", latency)
         if self.recorder is not None:
-            self.recorder.end(0, f"serve_q{q}", now)
+            self.recorder.end(self.comm.global_rank, f"serve_q{q}", now)
         c = self.comm.env.check
         if c.enabled:
-            c.arrival_completed()
+            c.arrival_completed(shard=self.shard_id)
         self._wakeup()
+
+    # -- multi-master sharding: work stealing ------------------------------------
+    def _query_donated(self, q: int) -> bool:
+        return self.serve is not None and q in self.serve.donated_q
+
+    def _ledger_placeholder(self, q: int) -> None:
+        """Allocate a donated query's block: the offset ledger is strictly
+        in-order, so the slot still occupies a zero-size span (the output
+        file stays dense and later queries' bases are unchanged)."""
+        base = self.ledger.base_for(q, 0)
+        c = self.comm.env.check
+        if c.enabled:
+            c.offsets_assigned(q, base, 0, {}, {}, shard=self.shard_id)
+
+    def _hungry(self) -> bool:
+        """Starving: workers are asking and there is nothing to hand out."""
+        return (
+            not self._steal_done
+            and self._tasks_exhausted()
+            and bool(self.pending_requests)
+        )
+
+    def _steal_nudge(self) -> None:
+        if (
+            self._steal_wake is not None
+            and not self._steal_wake.triggered
+            and self._hungry()
+        ):
+            self._steal_wake.succeed()
+
+    def _steal_loop(self):
+        """Side process, the thief half of the protocol: when this shard
+        starves, probe the peer masters round-robin for unstarted queries.
+
+        One probe is in flight at a time (so a single posted Donate receive
+        suffices).  A round in which every peer donates nothing is *final*
+        once the global arrival process has finished — nothing can refill
+        the peers, so the thief concludes (``_steal_done``) and unblocks
+        the release path.  Before that, an empty round backs off
+        ``steal_retry_s`` and tries again.
+        """
+        env = self.comm.env
+        s = self.serve
+        mcomm = self._mcomm
+        nshards = self._shard_cfg.nshards
+        peers = [(self.shard_id + k) % nshards for k in range(1, nshards)]
+        donate_recv = mcomm.irecv(tag=TAG_DONATE)
+        rr = 0
+        while not self._steal_done:
+            if not self._hungry():
+                self._steal_wake = env.event()
+                yield self._steal_wake
+                continue
+            final = s.arrivals_done
+            got = 0
+            for k in range(len(peers)):
+                peer = peers[(rr + k) % len(peers)]
+                capacity = self.cfg.nqueries - s.admitted
+                if capacity <= 0:
+                    break
+                probe = Steal(shard=self.shard_id, capacity=capacity)
+                req = mcomm.isend(peer, TAG_STEAL, STEAL_BYTES, probe, oob=True)
+                yield from req.wait()
+                yield donate_recv.done_event
+                donate: Donate = donate_recv.done_event.value
+                donate_recv = mcomm.irecv(tag=TAG_DONATE)
+                for dq in donate.queries:
+                    self._admit_stolen(dq)
+                    got += 1
+                if got and not self._hungry():
+                    break
+            rr = (rr + 1) % len(peers)
+            if got:
+                continue
+            if final:
+                self._steal_done = True
+                self._wakeup()
+                return
+            yield env.timeout(self._shard_cfg.steal_retry_s)
+
+    def _handle_steal(self, probe: Steal) -> None:
+        """Donor half: answer a peer's probe with up to half of the
+        unstarted, non-priority pending queries (possibly none).
+
+        The youngest half goes — the oldest pending queries are next in
+        line for local assignment, so shipping the tail minimizes wasted
+        locality, mirroring the shed policy's victim preference.
+        """
+        s = self.serve
+        queries: List[DonatedQuery] = []
+        if s is not None:
+            eligible = [
+                q
+                for q in range(s.admitted)
+                if q in s.arrival_t
+                and q not in s.started
+                and q not in s.priority
+                and q not in s.donated_q
+            ]
+            count = min((len(eligible) + 1) // 2, max(probe.capacity, 0))
+            victims = eligible[len(eligible) - count :]
+            if victims:
+                doomed = set(victims)
+                self.tasks = self.tasks[: self.next_task] + [
+                    t
+                    for t in self.tasks[self.next_task :]
+                    if t.query_id not in doomed
+                ]
+                env = self.comm.env
+                c = env.check
+                m = env.metrics
+                for q in victims:
+                    at = s.arrival_t.pop(q)
+                    s.donated_q.add(q)
+                    s.donated += 1
+                    queries.append(
+                        DonatedQuery(content=s.content.get(q, q), arrival_t=at)
+                    )
+                    if self.recorder is not None:
+                        self.recorder.discard(
+                            self.comm.global_rank, state=f"serve_q{q}"
+                        )
+                    if c.enabled:
+                        c.arrival("donated", shard=self.shard_id)
+                    if m.enabled:
+                        m.inc("shard.donated_queries", shard=self.shard_id)
+        reply = Donate(shard=self.shard_id, queries=tuple(queries))
+        self.pending_sends.append(
+            self._mcomm.isend(
+                probe.shard, TAG_DONATE, reply.wire_bytes(), reply, oob=True
+            )
+        )
+
+    def _admit_stolen(self, dq: DonatedQuery) -> None:
+        """Thief half: a donated query enters as a fresh local admission,
+        keeping its original arrival stamp (honest end-to-end latency) and
+        its global content id (the workload is a function of the content,
+        which survives the transfer)."""
+        s = self.serve
+        q = s.admitted
+        s.admitted += 1
+        s.stolen += 1
+        s.arrival_t[q] = dq.arrival_t
+        s.content[q] = dq.content
+        if self.recorder is not None:
+            self.recorder.begin(
+                self.comm.global_rank, f"serve_q{q}", dq.arrival_t
+            )
+        self._enqueue_query(q, False)
+        env = self.comm.env
+        c = env.check
+        if c.enabled:
+            c.arrival("stolen", shard=self.shard_id)
+            c.arrival("admitted", shard=self.shard_id)
+        m = env.metrics
+        if m.enabled:
+            m.inc("shard.steals", shard=self.shard_id)
+        self._wakeup()
+
+    def _steal_responder(self, steal_recv):
+        """Post-exit donor: answer every late probe with an empty Donate."""
+        mcomm = self._mcomm
+        while True:
+            if not steal_recv.completed:
+                yield steal_recv.done_event
+            probe: Steal = steal_recv.done_event.value
+            steal_recv = mcomm.irecv(tag=TAG_STEAL)
+            reply = Donate(shard=self.shard_id, queries=())
+            req = mcomm.isend(
+                probe.shard, TAG_DONATE, reply.wire_bytes(), reply, oob=True
+            )
+            yield from req.wait()
 
     # -- fault tolerance: detection and recovery --------------------------------
     def _watchdog(self):
@@ -753,8 +1022,8 @@ class Master:
             self.dead.discard(worker)
             if worker in self.dead_requests:
                 self.dead_requests.discard(worker)
-                if worker not in self.pending_requests:
-                    self.pending_requests.append(worker)
+                if worker not in self._pending_set:
+                    self._park(worker)
         else:
             # The crash went unnoticed (reboot beat the timeout): the
             # worker's volatile state is gone all the same — recover now.
@@ -767,6 +1036,7 @@ class Master:
             self.pending_requests.remove(worker)
         except ValueError:
             pass
+        self._pending_set.discard(worker)
         # NOTE: a released worker stays released — by the release gate, all
         # of its bytes were safe before the "no more work" went out, and it
         # will never request again, so pulling it out of ``done_set`` would

@@ -23,11 +23,14 @@ TAG_WRITTEN = 5  # master -> worker: WrittenNotice (MW + query sync)
 TAG_HEARTBEAT = 6  # worker -> master: Heartbeat (fault tolerance only)
 TAG_REJOIN = 7  # worker -> master: Rejoin after a crash reboot
 TAG_WRITE_ACK = 8  # worker -> master: WriteAck (WW results on disk)
+TAG_STEAL = 9  # master -> master: Steal probe (sharded runs only)
+TAG_DONATE = 10  # master -> master: Donate reply (sharded runs only)
 
 REQUEST_BYTES = 16
 ASSIGN_BYTES = 16
 NOTICE_BYTES = 16
 HEARTBEAT_BYTES = 16
+STEAL_BYTES = 16
 _HEADER_BYTES = 32
 
 
@@ -138,6 +141,45 @@ class Rejoin:
 
     worker: int
     incarnation: int
+
+
+@dataclass(frozen=True)
+class Steal:
+    """Master → master: "my pending queue drained — share some work".
+
+    Sent out-of-band between shard masters in multi-master runs.
+    ``capacity`` bounds the reply: the thief's free query slots (its
+    ledger can hold at most ``nqueries`` per shard), so a donation can
+    never overflow the thief's offset ledger."""
+
+    shard: int
+    capacity: int
+
+
+@dataclass(frozen=True)
+class DonatedQuery:
+    """One transferred query: its content id and original arrival stamp.
+
+    The arrival time rides along so the thief's completion latency stays
+    honest end-to-end (arrival at the donor → durable at the thief)."""
+
+    content: int
+    arrival_t: float
+
+
+@dataclass(frozen=True)
+class Donate:
+    """Master → master: reply to a :class:`Steal` (possibly empty).
+
+    Carries up to half of the donor's unstarted, non-priority pending
+    queries.  An empty reply doubles as the "I have nothing" signal the
+    thief's termination protocol counts."""
+
+    shard: int
+    queries: Tuple[DonatedQuery, ...]
+
+    def wire_bytes(self) -> int:
+        return _HEADER_BYTES + 16 * len(self.queries)
 
 
 @dataclass(frozen=True)

@@ -72,7 +72,10 @@ class Worker:
         self.workload = workload
         self.fh = fh
         self.strategy = cfg.io_strategy()
-        self.timer = PhaseTimer(comm.env, rank=comm.rank, recorder=recorder)
+        # Keyed by the *global* rank so sharded runs (where each shard's
+        # workers restart local numbering at 1) get distinct timer/trace
+        # rows; on the world communicator global == local.
+        self.timer = PhaseTimer(comm.env, rank=comm.global_rank, recorder=recorder)
 
         self.stored: Dict[Tuple[int, int], ResultBatch] = {}
         self.pending_sends: List = []

@@ -328,7 +328,12 @@ class HistogramSummary:
             upper = min(bucket_bound(index), self.max)
             if cumulative + n >= target:
                 fraction = (target - cumulative) / n
-                return lower + fraction * (upper - lower)
+                estimate = lower + fraction * (upper - lower)
+                # Hard [min, max] guarantee, whatever the bucket edges say:
+                # a single sample in a wide log2 bucket (or a merged
+                # histogram's foreign min/max) must never interpolate past
+                # the observed extremes.
+                return min(max(estimate, self.min), self.max)
             cumulative += n
         return self.max
 

@@ -15,7 +15,7 @@ from .arrivals import (
     arrival_process,
     arrival_times,
 )
-from .state import ServeState
+from .state import ServeState, format_latency
 
 __all__ = [
     "ADMISSION_POLICIES",
@@ -24,4 +24,5 @@ __all__ = [
     "ServeState",
     "arrival_process",
     "arrival_times",
+    "format_latency",
 ]

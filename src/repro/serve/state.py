@@ -6,10 +6,17 @@ priority set, the outstanding-write map (worker-writing durability), and
 the completion-latency histogram.  It is pure bookkeeping — it schedules
 nothing — so the master's event sequence with ``arrival=None`` is
 untouched.
+
+Sharded (multi-master) runs add two transfer counters: ``donated`` counts
+queries this shard handed to a thief, ``stolen`` counts queries admitted
+here on behalf of another shard.  A donated slot stays allocated in the
+donor's offset ledger (as a zero-size block) but leaves its pending count,
+so admission capacity is freed the moment the query ships.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Set
 
 from ..obs.metrics import DurationHistogram, HistogramSummary
@@ -30,6 +37,10 @@ class ServeState:
         "rejected",
         "shed",
         "completed",
+        "donated",
+        "stolen",
+        "donated_q",
+        "content",
         "arrivals_done",
         "latency",
     )
@@ -50,13 +61,21 @@ class ServeState:
         self.rejected = 0
         self.shed = 0
         self.completed = 0
+        #: Sharded runs: queries shipped to / received from peer masters.
+        self.donated = 0
+        self.stolen = 0
+        #: Local slots whose query was donated away (ledger placeholders).
+        self.donated_q: Set[int] = set()
+        #: Local slot -> global content id (sharded runs; the workload is a
+        #: pure function of the content id, which survives a donation).
+        self.content: Dict[int, int] = {}
         self.arrivals_done = False
         self.latency = DurationHistogram("serve.latency_seconds", ())
 
     @property
     def pending(self) -> int:
         """Admitted queries not yet durable (the admission-bounded count)."""
-        return self.admitted - self.completed
+        return self.admitted - self.completed - self.donated
 
     def latency_summary(self) -> HistogramSummary:
         h = self.latency
@@ -69,18 +88,35 @@ class ServeState:
         )
 
     def stats(self) -> Dict[str, float]:
-        """The ``RunResult.serve_stats`` dictionary."""
+        """The ``RunResult.serve_stats`` dictionary.
+
+        With zero completions the latency fields are NaN, not 0.0 — a run
+        cut off before its first durable query has *unknown* latency, and
+        0.0 would be indistinguishable from a genuinely instant service.
+        """
         summary = self.latency_summary()
-        return {
+        no_data = float("nan")
+        stats = {
             "offered": float(self.offered),
             "admitted": float(self.admitted),
             "rejected": float(self.rejected),
             "shed": float(self.shed),
             "completed": float(self.completed),
             "pending": float(self.pending),
-            "latency_mean_s": summary.mean,
-            "latency_p50_s": summary.quantile(0.50),
-            "latency_p95_s": summary.quantile(0.95),
-            "latency_p99_s": summary.quantile(0.99),
-            "latency_max_s": summary.max,
+            "latency_mean_s": summary.mean if self.completed else no_data,
+            "latency_p50_s": summary.quantile(0.50) if self.completed else no_data,
+            "latency_p95_s": summary.quantile(0.95) if self.completed else no_data,
+            "latency_p99_s": summary.quantile(0.99) if self.completed else no_data,
+            "latency_max_s": summary.max if self.completed else no_data,
         }
+        if self.donated or self.stolen:
+            stats["donated"] = float(self.donated)
+            stats["stolen"] = float(self.stolen)
+        return stats
+
+
+def format_latency(value: float) -> str:
+    """CLI rendering of a latency stat: ``-`` when there is no data."""
+    if isinstance(value, float) and math.isnan(value):
+        return "-"
+    return f"{value:.3f}"

@@ -1,0 +1,29 @@
+"""Multi-master sharding: ``MasterGroup`` and its placement/steal policy.
+
+``ShardConfig`` lives in :mod:`repro.shard.state` and is imported eagerly
+(:mod:`repro.core.config` needs it at class-definition time); the runner
+side (:class:`MasterGroup` et al.) imports :mod:`repro.core` back, so it
+loads lazily to keep the import graph acyclic.
+"""
+
+from .state import PLACEMENTS, ShardConfig, partition_ranks, place
+
+__all__ = [
+    "PLACEMENTS",
+    "ShardConfig",
+    "partition_ranks",
+    "place",
+    "MasterGroup",
+    "ShardedRunResult",
+    "run_sharded",
+]
+
+_LAZY = {"MasterGroup", "ShardedRunResult", "run_sharded"}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from . import group
+
+        return getattr(group, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

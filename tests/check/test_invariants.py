@@ -230,7 +230,7 @@ class TestUnitLaws:
         checker.offsets_assigned(
             3, 1000, 10, {0: np.array([1000])}, {0: np.array([10])}
         )
-        assert checker._offset_cursor == 1010
+        assert checker._offset_cursor == {0: 1010}
 
     def test_entry_alignment_mismatch_fails(self):
         checker = InvariantChecker()

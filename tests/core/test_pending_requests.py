@@ -1,0 +1,81 @@
+"""The pending-request queue must never be linearly scanned.
+
+``Master.pending_requests`` is a FIFO deque; membership ("is this worker
+already parked?") is answered by the ``_pending_set`` mirror.  A deque
+``in`` test or ``remove`` is an O(n) scan — quadratic across a run — so
+the regression guard here swaps the deque class for a counting subclass
+and asserts the hot path performs zero scans.  (``remove`` is still
+legitimate on the fault-recovery path, which these fault-free runs never
+take.)
+"""
+
+from collections import deque
+
+import pytest
+
+import repro.core.master as master_module
+from repro.core import S3aSim, SimulationConfig
+from repro.core.master import Master
+from repro.serve import ArrivalConfig
+
+
+class CountingDeque(deque):
+    contains_calls = 0
+    remove_calls = 0
+
+    def __contains__(self, item):
+        CountingDeque.contains_calls += 1
+        return super().__contains__(item)
+
+    def remove(self, item):
+        CountingDeque.remove_calls += 1
+        return super().remove(item)
+
+
+@pytest.fixture
+def counting_deque(monkeypatch):
+    CountingDeque.contains_calls = 0
+    CountingDeque.remove_calls = 0
+    monkeypatch.setattr(master_module, "deque", CountingDeque)
+    return CountingDeque
+
+
+@pytest.mark.parametrize("strategy", ["mw", "ww-list"])
+def test_batch_run_never_scans_the_deque(counting_deque, strategy):
+    cfg = SimulationConfig(
+        strategy=strategy, nprocs=6, nqueries=4, nfragments=8, check=True
+    )
+    result = S3aSim(cfg).run()
+    assert result.file_stats.complete
+    assert counting_deque.contains_calls == 0
+    assert counting_deque.remove_calls == 0
+
+
+def test_serve_run_never_scans_the_deque(counting_deque):
+    # Serve mode parks and re-parks workers across arrival lulls — the
+    # membership test fires constantly and must hit the set, not the deque.
+    cfg = SimulationConfig(
+        strategy="ww-posix", nprocs=4, nqueries=8, nfragments=4, check=True,
+        arrival=ArrivalConfig(process="poisson", rate=3.0, max_pending=4),
+    )
+    result = S3aSim(cfg).run()
+    assert result.serve_stats["completed"] > 0
+    assert counting_deque.contains_calls == 0
+    assert counting_deque.remove_calls == 0
+
+
+def test_park_and_pop_keep_set_in_sync():
+    cfg = SimulationConfig(
+        strategy="ww-list", nprocs=4, nqueries=3, nfragments=6
+    )
+    app = S3aSim(cfg)
+    master = Master(app.world.comm.view(0), cfg, app.fh)
+    master._park(1)
+    master._park(2)
+    assert list(master.pending_requests) == [1, 2]
+    assert master._pending_set == {1, 2}
+    assert master._pop_parked() == 1  # FIFO order comes from the deque
+    assert master._pending_set == {2}
+    assert master._pop_parked() == 2
+    assert master._pending_set == set()
+    assert not master.pending_requests

@@ -102,3 +102,52 @@ def test_overflow_bucket_clamps_to_max():
     assert s.quantile(0.99) <= top * 2.0
     assert s.quantile(0.99) > 0.0
     assert s.quantile(1.0) == top * 2.0
+
+
+class TestClampAdversarial:
+    """Sparse histograms where interpolation wants to leave [min, max].
+
+    One sample per log2 bucket is the worst case: every bucket's
+    ``(lower, upper]`` span is maximally wide relative to its population,
+    so naive interpolation can land beyond the observed extremes — and in
+    a sharded run's *merged* histogram the min/max may come from another
+    shard entirely, making the bucket edges even less trustworthy.
+    """
+
+    def test_single_sample_per_bucket_stays_in_range(self):
+        values = [0.0013, 0.005, 0.02, 0.09, 0.3, 1.7, 6.0]
+        s = summarize(values)
+        for q in (0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999):
+            assert s.min <= s.quantile(q) <= s.max
+
+    def test_lone_sample_near_bucket_lower_edge(self):
+        # 1.001 sits at the very bottom of the (1, 2] bucket; a high
+        # quantile must not interpolate toward the bucket's upper edge.
+        s = summarize([0.1, 1.001])
+        assert s.quantile(0.99) <= 1.001
+        assert s.quantile(0.99) >= 0.1
+
+    def test_lone_max_in_overflow_bucket(self):
+        # A single enormous sample: the overflow bucket's nominal span is
+        # unbounded, the estimate must still be the exact max.
+        s = summarize([1.0, bucket_bound(38) * 1e6])
+        assert s.quantile(0.999) <= s.max
+
+    def test_merged_summaries_with_foreign_extremes(self):
+        # Shard A's histogram merged with shard B's: B's max dominates,
+        # A's min dominates, and no quantile may escape the merged range.
+        a = summarize([0.002, 0.004, 0.008])
+        b = summarize([50.0, 200.0])
+        m = a.merged(b)
+        assert m.min == 0.002
+        assert m.max == 200.0
+        for q in (0.0, 0.2, 0.5, 0.8, 0.99, 1.0):
+            assert m.min <= m.quantile(q) <= m.max
+
+    def test_merged_quantiles_monotone(self):
+        a = summarize([0.01, 0.3, 2.0])
+        b = summarize([0.05, 7.0])
+        m = a.merged(b)
+        qs = [0.05, 0.25, 0.5, 0.75, 0.95]
+        estimates = [m.quantile(q) for q in qs]
+        assert estimates == sorted(estimates)
