@@ -1,0 +1,29 @@
+"""Per-query adaptive I/O strategy selection (the ``hybrid-auto`` mode).
+
+The paper's conclusion is that no single strategy wins everywhere: master
+writing is best when queries are small (one contiguous write, no offset
+round-trip), worker writing when result volumes are large (parallel
+clients, no master funnel).  ``repro.adapt`` closes the loop: a
+:class:`StrategySelector` scores the static strategies per query from live
+run signals — the deterministic result-size estimate, the PVFS servers'
+queue depths, the fault-recovery backlog — and the master/worker protocol
+executes each query under its chosen strategy.
+"""
+
+from .selector import (
+    CANDIDATES,
+    PolicyWeights,
+    QuerySignals,
+    ScoredPolicy,
+    StrategyPolicy,
+    StrategySelector,
+)
+
+__all__ = [
+    "CANDIDATES",
+    "PolicyWeights",
+    "QuerySignals",
+    "ScoredPolicy",
+    "StrategyPolicy",
+    "StrategySelector",
+]

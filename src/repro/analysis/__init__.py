@@ -32,6 +32,7 @@ from .sweeps import (
     process_scaling_sweep,
     replica_sweep,
     server_cache_sweep,
+    strategy_grid,
 )
 from .tables import (
     crossover_x,
@@ -72,6 +73,7 @@ __all__ = [
     "ratio_table",
     "speedup_series",
     "stacked_bars",
+    "strategy_grid",
     "sweep_to_csv_str",
     "sweep_to_json_str",
     "sweep_to_records",

@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.config import SimulationConfig
 from ..core.report import RunResult
+from ..core.strategies import is_adaptive
 from ..exec.engine import (
     PointOutcome,
     PointSpec,
@@ -34,6 +35,25 @@ ALL_STRATEGIES: Tuple[str, ...] = ("mw", "ww-posix", "ww-list", "ww-coll")
 DEFAULT_CACHE_MIBS: Tuple[float, ...] = (0.0, 1.0, 4.0, 16.0)
 
 _MIB = 1024 * 1024
+
+
+def strategy_grid(
+    strategies: Sequence[str], sync_options: Sequence[bool]
+) -> List[Tuple[bool, str]]:
+    """The (query_sync, strategy) product a sweep actually runs.
+
+    ``hybrid-auto`` rejects ``query_sync`` (the per-query strategy choice
+    is meaningless when every query gates on a barrier), so the adaptive
+    strategy only joins the no-sync series; the statics fill the full
+    grid.  Returned in (sync, strategy) nesting order to match the spec
+    loops.
+    """
+    return [
+        (query_sync, strategy)
+        for query_sync in sync_options
+        for strategy in strategies
+        if not (query_sync and is_adaptive(strategy))
+    ]
 
 
 @dataclass(frozen=True)
@@ -165,8 +185,7 @@ def process_scaling_sweep(
             ),
         )
         for nprocs in process_counts
-        for query_sync in sync_options
-        for strategy in strategies
+        for query_sync, strategy in strategy_grid(strategies, sync_options)
     ]
     return _execute_sweep("processes", specs, jobs, progress, reporter)
 
@@ -193,8 +212,7 @@ def compute_speed_sweep(
             ),
         )
         for speed in speeds
-        for query_sync in sync_options
-        for strategy in strategies
+        for query_sync, strategy in strategy_grid(strategies, sync_options)
     ]
     return _execute_sweep("compute_speed", specs, jobs, progress, reporter)
 
@@ -221,16 +239,15 @@ def server_cache_sweep(
         if mib < 0:
             raise ValueError(f"cache size must be non-negative, got {mib}")
         pvfs = replace(base.pvfs, server_cache_B=int(mib * _MIB))
-        for query_sync in sync_options:
-            for strategy in strategies:
-                config = base.with_(
-                    strategy=strategy, query_sync=query_sync, pvfs=pvfs
-                )
-                if nprocs is not None:
-                    config = config.with_(nprocs=nprocs)
-                specs.append(
-                    PointSpec(key=(strategy, query_sync, float(mib)), config=config)
-                )
+        for query_sync, strategy in strategy_grid(strategies, sync_options):
+            config = base.with_(
+                strategy=strategy, query_sync=query_sync, pvfs=pvfs
+            )
+            if nprocs is not None:
+                config = config.with_(nprocs=nprocs)
+            specs.append(
+                PointSpec(key=(strategy, query_sync, float(mib)), config=config)
+            )
     return _execute_sweep("server_cache_mib", specs, jobs, progress, reporter)
 
 
@@ -260,16 +277,15 @@ def arrival_sweep(
         if rate <= 0:
             raise ValueError(f"arrival rate must be positive, got {rate}")
         arrival = replace(base.arrival, rate=float(rate))
-        for query_sync in sync_options:
-            for strategy in strategies:
-                config = base.with_(
-                    strategy=strategy, query_sync=query_sync, arrival=arrival
-                )
-                if nprocs is not None:
-                    config = config.with_(nprocs=nprocs)
-                specs.append(
-                    PointSpec(key=(strategy, query_sync, float(rate)), config=config)
-                )
+        for query_sync, strategy in strategy_grid(strategies, sync_options):
+            config = base.with_(
+                strategy=strategy, query_sync=query_sync, arrival=arrival
+            )
+            if nprocs is not None:
+                config = config.with_(nprocs=nprocs)
+            specs.append(
+                PointSpec(key=(strategy, query_sync, float(rate)), config=config)
+            )
     return _execute_sweep("arrival_rate", specs, jobs, progress, reporter)
 
 
@@ -308,19 +324,18 @@ def masters_sweep(
         shard = (
             replace(shard_base, nshards=int(masters)) if masters > 1 else None
         )
-        for query_sync in sync_options:
-            for strategy in strategies:
-                config = base.with_(
-                    strategy=strategy, query_sync=query_sync, shard=shard
+        for query_sync, strategy in strategy_grid(strategies, sync_options):
+            config = base.with_(
+                strategy=strategy, query_sync=query_sync, shard=shard
+            )
+            if nprocs is not None:
+                config = config.with_(nprocs=nprocs)
+            specs.append(
+                PointSpec(
+                    key=(strategy, query_sync, float(masters)),
+                    config=config,
                 )
-                if nprocs is not None:
-                    config = config.with_(nprocs=nprocs)
-                specs.append(
-                    PointSpec(
-                        key=(strategy, query_sync, float(masters)),
-                        config=config,
-                    )
-                )
+            )
     return _execute_sweep("masters", specs, jobs, progress, reporter)
 
 
@@ -346,16 +361,15 @@ def replica_sweep(
         if replicas < 1:
             raise ValueError(f"replica count must be >= 1, got {replicas}")
         pvfs = replace(base.pvfs, replicas=int(replicas))
-        for query_sync in sync_options:
-            for strategy in strategies:
-                config = base.with_(
-                    strategy=strategy, query_sync=query_sync, pvfs=pvfs
+        for query_sync, strategy in strategy_grid(strategies, sync_options):
+            config = base.with_(
+                strategy=strategy, query_sync=query_sync, pvfs=pvfs
+            )
+            if nprocs is not None:
+                config = config.with_(nprocs=nprocs)
+            specs.append(
+                PointSpec(
+                    key=(strategy, query_sync, float(replicas)), config=config
                 )
-                if nprocs is not None:
-                    config = config.with_(nprocs=nprocs)
-                specs.append(
-                    PointSpec(
-                        key=(strategy, query_sync, float(replicas)), config=config
-                    )
-                )
+            )
     return _execute_sweep("replicas", specs, jobs, progress, reporter)

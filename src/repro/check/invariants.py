@@ -150,6 +150,15 @@ class NullChecker:
     def arrival_completed(self, shard: int = 0) -> None:
         pass
 
+    def strategy_chosen(self, query_id: int, name: str, shard: int = 0) -> None:
+        pass
+
+    def strategy_executed(self, query_id: int, name: str, shard: int = 0) -> None:
+        pass
+
+    def strategy_traced(self, query_id: int, name: str, shard: int = 0) -> None:
+        pass
+
     def finalize(
         self,
         now: float,
@@ -260,6 +269,14 @@ class InvariantChecker:
         # ends as completed, shed, donated, or still-open at run end.
         self.arrivals: Dict[str, int] = dict(_EMPTY_ARRIVALS)
         self.shard_arrivals: Dict[int, Dict[str, int]] = {}
+        # Per-query strategy ledgers (hybrid-auto runs only): the name the
+        # selector chose, the name the write path actually executed, and
+        # the name stamped into the trace, keyed by (shard, query).  All
+        # three must agree — checked incrementally (a second record with a
+        # different name fails on the spot) and again at finalize.
+        self.strategy_chosen_by: Dict[Tuple[int, int], str] = {}
+        self.strategy_executed_by: Dict[Tuple[int, int], str] = {}
+        self.strategy_traced_by: Dict[Tuple[int, int], str] = {}
 
     def __repr__(self) -> str:
         return f"<InvariantChecker checks={self.checks}>"
@@ -675,6 +692,109 @@ class InvariantChecker:
                 **self.arrivals,
             )
 
+    # -- adaptive-strategy ledger (hybrid-auto) ------------------------------
+    def _strategy_record(
+        self,
+        ledger: Dict[Tuple[int, int], str],
+        which: str,
+        query_id: int,
+        name: str,
+        shard: int,
+    ) -> None:
+        self.checks += 1
+        key = (shard, query_id)
+        prior = ledger.get(key)
+        if prior is None:
+            ledger[key] = name
+        elif prior != name:
+            self._fail(
+                "adapt",
+                "strategy-ledger",
+                f"query {query_id} {which} as {name!r} after {prior!r}",
+                query=query_id,
+                shard=shard,
+                prior=prior,
+                name=name,
+            )
+
+    def strategy_chosen(self, query_id: int, name: str, shard: int = 0) -> None:
+        """The selector picked ``name`` for the query (once, at the master)."""
+        self._strategy_record(
+            self.strategy_chosen_by, "chosen", query_id, name, shard
+        )
+
+    def strategy_executed(self, query_id: int, name: str, shard: int = 0) -> None:
+        """The write path ran the query under ``name`` (master inline for
+        MW; once per offset entry at the owning workers for WW)."""
+        self._strategy_record(
+            self.strategy_executed_by, "executed", query_id, name, shard
+        )
+        key = (shard, query_id)
+        chosen = self.strategy_chosen_by.get(key)
+        if chosen is None or chosen != name:
+            self._fail(
+                "adapt",
+                "strategy-ledger",
+                f"query {query_id} executed as {name!r} but chosen as "
+                f"{chosen!r}",
+                query=query_id,
+                shard=shard,
+                chosen=chosen,
+                executed=name,
+            )
+
+    def strategy_traced(self, query_id: int, name: str, shard: int = 0) -> None:
+        """The choice was stamped into the trace."""
+        self._strategy_record(
+            self.strategy_traced_by, "traced", query_id, name, shard
+        )
+
+    def _finalize_strategies(self, fault_free: bool) -> None:
+        for key, chosen in sorted(self.strategy_chosen_by.items()):
+            shard, q = key
+            traced = self.strategy_traced_by.get(key)
+            if traced != chosen:
+                self._fail(
+                    "adapt",
+                    "strategy-ledger",
+                    f"query {q} chosen as {chosen!r} but traced as {traced!r}",
+                    query=q,
+                    shard=shard,
+                    chosen=chosen,
+                    traced=traced,
+                )
+            executed = self.strategy_executed_by.get(key)
+            if executed is not None and executed != chosen:
+                self._fail(
+                    "adapt",
+                    "strategy-ledger",
+                    f"query {q} chosen as {chosen!r} but executed as "
+                    f"{executed!r}",
+                    query=q,
+                    shard=shard,
+                    chosen=chosen,
+                    executed=executed,
+                )
+            if fault_free and executed is None:
+                self._fail(
+                    "adapt",
+                    "strategy-ledger",
+                    f"query {q} chosen as {chosen!r} but never executed",
+                    query=q,
+                    shard=shard,
+                    chosen=chosen,
+                )
+        for key in sorted(self.strategy_executed_by):
+            if key not in self.strategy_chosen_by:
+                shard, q = key
+                self._fail(
+                    "adapt",
+                    "strategy-ledger",
+                    f"query {q} executed without a recorded choice",
+                    query=q,
+                    shard=shard,
+                )
+
     # -- end-of-run conservation --------------------------------------------
     def finalize(
         self,
@@ -700,6 +820,7 @@ class InvariantChecker:
         self._finalize_mpi(fault_free)
         self._finalize_servers()
         self._finalize_arrivals(open_queries)
+        self._finalize_strategies(fault_free)
         if recorder is not None:
             self._finalize_trace(recorder, now)
 
@@ -906,6 +1027,10 @@ class InvariantChecker:
             "arrivals": dict(self.arrivals),
             "shard_arrivals": {
                 s: dict(led) for s, led in sorted(self.shard_arrivals.items())
+            },
+            "strategies": {
+                f"{shard}:{q}": name
+                for (shard, q), name in sorted(self.strategy_chosen_by.items())
             },
             "replica_writes": self.replica_writes,
             "replica_acked_bytes": self.replica_acked_bytes,

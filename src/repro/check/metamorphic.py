@@ -19,6 +19,11 @@ even though no single output is known in advance:
 * ``arrivals`` — an open-loop arrival process at rate → ∞ with a pending
   bound of ``nqueries`` converges to the closed-batch output file (every
   query offered at t≈0, none rejected).
+* ``read-strategies`` — every independent read method (POSIX, list I/O,
+  data sieving), the contiguous read, and the collective two-phase read
+  return exactly the bytes the write path stored.
+* ``hybrid-auto`` — the adaptive per-query strategy writes the same
+  bytes as every static strategy (it only re-routes *who* writes them).
 
 Every relation runs with the cross-layer invariant checker enabled
 (:mod:`repro.check.invariants`), so a case that breaks a conservation law
@@ -287,6 +292,99 @@ def relation_empty_faults(case: CheckCase) -> Optional[str]:
     return None
 
 
+def relation_read_strategies(case: CheckCase) -> Optional[str]:
+    """Every read path must return exactly the bytes the write path stored.
+
+    One checked run writes the file; afterwards the same simulation
+    environment drives each read method over a deliberately misaligned
+    chunking of the full extent — POSIX, list I/O, data sieving, the
+    contiguous ``read_at``, and the collective two-phase read (two ranks
+    splitting the regions) — and each must reproduce the stored bytes.
+    """
+    from ..mpiio.hints import IND_LIST, IND_POSIX, IND_SIEVE
+
+    app = S3aSim(build_config(case))
+    app.run()
+    bytestore = app.fh.file.bytestore
+    extents = bytestore.extents()
+    if not extents:
+        return None  # nothing written (shrunk to an empty workload)
+    if len(extents) != 1:
+        return f"write path left a non-dense file: {extents!r}"
+    start, end = extents[0]
+    expected = bytestore.read(start, end - start)
+    env = app.world.env
+
+    # Misaligned chunks: prime-sized regions straddle stripe boundaries.
+    chunk = 7919
+    regions = [
+        (off, min(chunk, end - off)) for off in range(start, end, chunk)
+    ]
+
+    def run_read(generator):
+        return env.run(env.process(generator))
+
+    def read_list(method):
+        datas = yield from app.fh.read_at_list(0, regions, method=method)
+        return b"".join(datas)
+
+    for method in (IND_POSIX, IND_LIST, IND_SIEVE):
+        got = run_read(read_list(method))
+        if got != expected:
+            return (
+                f"{method} read returned {len(got)} bytes that differ "
+                f"from the {len(expected)} stored"
+            )
+
+    def read_contig():
+        data = yield from app.fh.read_at(0, start, end - start)
+        return data
+
+    got = run_read(read_contig())
+    if got != expected:
+        return "contiguous read_at differs from the stored bytes"
+
+    # Collective read: two ranks split the regions.  A collective must be
+    # entered by every rank of its communicator, so build a fresh 2-rank
+    # sub-communicator rather than reusing the idle worker comm.
+    comm2 = app.world.comm.sub([1, 2])
+    mid = len(regions) // 2
+    parts: Dict[int, bytes] = {}
+
+    def read_coll(rank, mine):
+        datas = yield from app.fh.read_at_all(comm2.view(rank), mine)
+        parts[rank] = b"".join(datas)
+
+    p0 = env.process(read_coll(0, regions[:mid]))
+    p1 = env.process(read_coll(1, regions[mid:]))
+    env.run(env.all_of([p0, p1]))
+    if parts[0] + parts[1] != expected:
+        return "collective two-phase read differs from the stored bytes"
+    return None
+
+
+def relation_hybrid_auto(case: CheckCase) -> Optional[str]:
+    """hybrid-auto must write the same bytes as every static strategy.
+
+    The adaptive selector only re-routes *who* writes each query's
+    results; the stored content and the extent map are workload
+    properties and may not depend on the per-query choices.
+    """
+    _, extents_h, digest_h = _run_signature(
+        build_config(case, strategy="hybrid-auto", query_sync=False)
+    )
+    for strategy in STRATEGY_NAMES:
+        _, extents_s, digest_s = _run_signature(
+            build_config(case, strategy=strategy)
+        )
+        if (extents_h, digest_h) != (extents_s, digest_s):
+            return (
+                f"hybrid-auto output diverged from {strategy}: "
+                f"{digest_h[:12]} != {digest_s[:12]}"
+            )
+    return None
+
+
 RELATIONS: Dict[str, Relation] = {
     "strategies": relation_strategies,
     "query-sync": relation_query_sync,
@@ -295,6 +393,8 @@ RELATIONS: Dict[str, Relation] = {
     "jobs": relation_jobs,
     "empty-faults": relation_empty_faults,
     "arrivals": relation_arrivals,
+    "read-strategies": relation_read_strategies,
+    "hybrid-auto": relation_hybrid_auto,
 }
 
 

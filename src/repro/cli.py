@@ -27,6 +27,7 @@ from dataclasses import replace
 from typing import List, Optional
 
 from .analysis import (
+    ALL_STRATEGIES,
     FIG2_RATIOS_PCT,
     arrival_sweep,
     compute_speed_sweep,
@@ -37,13 +38,14 @@ from .analysis import (
     ratio_table,
     replica_sweep,
     server_cache_sweep,
+    strategy_grid,
 )
 from .cluster.presets import get_preset
 from .core import HybridS3aSim, S3aSim, SimulationConfig
 from .core.scenarios import SCENARIOS, get_scenario
 from .faults import FaultPlan, load_fault_plan
 from .core.phases import Phase
-from .core.strategies import STRATEGIES
+from .core.strategies import HYBRID_AUTO, STRATEGIES
 from .exec import PointSpec, ProgressReporter, aggregate_point_metrics, run_points
 from .obs import MetricsSnapshot, export_metrics_csv, export_metrics_json
 from .serve import (
@@ -60,7 +62,9 @@ from .workload import ComputeModel, load_workload_kwargs, save_workload
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--nprocs", type=int, default=16)
     parser.add_argument(
-        "--strategy", choices=sorted(STRATEGIES), default="ww-list"
+        "--strategy",
+        choices=sorted(STRATEGIES) + [HYBRID_AUTO],
+        default="ww-list",
     )
     parser.add_argument("--query-sync", action="store_true")
     parser.add_argument("--nqueries", type=int, default=20)
@@ -678,19 +682,30 @@ def _sweep_reporter(args: argparse.Namespace, total: int) -> Optional[ProgressRe
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     cfg = _config_from(args)
+    strategies = [s.strip() for s in args.strategies.split(",") if s.strip()]
+    valid = sorted(STRATEGIES) + [HYBRID_AUTO]
+    unknown = [s for s in strategies if s not in valid]
+    if unknown:
+        print(
+            f"unknown strategies {', '.join(unknown)}; "
+            f"choose from {', '.join(valid)}",
+            file=sys.stderr,
+        )
+        return 2
     progress = (
         (lambda p: print(p.result.summary_line(), file=sys.stderr))
         if args.verbose
         else None
     )
-    # 4 strategies × 2 sync modes per axis value.
-    npoints_per_x = 8
+    # Strategy × sync grid per axis value (hybrid-auto has no sync series).
+    npoints_per_x = len(strategy_grid(strategies, (False, True)))
     if args.axis == "processes":
         counts = [int(x) for x in args.counts.split(",")]
         reporter = _sweep_reporter(args, len(counts) * npoints_per_x)
         sweep = process_scaling_sweep(
             cfg,
             process_counts=counts,
+            strategies=strategies,
             progress=progress,
             jobs=args.jobs,
             reporter=reporter,
@@ -702,6 +717,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep = compute_speed_sweep(
             cfg,
             speeds=speeds,
+            strategies=strategies,
             nprocs=args.nprocs,
             progress=progress,
             jobs=args.jobs,
@@ -714,6 +730,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep = server_cache_sweep(
             cfg,
             cache_mibs=mibs,
+            strategies=strategies,
             nprocs=args.nprocs,
             progress=progress,
             jobs=args.jobs,
@@ -737,11 +754,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 )
             )
         # Serve mode sweeps one sync option (sync gating is a batch-mode
-        # knob), so 4 strategies per rate.
-        reporter = _sweep_reporter(args, len(rates) * 4)
+        # knob), so one point per strategy per rate.
+        reporter = _sweep_reporter(args, len(rates) * len(strategies))
         sweep = arrival_sweep(
             base,
             rates=rates,
+            strategies=strategies,
             nprocs=args.nprocs,
             progress=progress,
             jobs=args.jobs,
@@ -764,10 +782,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     priority_fraction=args.priority_fraction,
                 )
             )
-        reporter = _sweep_reporter(args, len(counts) * 4)
+        reporter = _sweep_reporter(args, len(counts) * len(strategies))
         sweep = masters_sweep(
             base,
             master_counts=counts,
+            strategies=strategies,
             nprocs=args.nprocs,
             progress=progress,
             jobs=args.jobs,
@@ -780,6 +799,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         sweep = replica_sweep(
             cfg,
             replica_counts=counts,
+            strategies=strategies,
             nprocs=args.nprocs,
             progress=progress,
             jobs=args.jobs,
@@ -949,6 +969,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["processes", "speed", "cache", "replicas", "arrival", "masters"],
     )
     _add_common(p_sweep)
+    p_sweep.add_argument(
+        "--strategies",
+        default=",".join(ALL_STRATEGIES),
+        help="comma-separated strategy series to sweep; hybrid-auto joins "
+        "the no-sync series only",
+    )
     p_sweep.add_argument("--counts", default="2,4,8,16,32,48,64,96")
     p_sweep.add_argument("--speeds", default="0.1,0.2,0.4,0.8,1.6,3.2,6.4,12.8,25.6")
     p_sweep.add_argument(
@@ -1032,7 +1058,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--relations",
         help="comma-separated relation subset (default: all); choose from "
         "strategies,query-sync,server-stack,replicas,jobs,empty-faults,"
-        "arrivals",
+        "arrivals,read-strategies,hybrid-auto",
     )
     p_check.add_argument(
         "--artifact-dir",

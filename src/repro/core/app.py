@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..adapt.selector import StrategySelector
 from ..check.invariants import InvariantChecker
 from ..faults.injector import FaultInjector
 from ..mpi.world import MpiWorld
@@ -65,6 +66,16 @@ class S3aSim:
         self.fh = MPIIOFile(
             self.fs, file, strategy.hints(sync_after_write=config.sync_after_write)
         )
+        # Shared database file for fragment preloads: densely-packed
+        # fragments, read-only during the run (store_data off — only the
+        # I/O timing matters, the sequence bytes carry no information).
+        self.db_fh: Optional[MPIIOFile] = None
+        if config.preload_fragments:
+            db_file = PVFSFile("/s3asim/db", self.fs.layout, False)
+            self.fs.files["/s3asim/db"] = db_file
+            self.db_fh = MPIIOFile(
+                self.fs, db_file, strategy.hints(sync_after_write=False)
+            )
         # Worker-only communicator (rank i of wcomm == world rank i+1): the
         # collective writes and query-sync barriers happen here.
         self.wcomm = self.world.comm.sub(list(range(1, config.nprocs)))
@@ -85,10 +96,16 @@ class S3aSim:
                 self.workload.results.query_total_bytes(q)
                 for q in range(cfg.resume_from_query)
             ]
+        selector = None
+        if cfg.adaptive:
+            selector = StrategySelector(
+                self.workload.results, self.fs, nworkers=cfg.nworkers
+            )
         master = Master(
             self.world.comm.view(0), cfg, self.fh,
             recorder=self.recorder,
             resume_block_sizes=resume_block_sizes,
+            selector=selector,
         )
         self.world.spawn(0, lambda _view, m=master: m.run())
         workers = []
@@ -111,6 +128,7 @@ class S3aSim:
                 self.workload,
                 self.fh,
                 recorder=self.recorder,
+                db_fh=self.db_fh,
             )
             workers.append(worker)
             process = self.world.spawn(rank, lambda _view, w=worker: w.run())

@@ -27,7 +27,7 @@ from ..workload.histogram import BoxHistogram
 from ..workload.nt import NT_HISTOGRAM, NT_QUERY_HISTOGRAM
 from ..workload.queries import LAZY_THRESHOLD, LazyQuerySet, QuerySet
 from ..workload.results import ResultGenerator, ResultModel
-from .strategies import IOStrategy, get_strategy
+from .strategies import ADAPTIVE_FALLBACK, IOStrategy, get_strategy, is_adaptive
 
 GIB = 1024**3
 
@@ -115,6 +115,18 @@ class SimulationConfig:
     #: runner, bit-identical to the seed.
     shard: Optional[ShardConfig] = None
 
+    #: Read the database fragment from the shared volume before the first
+    #: search against it on each worker (the real tools fault the fragment
+    #: in from storage; the seed charged no read traffic for it).  Off by
+    #: default — the seed's timing is bit-identical.
+    preload_fragments: bool = False
+
+    #: On a resumed run, read back the previously-written prefix
+    #: ``[0, resume_base)`` at startup before dispatching new work — the
+    #: checkpoint-restart verification pass real resumable tools perform.
+    #: Requires ``resume_from_query > 0``.
+    verify_resume: bool = False
+
     #: The run's failure schedule.  The default (empty) plan injects
     #: nothing and keeps the simulation bit-identical to a fault-free
     #: build — the tolerance machinery only activates when needed.
@@ -139,7 +151,19 @@ class SimulationConfig:
                 "resume_from_query must sit on a write-group boundary "
                 f"(multiple of write_every={self.write_every})"
             )
-        get_strategy(self.strategy)  # validates the name
+        if is_adaptive(self.strategy):
+            if self.query_sync:
+                raise ValueError(
+                    "hybrid-auto does not compose with query_sync: the "
+                    "sync barrier protocol differs between the MW and WW "
+                    "strategies a run may mix per query"
+                )
+        else:
+            get_strategy(self.strategy)  # validates the name
+        if self.verify_resume and self.resume_from_query == 0:
+            raise ValueError(
+                "verify_resume needs a resumed run (resume_from_query > 0)"
+            )
         if self.arrival is not None:
             if self.write_every != 1:
                 raise ValueError(
@@ -234,7 +258,20 @@ class SimulationConfig:
         hi = min(lo + self.write_every, self.nqueries)
         return range(lo, hi)
 
+    @property
+    def adaptive(self) -> bool:
+        """Whether per-query strategy selection (``repro.adapt``) is on."""
+        return is_adaptive(self.strategy)
+
     def io_strategy(self) -> IOStrategy:
+        """The static strategy descriptor driving the protocol shape.
+
+        Under hybrid-auto this is the worker-writing list-I/O fallback:
+        the selector overrides it per query, but the message-loop plumbing
+        (posted receives, termination conditions) follows the descriptor.
+        """
+        if self.adaptive:
+            return ADAPTIVE_FALLBACK
         return get_strategy(self.strategy)
 
     def fault_tolerance_active(self) -> bool:

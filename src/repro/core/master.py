@@ -37,6 +37,7 @@ pre-fault implementation.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import replace
 from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
@@ -95,11 +96,23 @@ class Master:
         fh: MPIIOFile,
         recorder=None,
         resume_block_sizes: Optional[List[int]] = None,
+        selector=None,
     ) -> None:
         self.comm = comm
         self.cfg = cfg
         self.fh = fh
         self.strategy = cfg.io_strategy()
+        # -- hybrid-auto (repro.adapt) --------------------------------------
+        #: Per-query adaptive mode: ``self.strategy`` is the static
+        #: fallback descriptor; ``chosen`` holds each query's actual
+        #: strategy, decided by the selector at first assignment.
+        self.adaptive = cfg.adaptive
+        self.selector = selector
+        if self.adaptive and selector is None:
+            raise ValueError(
+                "hybrid-auto needs a StrategySelector (see repro.adapt)"
+            )
+        self.chosen: Dict[int, str] = {}
         # Timer/trace rows are keyed by the *global* rank: in a sharded run
         # every shard's master is local rank 0 of its sub-communicator, and
         # per-rank rows must not collide.  Single-master runs use the world
@@ -146,6 +159,9 @@ class Master:
                 )
             for q, size in enumerate(resume_block_sizes):
                 self.ledger.base_for(q, size)
+        #: Bytes the failed run already put on disk (the readback span of
+        #: the checkpoint-restart verification pass).
+        self.resume_base = sum(resume_block_sizes) if resume_block_sizes else 0
         self.groups_dispatched = cfg.resume_group
         self.pending_requests: deque = deque()
         #: Mirror of ``pending_requests`` membership: the deque preserves
@@ -303,6 +319,9 @@ class Master:
             mpi.bcast(comm, 0, 256, {"nqueries": cfg.nqueries, "nfragments": cfg.nfragments}),
         )
 
+        if cfg.verify_resume and self.resume_base:
+            yield from self._verify_resume_prefix()
+
         request_recv = comm.irecv(tag=TAG_REQUEST)
         score_recv = comm.irecv(tag=TAG_SCORES)
         ack_recv = None
@@ -423,9 +442,72 @@ class Master:
             self._park(worker)
             self._steal_nudge()
 
+    def _verify_resume_prefix(self):
+        """Checkpoint-restart: read the failed run's prefix back before any
+        new work goes out (the read-dominated startup phase of a resumed
+        run; real resumable tools re-scan the partial output's tail)."""
+        chunk = self.fh.hints.cb_buffer_size
+        regions = [
+            (off, min(chunk, self.resume_base - off))
+            for off in range(0, self.resume_base, chunk)
+        ]
+        yield from self.timer.measure(
+            Phase.IO,
+            self.fh.read_at_list(self.comm.global_rank, regions),
+        )
+
+    # -- hybrid-auto: per-query strategy choice -----------------------------
+    def _query_strategy_name(self, q: int) -> str:
+        """The query's chosen strategy, deciding it now if unseen.
+
+        The choice is stamped three ways — selector ledger, invariant
+        checker, trace — so the checker can assert chosen == executed ==
+        traced at finalize.
+        """
+        name = self.chosen.get(q)
+        if name is not None:
+            return name
+        content = (
+            self.serve.content.get(q, q) if self.serve is not None else q
+        )
+        name = self.selector.choose(
+            q,
+            content=content,
+            outstanding_faults=len(self.dead) + len(self.reissue),
+        )
+        self.chosen[q] = name
+        env = self.comm.env
+        if env.check.enabled:
+            env.check.strategy_chosen(q, name, shard=self.shard_id)
+        self._stamp_choice(q, name)
+        return name
+
+    def _stamp_choice(self, q: int, name: str) -> None:
+        """Stamp the choice into the trace (a zero-length interval on the
+        master's row at decision time) and the checker's traced ledger."""
+        if self.recorder is not None:
+            now = self.comm.env.now
+            self.recorder.record(
+                self.comm.global_rank, f"adapt_q{q}_{name}", now, now
+            )
+        c = self.comm.env.check
+        if c.enabled:
+            c.strategy_traced(q, name, shard=self.shard_id)
+
+    def _query_parallel_io(self, q: int) -> bool:
+        """Whether the query's results are written by workers (per-query
+        under hybrid-auto, the static strategy flag otherwise)."""
+        if not self.adaptive:
+            return self.strategy.parallel_io
+        return self.chosen.get(q, self.strategy.name) != "mw"
+
     def _respond(self, worker: int):
         task = self.tasks[self.next_task]
         self.next_task += 1
+        if self.adaptive:
+            task = replace(
+                task, strategy=self._query_strategy_name(task.query_id)
+            )
         self.task_owner[(task.query_id, task.fragment_id)] = worker
         if self.serve is not None:
             # A started query has work in flight and can no longer be shed.
@@ -500,7 +582,7 @@ class Master:
             self._count("duplicate_scores_dropped")
             if (
                 self.ft_active
-                and self.strategy.parallel_io
+                and self._query_parallel_io(message.query_id)
                 and self.task_owner.get(key) != message.worker
             ):
                 discard = OffsetMessage(
@@ -562,12 +644,82 @@ class Master:
 
     # -- group dispatch ----------------------------------------------------------------
     def _dispatch_group(self, group: int):
-        if self.strategy.master_writes:
+        if self.adaptive:
+            yield from self._dispatch_group_adaptive(group)
+        elif self.strategy.master_writes:
             yield from self._write_group(group)
             if self.cfg.query_sync:
                 yield from self._notify_group_written(group)
         else:
             yield from self._send_offsets(group)
+
+    def _dispatch_group_adaptive(self, group: int):
+        """Hybrid-auto dispatch: each completed query of the group goes out
+        under its chosen strategy — MW queries written inline by the master
+        from the shipped payloads, WW queries as offset lists to their
+        owners — mixed freely within one write group."""
+        per_worker: Dict[int, List[OffsetEntry]] = {}
+        c = self.comm.env.check
+        for q in self.cfg.queries_in_group(group):
+            if self._query_donated(q):
+                self._ledger_placeholder(q)
+                continue
+            name = self.chosen.get(q, self.strategy.name)
+            batches = list(self.received[q].values())
+            total = sum(b.total_bytes for b in batches)
+            base = self.ledger.base_for(q, total)
+            offsets_by_frag, block_size = merge_query(batches, base)
+            if c.enabled:
+                c.offsets_assigned(
+                    q, base, block_size, offsets_by_frag,
+                    {b.fragment_id: b.sizes for b in batches},
+                    shard=self.shard_id,
+                )
+            if name == "mw":
+                data: Optional[bytes] = None
+                if self.cfg.store_data:
+                    block = bytearray(block_size)
+                    for frag, offsets in offsets_by_frag.items():
+                        meta = self.received[q][frag]
+                        payloads = self.payloads.get((q, frag))
+                        if payloads is None:
+                            continue
+                        for off, size, chunk in zip(offsets, meta.sizes, payloads):
+                            pos = int(off) - base
+                            block[pos : pos + int(size)] = chunk
+                    data = bytes(block)
+                if c.enabled:
+                    c.strategy_executed(q, "mw", shard=self.shard_id)
+                yield from self.timer.measure(
+                    Phase.IO,
+                    self.fh.write_at(
+                        self.comm.global_rank, base, block_size, data
+                    ),
+                )
+                if self.serve is not None:
+                    # MW: the master's own write return is result-durable.
+                    self._query_durable(q)
+                continue
+            for frag, offsets in offsets_by_frag.items():
+                worker = self.task_owner[(q, frag)]
+                per_worker.setdefault(worker, []).append(
+                    OffsetEntry(query_id=q, fragment_id=frag, offsets=offsets)
+                )
+            if self.serve is not None:
+                # WW: result-durable once every batch's write is acked.
+                s = self.serve.outstanding
+                s[q] = s.get(q, 0) + len(offsets_by_frag)
+        for worker in sorted(per_worker):
+            entries = tuple(per_worker[worker])
+            if self.ft_active:
+                for entry in entries:
+                    self.issued[(entry.query_id, entry.fragment_id)] = _Issued(
+                        worker, entry.offsets, group
+                    )
+            message = OffsetMessage(group=group, entries=entries)
+            self.pending_sends.append(
+                self.comm.isend(worker, TAG_OFFSETS, message.wire_bytes(), message)
+            )
 
     def _merge_group(self, group: int):
         """Offsets for every query of the group; returns per-worker entries."""
@@ -1065,7 +1217,7 @@ class Master:
                 requeued += self._requeue(key)
                 continue
             if (
-                self.strategy.parallel_io
+                self._query_parallel_io(q)
                 and self.cfg.group_of(q) >= self.groups_dispatched
             ):
                 # Scores delivered but the payload (the worker's stored

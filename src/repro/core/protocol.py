@@ -36,10 +36,15 @@ _HEADER_BYTES = 32
 
 @dataclass(frozen=True)
 class TaskAssignment:
-    """One unit of work: search ``query_id`` against ``fragment_id``."""
+    """One unit of work: search ``query_id`` against ``fragment_id``.
+
+    ``strategy`` is stamped by the master under hybrid-auto (the worker
+    must know whether to ship the payload — MW — or store the batch for a
+    later offset list — WW) and stays ``None`` under static strategies."""
 
     query_id: int
     fragment_id: int
+    strategy: Optional[str] = None
 
 
 @dataclass(frozen=True)

@@ -18,6 +18,7 @@ Each scenario is a function from a base configuration to a concrete
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Dict, Optional
 
 from .config import SimulationConfig
@@ -53,12 +54,50 @@ def proposed_ww_posix(base: Optional[SimulationConfig] = None) -> SimulationConf
     return base.with_(strategy="ww-posix", write_every=1)
 
 
+def preload(base: Optional[SimulationConfig] = None) -> SimulationConfig:
+    """Read-dominated startup: every worker faults its fragments in from
+    the shared database file before the first search, with server
+    read-ahead turned on (sequential fragment scans are the best case for
+    prefetch) and the adaptive per-query strategy handling the writes."""
+    base = base if base is not None else SimulationConfig()
+    return base.with_(
+        strategy="hybrid-auto",
+        query_sync=False,
+        write_every=1,
+        preload_fragments=True,
+        pvfs=replace(base.pvfs, readahead_B=1024 * 1024),
+    )
+
+
+def checkpoint_restart(base: Optional[SimulationConfig] = None) -> SimulationConfig:
+    """Restart after a mid-run server loss: the first half of the queries
+    is assumed durable from the previous incarnation, the master re-reads
+    and verifies that prefix before dispatching the rest, and a
+    :class:`~repro.faults.plan.ServerKill` fires mid-run against a
+    2-replica volume so the re-read survives the outage."""
+    from ..faults.plan import FaultPlan, ServerKill
+
+    base = base if base is not None else SimulationConfig()
+    if base.nqueries < 2:
+        raise ValueError("checkpoint-restart needs at least 2 queries")
+    return base.with_(
+        strategy="ww-list",
+        write_every=1,
+        resume_from_query=base.nqueries // 2,
+        verify_resume=True,
+        pvfs=replace(base.pvfs, replicas=2),
+        fault_plan=FaultPlan(server_kills=(ServerKill(0, at_time=5.0),)),
+    )
+
+
 SCENARIOS: Dict[str, Callable[[Optional[SimulationConfig]], SimulationConfig]] = {
     "mpiblast-1.2": mpiblast_12,
     "mpiblast-1.4": mpiblast_14,
     "pioblast": pioblast,
     "proposed": proposed_ww_list,
     "proposed-posix": proposed_ww_posix,
+    "preload": preload,
+    "checkpoint-restart": checkpoint_restart,
 }
 
 

@@ -80,12 +80,32 @@ STRATEGIES: Dict[str, IOStrategy] = {
     for s in (MASTER_WRITING, WORKER_POSIX, WORKER_LIST, WORKER_COLLECTIVE)
 }
 
+#: The adaptive pseudo-strategy (``repro.adapt``): not a static descriptor
+#: and deliberately *not* in :data:`STRATEGIES` — per-query selection picks
+#: among real strategies at run time, and code that enumerates the static
+#: strategy space (validation, metamorphic harness) must not see it.
+HYBRID_AUTO = "hybrid-auto"
+
+#: Statically-safe stand-in descriptor for hybrid-auto runs: worker-writing
+#: list I/O keeps the master's dispatch loop, offset receives, and
+#: termination conditions valid whatever mix the selector picks (MW queries
+#: are special-cased per query; WW-Coll is excluded from the candidate set
+#: because its assignment gating is a whole-run property).
+ADAPTIVE_FALLBACK = WORKER_LIST
+
+
+def is_adaptive(name: str) -> bool:
+    """Whether ``name`` selects the per-query adaptive mode."""
+    return name == HYBRID_AUTO
+
+
 #: Display labels matching the paper's figures.
 LABELS: Dict[str, str] = {
     "mw": "Master writing",
     "ww-posix": "Worker - POSIX I/O",
     "ww-list": "Worker - List I/O",
     "ww-coll": "Worker - Collective I/O",
+    HYBRID_AUTO: "Hybrid (per-query adaptive)",
 }
 
 

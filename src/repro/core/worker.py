@@ -22,11 +22,12 @@ disk — never half-written.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from .. import mpi
 from ..faults.injector import WorkerCrashFault
 from ..mpiio.file import MPIIOFile
+from ..mpiio.hints import IND_LIST, IND_POSIX
 from ..sim.errors import Interrupt
 from ..workload.results import ResultBatch, result_payload
 from .config import SimulationConfig, Workload
@@ -65,6 +66,7 @@ class Worker:
         workload: Workload,
         fh: MPIIOFile,
         recorder=None,
+        db_fh: Optional[MPIIOFile] = None,
     ) -> None:
         self.comm = comm  # world communicator view (rank >= 1)
         self.wcomm = wcomm  # worker-only communicator view
@@ -72,6 +74,20 @@ class Worker:
         self.workload = workload
         self.fh = fh
         self.strategy = cfg.io_strategy()
+        # -- hybrid-auto (repro.adapt) --------------------------------------
+        #: Under hybrid-auto each assignment arrives stamped with the
+        #: query's chosen strategy; the worker keeps a per-task map so the
+        #: eventual offset entries are written with the matching method.
+        self.adaptive = cfg.adaptive
+        self.task_strategy: Dict[Tuple[int, int], str] = {}
+        #: Shard index, for checker ledger keys (MasterGroup overrides).
+        self.shard_id = 0
+        # -- fragment preload -------------------------------------------------
+        #: Database file handle; when set, the worker reads a fragment's
+        #: extent before its first search against it (mpiBLAST-style copy
+        #: of the fragment to the node before searching).
+        self.db_fh = db_fh
+        self.loaded_fragments: Set[int] = set()
         # Keyed by the *global* rank so sharded runs (where each shard's
         # workers restart local numbering at 1) get distinct timer/trace
         # rows; on the world communicator global == local.
@@ -206,6 +222,10 @@ class Worker:
         if self.stored:
             self._count("batches_lost", len(self.stored))
             self.stored.clear()
+        self.task_strategy.clear()
+        # The fragment cache is volatile too: a rebooted worker must re-read
+        # any fragment before searching it again.
+        self.loaded_fragments.clear()
         # In-flight sends survive (the NIC already has the bytes) but we
         # stop tracking them; an unserved assignment is dropped on the
         # floor — the master's recovery requeues whatever it had assigned.
@@ -260,8 +280,23 @@ class Worker:
             return
         yield from self._do_task(assignment)
 
+    def _preload_fragment(self, fragment_id: int):
+        """Read the fragment's extent from the shared database file before
+        the first search against it (read-dominated startup I/O)."""
+        offset, nbytes = self.workload.database.fragment_extent(fragment_id)
+        yield from self.timer.measure(
+            Phase.IO,
+            self.db_fh.read_at(self.comm.global_rank, offset, nbytes),
+        )
+        self.loaded_fragments.add(fragment_id)
+        m = self.comm.env.metrics
+        if m.enabled:
+            m.inc("app.fragments_preloaded", 1.0, rank=self.comm.rank)
+
     def _do_task(self, task: TaskAssignment):
         cfg, timer = self.cfg, self.timer
+        if self.db_fh is not None and task.fragment_id not in self.loaded_fragments:
+            yield from self._preload_fragment(task.fragment_id)
         batch = self.workload.results.batch(task.query_id, task.fragment_id)
 
         # Compute: the simulated search (step 6).
@@ -270,9 +305,15 @@ class Worker:
         if m.enabled:
             m.inc("app.tasks_completed", 1.0, rank=self.comm.rank)
 
+        ship_payload = not self.strategy.parallel_io
+        if self.adaptive:
+            name = task.strategy if task.strategy is not None else "ww-list"
+            ship_payload = name == "mw"
+            if not ship_payload:
+                self.task_strategy[(task.query_id, task.fragment_id)] = name
         payload_bytes = 0
         payloads: Optional[List[bytes]] = None
-        if self.strategy.parallel_io:
+        if not ship_payload:
             # Merge with previous results for this query (step 8).
             cost = cfg.merge.merge_time(batch.count, batch.total_bytes)
             yield from timer.sleep(Phase.MERGE, cost)
@@ -347,8 +388,12 @@ class Worker:
         if message.repair:
             yield from self._write_repair(message)
             return
-        regions: List[Tuple[int, int]] = []
-        datas: Optional[List[Optional[bytes]]] = [] if cfg.store_data else None
+        # Buckets keyed by write method: a single ``None`` bucket (the
+        # hinted method) under static strategies; under hybrid-auto one
+        # bucket per method actually chosen, issued as separate writes.
+        buckets: Dict[
+            Optional[str], List[Tuple[int, int, Optional[bytes]]]
+        ] = {}
         written: List[Tuple[int, int]] = []
         for entry in message.entries:
             key = (entry.query_id, entry.fragment_id)
@@ -359,33 +404,46 @@ class Worker:
                 # The batch died in a crash after the master merged its
                 # scores; the recovery protocol repairs it out-of-band.
                 self._count("entries_skipped")
+                self.task_strategy.pop(key, None)
                 continue
             written.append(key)
+            method = self._entry_method(key)
             c = self.comm.env.check
             if c.enabled:
                 c.entry_alignment(
                     entry.query_id, entry.fragment_id,
                     len(entry.offsets), len(batch.sizes),
                 )
+            rows = buckets.setdefault(method, [])
             for i, (offset, size) in enumerate(zip(entry.offsets, batch.sizes)):
-                regions.append((int(offset), int(size)))
-                if datas is not None:
-                    datas.append(
-                        result_payload(
-                            batch.query_id, batch.fragment_id, i, int(size)
-                        )
+                data: Optional[bytes] = None
+                if cfg.store_data:
+                    data = result_payload(
+                        batch.query_id, batch.fragment_id, i, int(size)
                     )
+                rows.append((int(offset), int(size), data))
 
         if self.strategy.collective:
             # Everyone joins the collective write, data or not.
+            rows = buckets.get(None, [])
+            regions = [(o, s) for o, s, _ in rows]
+            datas = [d for _, _, d in rows] if cfg.store_data else None
             yield from timer.measure(
                 Phase.IO, self.fh.write_at_all(self.wcomm, regions, datas)
             )
-        elif regions:
-            yield from timer.measure(
-                Phase.IO,
-                self.fh.write_at_list(self.comm.global_rank, regions, datas),
-            )
+        else:
+            for method in (None, IND_POSIX, IND_LIST):
+                rows = buckets.get(method)
+                if not rows:
+                    continue
+                regions = [(o, s) for o, s, _ in rows]
+                datas = [d for _, _, d in rows] if cfg.store_data else None
+                yield from timer.measure(
+                    Phase.IO,
+                    self.fh.write_at_list(
+                        self.comm.global_rank, regions, datas, method=method
+                    ),
+                )
         self.groups_handled = max(self.groups_handled, message.group + 1)
         if (self.ft_active or self.serve_acks) and written:
             self._send_ack(written)
@@ -394,10 +452,25 @@ class Worker:
             yield from timer.measure(Phase.SYNC, mpi.barrier(self.wcomm))
             self.groups_synced = max(self.groups_synced, message.group + 1)
 
+    def _entry_method(self, key: Tuple[int, int]) -> Optional[str]:
+        """Write method for one offset entry's batch.
+
+        ``None`` (the file handle's hinted method) under static strategies;
+        under hybrid-auto the method matching the task's stamped strategy,
+        reported to the checker's executed ledger."""
+        if not self.adaptive:
+            return None
+        name = self.task_strategy.pop(key, "ww-list")
+        c = self.comm.env.check
+        if c.enabled:
+            c.strategy_executed(key[0], name, shard=self.shard_id)
+        return IND_POSIX if name == "ww-posix" else IND_LIST
+
     def _handle_discard(self, message: OffsetMessage) -> None:
         """Drop stranded batches another worker already delivered."""
         for entry in message.entries:
             key = (entry.query_id, entry.fragment_id)
+            self.task_strategy.pop(key, None)
             if self.stored.pop(key, None) is not None:
                 self._count("batches_discarded")
 
@@ -409,8 +482,9 @@ class Worker:
         and never advance the group counters.
         """
         cfg, timer = self.cfg, self.timer
-        regions: List[Tuple[int, int]] = []
-        datas: Optional[List[Optional[bytes]]] = [] if cfg.store_data else None
+        buckets: Dict[
+            Optional[str], List[Tuple[int, int, Optional[bytes]]]
+        ] = {}
         written: List[Tuple[int, int]] = []
         for entry in message.entries:
             key = (entry.query_id, entry.fragment_id)
@@ -419,26 +493,35 @@ class Worker:
                 # Crashed again between the recompute and this repair; the
                 # master will reissue to the next recompute.
                 self._count("entries_skipped")
+                self.task_strategy.pop(key, None)
                 continue
             written.append(key)
+            method = self._entry_method(key)
             c = self.comm.env.check
             if c.enabled:
                 c.entry_alignment(
                     entry.query_id, entry.fragment_id,
                     len(entry.offsets), len(batch.sizes),
                 )
+            rows = buckets.setdefault(method, [])
             for i, (offset, size) in enumerate(zip(entry.offsets, batch.sizes)):
-                regions.append((int(offset), int(size)))
-                if datas is not None:
-                    datas.append(
-                        result_payload(
-                            batch.query_id, batch.fragment_id, i, int(size)
-                        )
+                data: Optional[bytes] = None
+                if cfg.store_data:
+                    data = result_payload(
+                        batch.query_id, batch.fragment_id, i, int(size)
                     )
-        if regions:
+                rows.append((int(offset), int(size), data))
+        for method in (None, IND_POSIX, IND_LIST):
+            rows = buckets.get(method)
+            if not rows:
+                continue
+            regions = [(o, s) for o, s, _ in rows]
+            datas = [d for _, _, d in rows] if cfg.store_data else None
             yield from timer.measure(
                 Phase.IO,
-                self.fh.write_at_list(self.comm.global_rank, regions, datas),
+                self.fh.write_at_list(
+                    self.comm.global_rank, regions, datas, method=method
+                ),
             )
         if written:
             self._count("repairs_written", len(written))

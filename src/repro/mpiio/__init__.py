@@ -1,5 +1,6 @@
 """Simulated MPI-IO (ROMIO analogue): file views, independent noncontiguous
-writes (POSIX / list I/O / data sieving), and two-phase collective writes."""
+reads and writes (POSIX / list I/O / data sieving), and two-phase collective
+reads and writes."""
 
 from .datatypes import (
     Bytes,
@@ -13,8 +14,15 @@ from .datatypes import (
 )
 from .file import MPIIOFile
 from .hints import IND_LIST, IND_POSIX, IND_SIEVE, MPIIOHints
-from .noncontig import datasieve_write, listio_write, posix_write
-from .twophase import two_phase_write_all
+from .noncontig import (
+    datasieve_read,
+    datasieve_write,
+    list_read,
+    listio_write,
+    posix_read,
+    posix_write,
+)
+from .twophase import two_phase_read_all, two_phase_write_all
 
 __all__ = [
     "Bytes",
@@ -29,9 +37,13 @@ __all__ = [
     "MPIIOHints",
     "Struct",
     "Vector",
+    "datasieve_read",
     "datasieve_write",
+    "list_read",
     "listio_write",
+    "posix_read",
     "posix_write",
     "tile_view",
+    "two_phase_read_all",
     "two_phase_write_all",
 ]

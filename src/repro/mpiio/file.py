@@ -20,8 +20,15 @@ from .. import mpi
 from ..pvfs.filesystem import FileSystem, PVFSFile
 from .datatypes import Datatype, tile_view
 from .hints import IND_LIST, IND_POSIX, IND_SIEVE, MPIIOHints
-from .noncontig import datasieve_write, listio_write, posix_write
-from .twophase import two_phase_write_all
+from .noncontig import (
+    datasieve_read,
+    datasieve_write,
+    list_read,
+    listio_write,
+    posix_read,
+    posix_write,
+)
+from .twophase import two_phase_read_all, two_phase_write_all
 
 Region = Tuple[int, int]
 
@@ -75,10 +82,15 @@ class MPIIOFile:
         client: int,
         regions: Sequence[Region],
         datas: Optional[Sequence[Optional[bytes]]] = None,
+        method: Optional[str] = None,
     ):
-        """Process fragment: independent noncontiguous write + optional sync."""
+        """Process fragment: independent noncontiguous write + optional sync.
+
+        ``method`` overrides the hinted individual method for this one call
+        (per-query adaptive runs mix methods within a write group).
+        """
         if regions:
-            method = self.hints.ind_wr_method
+            method = method if method is not None else self.hints.ind_wr_method
             if method == IND_POSIX:
                 yield from posix_write(self.fs, client, self.file, regions, datas)
             elif method == IND_LIST:
@@ -129,6 +141,57 @@ class MPIIOFile:
         )
         if self.hints.sync_after_write:
             yield from self.sync_collective(comm)
+
+    # -- independent reads ---------------------------------------------------
+    def read_at(self, client: int, offset: int, nbytes: int):
+        """Process fragment: contiguous read; returns bytes when stored."""
+        data = yield from self.fs.read(client, self.file, offset, nbytes)
+        return data
+
+    def read_at_list(
+        self,
+        client: int,
+        regions: Sequence[Region],
+        method: Optional[str] = None,
+    ):
+        """Process fragment: independent noncontiguous read.
+
+        The method (POSIX / list I/O / data sieving) follows the write-side
+        hint unless overridden per call.  No sync: reads leave no dirty
+        state behind.  Returns the per-region bytes when the store keeps
+        data, else ``None``.
+        """
+        if not regions:
+            return []
+        method = method if method is not None else self.hints.ind_wr_method
+        if method == IND_POSIX:
+            result = yield from posix_read(self.fs, client, self.file, regions)
+        elif method == IND_LIST:
+            result = yield from list_read(self.fs, client, self.file, regions)
+        elif method == IND_SIEVE:
+            result = yield from datasieve_read(
+                self.fs, client, self.file, regions,
+                buffer_size=self.hints.cb_buffer_size,
+            )
+        else:  # pragma: no cover - guarded by MPIIOHints validation
+            raise ValueError(f"unknown ind_wr_method {method!r}")
+        return result
+
+    # -- collective read -----------------------------------------------------
+    def read_at_all(
+        self,
+        comm,
+        regions: Sequence[Region],
+    ):
+        """Process fragment: collective two-phase read.
+
+        Must be entered by every rank of ``comm`` (pass empty ``regions``
+        on ranks with no data to fetch).
+        """
+        result = yield from two_phase_read_all(
+            comm, self.fs, self.file, regions, self.hints
+        )
+        return result
 
     # -- flushing ----------------------------------------------------------------
     def sync(self, client: int):

@@ -1,4 +1,4 @@
-"""Independent (non-collective) noncontiguous write methods.
+"""Independent (non-collective) noncontiguous access methods.
 
 Three ways to push an (offset, length) list to the file system from a single
 process, mirroring the paper's Section 2.3:
@@ -14,11 +14,16 @@ process, mirroring the paper's Section 2.3:
   chunks (ROMIO's generic fallback; included for ablations — it needs
   atomicity and is a poor fit for interleaved writers, which is why the
   paper's strategies don't use it).
+
+Each write method has a read twin (``posix_read`` / ``list_read`` /
+``datasieve_read``) following Thakur et al.'s read-side algorithms: sieving
+reads the covering extent once and slices the requested regions out of it —
+no atomicity concern, so for reads it is the *recommended* ROMIO path.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..pvfs.filesystem import FileSystem, PVFSFile
 
@@ -136,6 +141,104 @@ def datasieve_write(
                 ]
             yield from fs.write_list(client, file, chunk_regions, chunk_datas)
         window_start = window_end
+
+
+def posix_read(
+    fs: FileSystem,
+    client: int,
+    file: PVFSFile,
+    regions: Sequence[Region],
+):
+    """Process fragment: one independent contiguous read per region.
+
+    Returns the per-region bytes (zero-filled over holes) when the store
+    keeps data, else ``None``.
+    """
+    m = fs.env.metrics
+    if m.enabled:
+        m.inc("mpiio.posix_reads", float(len(regions)), rank=client)
+    out: List[Optional[bytes]] = []
+    for offset, length in regions:
+        data = yield from fs.read(client, file, offset, length)
+        out.append(data)
+    if any(data is None for data in out):
+        return None
+    return out
+
+
+def list_read(
+    fs: FileSystem,
+    client: int,
+    file: PVFSFile,
+    regions: Sequence[Region],
+):
+    """Process fragment: a single list-I/O read batch for all regions."""
+    m = fs.env.metrics
+    if m.enabled:
+        m.inc("mpiio.list_reads", 1.0, rank=client)
+        m.inc("mpiio.list_read_regions", float(len(regions)), rank=client)
+    result = yield from fs.read_list(client, file, regions)
+    return result
+
+
+def datasieve_read(
+    fs: FileSystem,
+    client: int,
+    file: PVFSFile,
+    regions: Sequence[Region],
+    buffer_size: int = 4 * 1024 * 1024,
+):
+    """Process fragment: data-sieving read (read covering extent, slice).
+
+    One large contiguous read per ``buffer_size`` window covers every
+    requested region inside it; the per-region bytes are sliced out of the
+    staging buffer.  Holes between regions are read too (the sieving cost
+    the method trades for fewer requests) and counted in
+    ``mpiio.sieve_read_bytes``.  Duplicate and overlapping regions are
+    legal — each just slices its own view of the buffer.
+    """
+    if not regions:
+        return []
+    # Sort by (offset, length, input position); the input position keys the
+    # result list so duplicates land back in their own slots.
+    ordered = sorted(
+        ((offset, length, i) for i, (offset, length) in enumerate(regions)),
+        key=lambda piece: (piece[0], piece[1], piece[2]),
+    )
+    lo = ordered[0][0]
+    hi = max(offset + length for offset, length, _ in ordered)
+    parts: Dict[int, List[bytes]] = {i: [] for i in range(len(regions))}
+    have_data = True
+    window_start = lo
+    while window_start < hi:
+        window_end = min(window_start + buffer_size, hi)
+        pieces: List[Tuple[int, int, int]] = []
+        for offset, length, idx in ordered:
+            c_lo = max(offset, window_start)
+            c_hi = min(offset + length, window_end)
+            if c_lo >= c_hi:
+                continue
+            pieces.append((c_lo, c_hi, idx))
+        if pieces:
+            span_lo = pieces[0][0]
+            span_hi = max(c_hi for _, c_hi, _ in pieces)
+            m = fs.env.metrics
+            if m.enabled:
+                m.inc(
+                    "mpiio.sieve_read_bytes",
+                    float(span_hi - span_lo),
+                    rank=client,
+                )
+            buf = yield from fs.read(client, file, span_lo, span_hi - span_lo)
+            if buf is None:
+                have_data = False
+            else:
+                for c_lo, c_hi, idx in pieces:
+                    parts[idx].append(bytes(buf[c_lo - span_lo : c_hi - span_lo]))
+        window_start = window_end
+    if not have_data:
+        return None
+    return [b"".join(parts[i]) for i in range(len(regions))]
 
 
 def _merge_into_runs(

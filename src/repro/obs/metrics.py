@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from itertools import zip_longest
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Canonical label form: sorted ``(key, value)`` pairs.
@@ -347,7 +348,13 @@ class HistogramSummary:
             total=self.total + other.total,
             min=min(self.min, other.min),
             max=max(self.max, other.max),
-            buckets=tuple(a + b for a, b in zip(self.buckets, other.buckets)),
+            # Bucket vectors only extend as far as each histogram's largest
+            # observation, so two summaries can legitimately disagree on
+            # length — pad the shorter one instead of truncating the tail.
+            buckets=tuple(
+                a + b
+                for a, b in zip_longest(self.buckets, other.buckets, fillvalue=0)
+            ),
         )
 
     def as_dict(self) -> dict:

@@ -77,6 +77,12 @@ class PVFSConfig:
     cache_idle_flush_s: float = 0.02
     #: Memory-copy rate the cache absorbs writes and serves hits at.
     cache_mem_Bps: float = 800 * MIB
+    #: Per-server sequential read-ahead window in bytes; 0 disables it
+    #: (the seed behaviour).  A read continuing a sequential stream
+    #: prefetches this many further bytes through the disk stack; later
+    #: reads fully covered by the prefetched extents are served at memory
+    #: speed (see :class:`~repro.pvfs.server.IOServer`).
+    readahead_B: int = 0
     #: Copies of every strip, on ``replicas`` consecutive servers (rotated
     #: placement; see :meth:`StripingLayout.replica_chain`).  1 — the seed
     #: behaviour, bit-identical — means no redundancy: an outage stalls
@@ -126,6 +132,8 @@ class PVFSConfig:
             raise ValueError("cache_idle_flush_s must be positive")
         if self.cache_mem_Bps <= 0:
             raise ValueError("cache_mem_Bps must be positive")
+        if self.readahead_B < 0:
+            raise ValueError("readahead_B must be non-negative")
         if not 1 <= self.replicas <= self.nservers:
             raise ValueError(
                 f"replicas must be in [1, nservers={self.nservers}], "
@@ -203,6 +211,7 @@ class FileSystem:
                 cache_watermark=cfg.cache_watermark,
                 cache_idle_flush_s=cfg.cache_idle_flush_s,
                 cache_mem_Bps=cfg.cache_mem_Bps,
+                readahead_B=cfg.readahead_B,
                 recorder=recorder,
             )
             for i in range(cfg.nservers)

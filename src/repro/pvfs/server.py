@@ -20,11 +20,29 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from ..sim import Environment, Resource
-from .cache import WriteBackCache
+from .cache import ABSORB_REGION_S, WriteBackCache
 from .disk import DiskModel
 from .sched import DiskQueue, make_policy
 
 MIB = 1024 * 1024
+
+
+def _subtract_extent(
+    runs: List[Tuple[int, int]], start: int, end: int
+) -> Tuple[List[Tuple[int, int]], int]:
+    """Remove [start, end) from sorted disjoint runs; returns (runs, removed)."""
+    out: List[Tuple[int, int]] = []
+    removed = 0
+    for lo, hi in runs:
+        if hi <= start or lo >= end:
+            out.append((lo, hi))
+            continue
+        removed += min(hi, end) - max(lo, start)
+        if lo < start:
+            out.append((lo, start))
+        if end < hi:
+            out.append((end, hi))
+    return out, removed
 
 
 @dataclass
@@ -50,6 +68,12 @@ class ServerStats:
     #: Dirty write-back-cache bytes dropped when this server failed (a
     #: volatile cache loses its contents on crash).
     cache_lost_bytes: int = 0
+    #: Sequential read-ahead accounting: bytes prefetched through the disk
+    #: stack, read regions served from prefetched extents, and prefetched
+    #: bytes thrown away unused (overwritten or lost to a failure).
+    readahead_bytes: int = 0
+    readahead_hits: int = 0
+    readahead_wasted: int = 0
 
 
 class IOServer:
@@ -66,6 +90,7 @@ class IOServer:
         cache_watermark: float = 0.75,
         cache_idle_flush_s: float = 0.02,
         cache_mem_Bps: float = 800 * MIB,
+        readahead_B: int = 0,
         recorder=None,
     ) -> None:
         self.env = env
@@ -104,6 +129,15 @@ class IOServer:
             if cache_B > 0
             else None
         )
+        # Sequential-detection read-ahead (off at 0 — zero new events, the
+        # seed's request path exactly).  ``_ra_runs`` holds the *clean*
+        # prefetched extents as sorted disjoint [start, end); they are
+        # invalidated by any overlapping write (a prefetched range holds
+        # pre-write disk state) and cleared outright by ``fail()``.
+        self.readahead_B = readahead_B
+        self._ra_mem_Bps = cache_mem_Bps
+        self._ra_next = 0
+        self._ra_runs: List[Tuple[int, int]] = []
         # Bind metric handles once (prometheus-client style) so the
         # per-request cost is a float add; with the null registry these are
         # shared no-op instruments and the enabled flag skips them anyway.
@@ -133,18 +167,26 @@ class IOServer:
         self._c_cache_lost = m.counter("pvfs.cache_lost_bytes", server=server_id)
         self._c_replica_bytes = m.counter("pvfs.replica_bytes", server=server_id)
         self._c_rebuild_bytes = m.counter("pvfs.rebuild_bytes", server=server_id)
+        # Read-ahead instruments (all zero with readahead_B=0).
+        self._c_ra_bytes = m.counter("pvfs.readahead_bytes", server=server_id)
+        self._c_ra_hits = m.counter("pvfs.readahead_hits", server=server_id)
+        self._c_ra_wasted = m.counter("pvfs.readahead_wasted", server=server_id)
 
     def __repr__(self) -> str:
         state = "" if self.up else " DOWN"
-        queued = (
-            len(self.disk_queue.waiting)
-            if self.disk_queue is not None
-            else len(self.disk_res.queue)
-        )
         return (
-            f"<IOServer {self.server_id}{state} queue={queued} "
+            f"<IOServer {self.server_id}{state} queue={self.queue_depth()} "
             f"head={self.head_position}>"
         )
+
+    def queue_depth(self) -> int:
+        """Live gauge: disk requests waiting at this server right now.
+
+        Reads the queue length without disturbing it — the adaptive
+        strategy selector samples this as its server-load signal."""
+        if self.disk_queue is not None:
+            return self.disk_queue.depth
+        return len(self.disk_res.queue)
 
     def fail(self, permanent: bool = False) -> List[Tuple[int, int]]:
         """Mark the server unreachable (an outage window — or forever).
@@ -173,6 +215,15 @@ class IOServer:
             if c.enabled:
                 c.cache_lost(self.server_id, lost_bytes)
                 c.cache_state(self.server_id, self.cache.dirty_runs, 0)
+        # Prefetched extents die with the daemon's memory — a later read
+        # must not be served from data prefetched before the failure.
+        if self._ra_runs:
+            wasted = sum(hi - lo for lo, hi in self._ra_runs)
+            self._ra_runs = []
+            self.stats.readahead_wasted += wasted
+            if self._m_enabled:
+                self._c_ra_wasted.add(wasted)
+        self._ra_next = 0
         return dropped
 
     def restore(self) -> None:
@@ -187,6 +238,7 @@ class IOServer:
             return
         self.up = True
         self.head_position = 0
+        self._ra_next = 0
         if self.disk_queue is not None:
             self.disk_queue.reset()
 
@@ -242,13 +294,26 @@ class IOServer:
 
         Must be entered after the request's bytes have crossed ``net_in``.
         Writes land in the write-back cache when one is configured; reads
-        fully covered by dirty extents are served from memory.
+        fully covered by dirty extents are served from memory.  Dirty-run
+        hits are checked *before* the read-ahead store: the cache holds the
+        freshest bytes, and a write invalidates any overlapping prefetched
+        extent, so a read can never be answered from pre-flush disk state.
         """
         if not is_read:
             c = self.env.check
             if c.enabled:
                 c.server_write_in(
                     self.server_id, sum(length for _, length in regions)
+                )
+            if self._ra_runs:
+                self._ra_invalidate(regions)
+        span = None
+        if is_read and self.readahead_B:
+            live = [(o, l) for o, l in regions if l > 0]
+            if live:
+                span = (
+                    min(o for o, _ in live),
+                    max(o + l for o, l in live),
                 )
         cache = self.cache
         if cache is not None:
@@ -265,11 +330,136 @@ class IOServer:
                     self._c_cache_hits.add(len(hits))
                     self._c_bytes_read.add(hit_bytes)
             if not regions:
+                if span is not None:
+                    yield from self._ra_after_read(*span)
                 return
             cache.read_misses += len(regions)
             if self._m_enabled:
                 self._c_cache_misses.add(len(regions))
+        if is_read and self.readahead_B:
+            ra_hits, regions = self._ra_split(regions)
+            if ra_hits:
+                hit_bytes = sum(length for _, length in ra_hits)
+                yield self.env.timeout(
+                    self._ra_memory_time(len(ra_hits), hit_bytes)
+                )
+                self.stats.readahead_hits += len(ra_hits)
+                self.stats.bytes_read += hit_bytes
+                if self._m_enabled:
+                    self._c_ra_hits.add(len(ra_hits))
+                    self._c_bytes_read.add(hit_bytes)
+            if not regions:
+                if span is not None:
+                    yield from self._ra_after_read(*span)
+                return
         yield from self._acquire_and_service(regions, is_read)
+        if span is not None:
+            yield from self._ra_after_read(*span)
+
+    # -- sequential read-ahead ----------------------------------------------
+    def _ra_memory_time(self, nregions: int, nbytes: int) -> float:
+        return ABSORB_REGION_S * nregions + nbytes / self._ra_mem_Bps
+
+    def _ra_covered(self, start: int, end: int) -> bool:
+        for lo, hi in self._ra_runs:
+            if lo <= start and end <= hi:
+                return True
+            if lo > start:
+                break
+        return False
+
+    def _ra_split(self, regions: List[Tuple[int, int]]):
+        """Split a read into (prefetch hits, misses); full coverage only."""
+        hits: List[Tuple[int, int]] = []
+        misses: List[Tuple[int, int]] = []
+        for offset, length in regions:
+            if length > 0 and self._ra_covered(offset, offset + length):
+                hits.append((offset, length))
+            else:
+                misses.append((offset, length))
+        return hits, misses
+
+    def _ra_invalidate(self, regions: List[Tuple[int, int]]) -> None:
+        """Drop prefetched extents overlapping a write (now stale)."""
+        wasted = 0
+        for offset, length in regions:
+            if length <= 0:
+                continue
+            self._ra_runs, removed = _subtract_extent(
+                self._ra_runs, offset, offset + length
+            )
+            wasted += removed
+        if wasted:
+            self.stats.readahead_wasted += wasted
+            if self._m_enabled:
+                self._c_ra_wasted.add(wasted)
+
+    def _ra_gaps(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Sub-extents of [start, end) not already prefetched or dirty."""
+        gaps: List[Tuple[int, int]] = []
+        cursor = start
+        for lo, hi in self._ra_runs:
+            if hi <= cursor:
+                continue
+            if lo >= end:
+                break
+            if lo > cursor:
+                gaps.append((cursor, min(lo, end)))
+            cursor = max(cursor, hi)
+            if cursor >= end:
+                break
+        if cursor < end:
+            gaps.append((cursor, end))
+        if self.cache is not None and self.cache.dirty_runs:
+            # Never prefetch a dirty range: the platter holds pre-flush
+            # state there and the cache already serves those reads.
+            for lo, hi in self.cache.dirty_runs:
+                clipped = []
+                for g_lo, g_hi in gaps:
+                    remaining, _ = _subtract_extent([(g_lo, g_hi)], lo, hi)
+                    clipped.extend(remaining)
+                gaps = clipped
+        return gaps
+
+    def _ra_add(self, start: int, end: int) -> None:
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in self._ra_runs:
+            if hi < start or lo > end:
+                merged.append((lo, hi))
+            else:
+                start = min(start, lo)
+                end = max(end, hi)
+        merged.append((start, end))
+        merged.sort()
+        self._ra_runs = merged
+
+    def _ra_after_read(self, lo: int, hi: int):
+        """Process fragment: sequential detection + prefetch after a read.
+
+        A read starting exactly where the previous one ended continues a
+        sequential stream; the next ``readahead_B`` bytes are pulled
+        through the disk stack so the stream's next requests hit memory.
+        """
+        sequential = lo == self._ra_next
+        self._ra_next = hi
+        if not sequential:
+            return
+        gaps = [
+            (g_lo, g_hi)
+            for g_lo, g_hi in self._ra_gaps(hi, hi + self.readahead_B)
+            if g_hi > g_lo
+        ]
+        if not gaps:
+            return
+        nbytes = sum(g_hi - g_lo for g_lo, g_hi in gaps)
+        yield from self._acquire_and_service(
+            [(g_lo, g_hi - g_lo) for g_lo, g_hi in gaps], is_read=True
+        )
+        for g_lo, g_hi in gaps:
+            self._ra_add(g_lo, g_hi)
+        self.stats.readahead_bytes += nbytes
+        if self._m_enabled:
+            self._c_ra_bytes.add(nbytes)
 
     def count_replica_bytes(self, nbytes: int) -> None:
         """Account ``nbytes`` received as a non-primary replica copy."""
@@ -289,6 +479,8 @@ class IOServer:
         c = self.env.check
         if c.enabled:
             c.server_write_in(self.server_id, nbytes)
+        if self._ra_runs:
+            self._ra_invalidate(regions)
         yield from self._acquire_and_service(regions, is_read=False)
         self.stats.rebuild_bytes += nbytes
         if self._m_enabled:

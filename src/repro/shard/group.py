@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..adapt.selector import StrategySelector
 from ..check.invariants import InvariantChecker
 from ..core.app import S3aSim
 from ..core.config import SimulationConfig, Workload
@@ -213,11 +214,22 @@ class MasterGroup:
             sub_cfg = config.with_(
                 nprocs=len(ranks), output_path=path, shard=None
             )
-            master = Master(comm.view(0), sub_cfg, fh, recorder=recorder)
+            selector = None
+            if sub_cfg.adaptive:
+                # Per-shard selector over the *global* result generator —
+                # the master hands in the slot's content id at choice time,
+                # so hit-count estimates survive work-stealing transfers.
+                selector = StrategySelector(
+                    self.workload.results, self.fs, nworkers=sub_cfg.nworkers
+                )
+            master = Master(
+                comm.view(0), sub_cfg, fh, recorder=recorder, selector=selector
+            )
             master.attach_shard(i, mcomm.view(i), shard)
             self.masters.append(master)
-            pool = [
-                Worker(
+            pool = []
+            for local in range(1, len(ranks)):
+                worker = Worker(
                     comm.view(local),
                     wcomm.view(local - 1),
                     sub_cfg,
@@ -225,8 +237,8 @@ class MasterGroup:
                     fh,
                     recorder=recorder,
                 )
-                for local in range(1, len(ranks))
-            ]
+                worker.shard_id = i
+                pool.append(worker)
             self.workers.append(pool)
 
     def run(self, until: Optional[float] = None) -> ShardedRunResult:

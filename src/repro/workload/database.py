@@ -10,7 +10,7 @@ bookkeeping, not actual nucleotides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -69,6 +69,18 @@ class FragmentedDatabase:
         if not 0 <= fragment_id < self.nfragments:
             raise ValueError(f"fragment {fragment_id} out of range")
         return self.fragments[fragment_id]
+
+    def fragment_extent(self, fragment_id: int) -> Tuple[int, int]:
+        """(offset, nbytes) of the fragment in a densely-packed db file.
+
+        Fragments are stored in id order with no gaps, so the extent is a
+        prefix sum — this is the read span a worker preloads before its
+        first search against the fragment."""
+        fragments = self.fragments
+        if not 0 <= fragment_id < self.nfragments:
+            raise ValueError(f"fragment {fragment_id} out of range")
+        offset = sum(f.nbytes for f in fragments[:fragment_id])
+        return offset, fragments[fragment_id].nbytes
 
     def sample_sequence_lengths(
         self, query_id: int, fragment_id: int, count: int

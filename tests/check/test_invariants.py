@@ -321,6 +321,86 @@ class TestFinalize:
         checker.finalize(now=2.0, recorder=recorder)  # different rows
 
 
+class TestStrategyLedger:
+    """The hybrid-auto three-way ledger: chosen == executed == traced."""
+
+    def test_consistent_ledger_finalizes(self):
+        checker = InvariantChecker()
+        checker.strategy_chosen(0, "mw")
+        checker.strategy_executed(0, "mw")
+        checker.strategy_traced(0, "mw")
+        checker._finalize_strategies(fault_free=True)
+
+    def test_re_recording_same_name_is_fine(self):
+        checker = InvariantChecker()
+        checker.strategy_chosen(0, "ww-list")
+        checker.strategy_executed(0, "ww-list")
+        checker.strategy_executed(0, "ww-list")  # one record per entry
+        checker.strategy_traced(0, "ww-list")
+        checker._finalize_strategies(fault_free=True)
+
+    def test_conflicting_choice_fails(self):
+        checker = InvariantChecker()
+        checker.strategy_chosen(0, "mw")
+        with pytest.raises(InvariantViolation, match="strategy-ledger"):
+            checker.strategy_chosen(0, "ww-list")
+
+    def test_executing_unchosen_query_fails(self):
+        checker = InvariantChecker()
+        with pytest.raises(InvariantViolation, match="strategy-ledger"):
+            checker.strategy_executed(0, "mw")
+
+    def test_executing_other_than_chosen_fails(self):
+        checker = InvariantChecker()
+        checker.strategy_chosen(0, "mw")
+        with pytest.raises(InvariantViolation, match="strategy-ledger"):
+            checker.strategy_executed(0, "ww-list")
+
+    def test_trace_mismatch_fails_at_finalize(self):
+        checker = InvariantChecker()
+        checker.strategy_chosen(0, "mw")
+        checker.strategy_executed(0, "mw")
+        checker.strategy_traced(0, "ww-list")
+        with pytest.raises(InvariantViolation, match="strategy-ledger"):
+            checker._finalize_strategies(fault_free=True)
+
+    def test_missing_trace_fails_at_finalize(self):
+        checker = InvariantChecker()
+        checker.strategy_chosen(0, "mw")
+        checker.strategy_executed(0, "mw")
+        with pytest.raises(InvariantViolation, match="strategy-ledger"):
+            checker._finalize_strategies(fault_free=True)
+
+    def test_chosen_never_executed_fails_only_fault_free(self):
+        checker = InvariantChecker()
+        checker.strategy_chosen(0, "mw")
+        checker.strategy_traced(0, "mw")
+        checker._finalize_strategies(fault_free=False)  # crash may strand it
+        with pytest.raises(InvariantViolation, match="strategy-ledger"):
+            checker._finalize_strategies(fault_free=True)
+
+    def test_shards_are_independent(self):
+        checker = InvariantChecker()
+        checker.strategy_chosen(0, "mw", shard=0)
+        checker.strategy_chosen(0, "ww-list", shard=1)  # same slot, other shard
+        checker.strategy_executed(0, "mw", shard=0)
+        checker.strategy_executed(0, "ww-list", shard=1)
+        checker.strategy_traced(0, "mw", shard=0)
+        checker.strategy_traced(0, "ww-list", shard=1)
+        checker._finalize_strategies(fault_free=True)
+
+    def test_summary_lists_choices(self):
+        checker = InvariantChecker()
+        checker.strategy_chosen(3, "mw", shard=1)
+        assert checker.summary()["strategies"] == {"1:3": "mw"}
+
+    def test_null_checker_has_ledger_noops(self):
+        null = NullChecker()
+        null.strategy_chosen(0, "mw")
+        null.strategy_executed(0, "ww-list")
+        null.strategy_traced(0, "ww-coll")
+
+
 class TestPlumbing:
     def test_violation_message_is_structured(self):
         violation = InvariantViolation(

@@ -17,7 +17,9 @@ from repro.mpiio import IND_LIST, IND_POSIX
 class TestStrategies:
     def test_registry_complete(self):
         assert set(STRATEGIES) == {"mw", "ww-posix", "ww-list", "ww-coll"}
-        assert set(LABELS) == set(STRATEGIES)
+        # Labels additionally cover the adaptive meta-strategy, which is
+        # deliberately NOT in STRATEGIES (it is not a static protocol).
+        assert set(LABELS) == set(STRATEGIES) | {"hybrid-auto"}
 
     def test_unknown_rejected(self):
         with pytest.raises(ValueError):

@@ -13,6 +13,8 @@ class TestScenarioDefinitions:
             "pioblast",
             "proposed",
             "proposed-posix",
+            "preload",
+            "checkpoint-restart",
         }
 
     def test_unknown_rejected(self):
@@ -38,6 +40,25 @@ class TestScenarioDefinitions:
     def test_proposed_variants(self):
         assert get_scenario("proposed").strategy == "ww-list"
         assert get_scenario("proposed-posix").strategy == "ww-posix"
+
+    def test_preload_is_read_dominated_adaptive(self):
+        cfg = get_scenario("preload")
+        assert cfg.strategy == "hybrid-auto"
+        assert cfg.preload_fragments
+        assert cfg.pvfs.readahead_B > 0
+        assert cfg.adaptive
+
+    def test_checkpoint_restart_resumes_verified(self):
+        base = SimulationConfig(nqueries=8)
+        cfg = get_scenario("checkpoint-restart", base)
+        assert cfg.resume_from_query == 4
+        assert cfg.verify_resume
+        assert cfg.pvfs.replicas == 2
+        assert cfg.fault_plan.server_kills
+
+    def test_checkpoint_restart_needs_two_queries(self):
+        with pytest.raises(ValueError):
+            get_scenario("checkpoint-restart", SimulationConfig(nqueries=1))
 
     def test_base_config_preserved(self):
         base = SimulationConfig(nprocs=7, nqueries=5, seed=99)

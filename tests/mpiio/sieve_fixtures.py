@@ -1,0 +1,66 @@
+"""Shared region-list generator for the data-sieving edge-case suites.
+
+The write suite (PR 2) and the read suite exercise the same adversarial
+shapes — holes between regions, overlapping regions, and exact duplicates
+— so both draw their region lists from this one seeded generator and any
+new edge shape lands in both suites at once.
+"""
+
+import random
+from typing import List, Tuple
+
+Region = Tuple[int, int]
+
+#: Seeds the parametrized edge tests iterate over.
+EDGE_SEEDS = (0, 1, 2, 3, 4, 5, 6, 7)
+
+
+def edge_regions(seed: int, nregions: int = 12) -> List[Region]:
+    """A seeded region list mixing holes, adjacency, overlaps, duplicates.
+
+    Offsets grow mostly monotonically (like real per-query result lists)
+    but each step draws one of four shapes: a gap (sieving must pre-read
+    the hole), exact adjacency (the hole-free fast path), a backward
+    overlap into the previous region, or a literal duplicate of it.
+    """
+    rng = random.Random(seed)
+    regions: List[Region] = []
+    cursor = rng.randrange(0, 512)
+    prev: Region = (cursor, 0)
+    for _ in range(nregions):
+        length = rng.randrange(1, 5000)
+        shape = rng.choice(("gap", "adjacent", "overlap", "duplicate"))
+        if shape == "duplicate" and prev[1]:
+            regions.append(prev)
+            continue
+        if shape == "overlap" and prev[1] > 1:
+            offset = prev[0] + rng.randrange(1, prev[1])
+        elif shape == "adjacent":
+            offset = cursor
+        else:  # gap
+            offset = cursor + rng.randrange(1, 20_000)
+        regions.append((offset, length))
+        prev = (offset, length)
+        cursor = max(cursor, offset + length)
+    return regions
+
+
+def payloads_for(regions: List[Region]) -> List[bytes]:
+    """Position-distinct payloads: region i repeats the byte 'A' + i % 26.
+
+    Distinct per *position*, not per (offset, length), so a duplicated
+    region carries a different payload than its twin — the exact shape
+    that once collapsed in a region-keyed dict.
+    """
+    return [
+        bytes([65 + i % 26]) * length for i, (_, length) in enumerate(regions)
+    ]
+
+
+def expected_bytes(regions: List[Region], payloads: List[bytes]) -> dict:
+    """The byte each written offset must hold: later regions win overlaps."""
+    image: dict = {}
+    for (offset, length), payload in zip(regions, payloads):
+        for k in range(length):
+            image[offset + k] = payload[k]
+    return image

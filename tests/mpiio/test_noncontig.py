@@ -140,3 +140,23 @@ class TestSievingOverlapAccounting:
         datas = [b"aaaaaa", b"bbbbbb"]
         _, f = self.run_sieve(regions, datas)
         assert f.bytestore.read(0, 10) == b"aaaabbbbbb"
+
+    def test_seeded_edge_regions_store_last_writer_image(self):
+        """The seeded generator shared with the read suite: whatever mix
+        of holes, overlaps, and duplicates it draws, the stored image is
+        the in-order last-writer merge."""
+        from tests.mpiio.sieve_fixtures import (
+            EDGE_SEEDS,
+            edge_regions,
+            expected_bytes,
+            payloads_for,
+        )
+
+        for seed in EDGE_SEEDS:
+            regions = edge_regions(seed)
+            datas = payloads_for(regions)
+            image = expected_bytes(regions, datas)
+            _, f = self.run_sieve(regions, datas)
+            for offset, length in regions:
+                want = bytes(image[offset + k] for k in range(length))
+                assert f.bytestore.read(offset, length) == want, seed

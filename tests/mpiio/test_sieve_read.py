@@ -1,0 +1,121 @@
+"""Data-sieving read edge cases: holes, overlaps, duplicate regions.
+
+Mirrors the PR 2 ``datasieve_write`` overlap-accounting suite on the read
+side, drawing the adversarial region lists from the shared seeded
+generator in :mod:`tests.mpiio.sieve_fixtures` so both suites stay in
+lockstep.
+"""
+
+import pytest
+
+from repro.mpiio import datasieve_read, datasieve_write, list_read, posix_read
+from repro.sim import Environment
+from tests.mpiio.sieve_fixtures import (
+    EDGE_SEEDS,
+    edge_regions,
+    expected_bytes,
+    payloads_for,
+)
+from tests.mpiio.test_noncontig import make_fs
+
+
+def write_then_read(read_method, regions, datas, read_regions=None, **read_kwargs):
+    """Write ``regions`` with a sieving write (the one write method whose
+    overlap/duplicate semantics the PR 2 suite pins — the bytestore itself
+    rejects overlapping direct writes), then read ``read_regions``
+    (default: the same list) back with ``read_method``."""
+    env = Environment()
+    fs = make_fs(env)
+
+    def proc():
+        f = yield from fs.open(0, "/out")
+        yield from datasieve_write(fs, 0, f, regions, datas)
+        result = yield from read_method(
+            fs, 0, f, read_regions if read_regions is not None else regions,
+            **read_kwargs,
+        )
+        return f, result
+
+    f, result = env.run(env.process(proc()))
+    return fs, f, result
+
+
+class TestSieveReadEdges:
+    @pytest.mark.parametrize("seed", EDGE_SEEDS)
+    def test_seeded_edge_regions_slice_correctly(self, seed):
+        """Each region's read equals the stored last-writer image, holes,
+        overlaps, and duplicates included."""
+        regions = edge_regions(seed)
+        datas = payloads_for(regions)
+        image = expected_bytes(regions, datas)
+        _, _, result = write_then_read(datasieve_read, regions, datas)
+        assert len(result) == len(regions)
+        for (offset, length), got in zip(regions, result):
+            want = bytes(image.get(offset + k, 0) for k in range(length))
+            assert got == want
+
+    @pytest.mark.parametrize("seed", EDGE_SEEDS)
+    def test_sieve_agrees_with_posix_and_list(self, seed):
+        """All three independent read methods are interchangeable."""
+        regions = edge_regions(seed)
+        datas = payloads_for(regions)
+        _, _, by_sieve = write_then_read(datasieve_read, regions, datas)
+        _, _, by_posix = write_then_read(posix_read, regions, datas)
+        _, _, by_list = write_then_read(list_read, regions, datas)
+        assert by_sieve == by_posix == by_list
+
+    @pytest.mark.parametrize("seed", EDGE_SEEDS)
+    def test_tiny_buffer_windows_are_equivalent(self, seed):
+        """Forcing many staging windows must not change a single byte."""
+        regions = edge_regions(seed)
+        datas = payloads_for(regions)
+        _, _, one_window = write_then_read(datasieve_read, regions, datas)
+        _, _, many_windows = write_then_read(
+            datasieve_read, regions, datas, buffer_size=1024
+        )
+        assert one_window == many_windows
+
+    def test_duplicate_regions_each_get_their_slot(self):
+        """The write-side duplicate bug's read mirror: two identical
+        (offset, length) regions must produce two result entries, both
+        holding the stored bytes (the later write won)."""
+        regions = [(0, 4), (0, 4), (8, 4)]
+        datas = [b"AAAA", b"BBBB", b"CCCC"]
+        _, _, result = write_then_read(datasieve_read, regions, datas)
+        assert result == [b"BBBB", b"BBBB", b"CCCC"]
+
+    def test_overlapping_read_regions_slice_own_views(self):
+        regions = [(0, 6), (4, 6)]
+        datas = [b"aaaaaa", b"bbbbbb"]
+        _, _, result = write_then_read(datasieve_read, regions, datas)
+        assert result == [b"aaaabb", b"bbbbbb"]
+
+    def test_holes_between_regions_read_zero_filled(self):
+        """The sieving staging read covers the hole; the hole bytes come
+        back zero-filled in any region that spans them."""
+        written = [(0, 4), (8, 4)]
+        datas = [b"AAAA", b"BBBB"]
+        _, _, result = write_then_read(
+            datasieve_read, written, datas, read_regions=[(0, 12)]
+        )
+        assert result == [b"AAAA\x00\x00\x00\x00BBBB"]
+
+    def test_hole_bytes_are_charged_to_sieving(self):
+        """Reading [(0,600), (1200,300)] stages the [0,1500) extent: the
+        600-byte hole is read too and the servers see it."""
+        regions = [(0, 600), (1200, 300)]
+        datas = [b"a" * 600, b"c" * 300]
+        fs, _, _ = write_then_read(datasieve_read, regions, datas)
+        assert sum(s.stats.bytes_read for s in fs.servers) >= 1500
+
+    def test_empty_region_list_is_a_noop(self):
+        env = Environment()
+        fs = make_fs(env)
+
+        def proc():
+            f = yield from fs.open(0, "/out")
+            result = yield from datasieve_read(fs, 0, f, [])
+            return result
+
+        assert env.run(env.process(proc())) == []
+        assert fs.total_requests() == 0

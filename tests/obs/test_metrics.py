@@ -190,6 +190,51 @@ class TestAggregate:
     def test_empty_aggregate(self):
         assert MetricsSnapshot.aggregate([]) == MetricsSnapshot()
 
+    def test_merge_keeps_longer_bucket_tail(self):
+        """Regression: ``zip`` truncated the longer bucket vector, so a
+        merge with a shorter summary silently dropped tail observations
+        (count then disagreed with sum(buckets) and high quantiles
+        collapsed)."""
+        from repro.obs.metrics import HistogramSummary
+
+        short = HistogramSummary(
+            count=2, total=0.003, min=1e-3, max=2e-3, buckets=(0, 1, 1)
+        )
+        long = HistogramSummary(
+            count=3, total=24.0, min=4.0, max=16.0, buckets=(0, 0, 0, 0, 1, 2)
+        )
+        for m in (short.merged(long), long.merged(short)):
+            assert m.count == 5
+            assert sum(m.buckets) == m.count
+            assert m.buckets == (0, 1, 1, 0, 1, 2)
+            assert m.max == 16.0
+            assert m.quantile(1.0) == 16.0
+
+    def test_aggregate_point_metrics_merges_unequal_buckets(self):
+        from repro.exec import aggregate_point_metrics
+        from repro.exec.engine import PointOutcome
+        from repro.obs.metrics import HistogramSummary
+
+        def outcome(key, summary):
+            snap = MetricsSnapshot(histograms=(("h", (), summary),))
+            result = type("R", (), {"metrics": snap})()
+            return PointOutcome(key=key, result=result)
+
+        a = outcome(
+            ("mw", False, 1.0),
+            HistogramSummary(count=1, total=0.5, min=0.5, max=0.5, buckets=(1,)),
+        )
+        b = outcome(
+            ("mw", False, 2.0),
+            HistogramSummary(
+                count=2, total=12.0, min=4.0, max=8.0, buckets=(0, 0, 0, 1, 1)
+            ),
+        )
+        combined = aggregate_point_metrics([a, b])
+        merged = combined.histogram_summary("h")
+        assert merged.count == 3
+        assert sum(merged.buckets) == 3
+
 
 class TestExport:
     def snapshot(self):

@@ -1,0 +1,40 @@
+"""Fragment bookkeeping: even splits and dense-packing extents."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.workload.histogram import BoxHistogram
+from repro.workload.database import FragmentedDatabase
+
+
+def make_db(nfragments=4, total_bytes=1003):
+    return FragmentedDatabase(
+        BoxHistogram.single(64, 256),
+        nfragments=nfragments,
+        total_bytes=total_bytes,
+        streams=RandomStreams(7),
+    )
+
+
+class TestFragmentExtent:
+    def test_extents_tile_the_database_densely(self):
+        db = make_db(nfragments=4, total_bytes=1003)
+        cursor = 0
+        for i in range(db.nfragments):
+            offset, nbytes = db.fragment_extent(i)
+            assert offset == cursor
+            assert nbytes == db.fragment(i).nbytes
+            cursor += nbytes
+        assert cursor == db.total_bytes
+
+    def test_remainder_bytes_go_to_leading_fragments(self):
+        db = make_db(nfragments=4, total_bytes=1003)
+        sizes = [db.fragment_extent(i)[1] for i in range(4)]
+        assert sizes == [251, 251, 251, 250]
+
+    def test_out_of_range_rejected(self):
+        db = make_db()
+        with pytest.raises(ValueError):
+            db.fragment_extent(-1)
+        with pytest.raises(ValueError):
+            db.fragment_extent(db.nfragments)

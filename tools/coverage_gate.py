@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Per-package line-coverage ratchet.
+
+Reads a Cobertura ``coverage.xml`` (as written by ``pytest --cov``) and
+fails if any named package falls below its floor:
+
+    python tools/coverage_gate.py coverage.xml \
+        --min repro.mpiio=85 --min repro.adapt=85
+
+Package membership is decided from each class's ``filename`` attribute
+(``src/repro/mpiio/file.py`` belongs to ``repro.mpiio``), so the gate is
+independent of how coverage.py groups packages.  Prefix-matching means
+``--min repro=60`` would gate the whole tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import xml.etree.ElementTree as ET
+
+
+def parse_floor(spec: str):
+    name, _, floor = spec.partition("=")
+    if not floor:
+        raise argparse.ArgumentTypeError(
+            f"expected PACKAGE=PERCENT, got {spec!r}"
+        )
+    return name, float(floor)
+
+
+def module_of(filename: str) -> str:
+    """Dotted module path of a source filename, rooted at ``repro``."""
+    parts = filename.replace("\\", "/").split("/")
+    if "repro" in parts:
+        parts = parts[parts.index("repro"):]
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    return ".".join(parts)
+
+
+def package_rates(xml_path: str):
+    """{dotted module: (covered, total)} summed over every <class>."""
+    rates: dict = {}
+    for cls in ET.parse(xml_path).getroot().iter("class"):
+        module = module_of(cls.get("filename", ""))
+        covered, total = rates.get(module, (0, 0))
+        for line in cls.iter("line"):
+            total += 1
+            if int(line.get("hits", "0")) > 0:
+                covered += 1
+        rates[module] = (covered, total)
+    return rates
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("xml", help="Cobertura coverage.xml path")
+    ap.add_argument(
+        "--min",
+        dest="floors",
+        type=parse_floor,
+        action="append",
+        default=[],
+        metavar="PACKAGE=PERCENT",
+        help="fail if PACKAGE line coverage is below PERCENT (repeatable)",
+    )
+    args = ap.parse_args(argv)
+
+    rates = package_rates(args.xml)
+    failed = False
+    for package, floor in args.floors:
+        prefix = package + "."
+        covered = total = 0
+        for module, (c, t) in rates.items():
+            if module == package or module.startswith(prefix):
+                covered += c
+                total += t
+        if total == 0:
+            print(f"coverage-gate: {package}: no measured lines — FAIL")
+            failed = True
+            continue
+        pct = 100.0 * covered / total
+        verdict = "ok" if pct >= floor else "FAIL"
+        print(
+            f"coverage-gate: {package}: {covered}/{total} lines "
+            f"({pct:.1f}%, floor {floor:.0f}%) — {verdict}"
+        )
+        if pct < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
